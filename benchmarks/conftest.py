@@ -1,0 +1,102 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced scale (the paper runs 1000 neurons over 60k images for hours; the
+benches run tens of neurons over a few hundred synthetic images in minutes)
+and prints the same rows/series the paper reports.  Results are also written
+to ``benchmarks/results/*.md`` so EXPERIMENTS.md can reference them.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+- ``small`` (default) — minutes for the whole suite;
+- ``large`` — closer to paper-trend fidelity (more images, neurons, seeds).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import pytest
+
+from repro.config.parameters import SimulationParameters
+from repro.config.presets import get_preset
+from repro.datasets.dataset import load_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs shared by all experiment benches."""
+
+    n_train: int
+    n_test: int
+    n_labeling: int
+    n_neurons: int
+    image_size: int
+    epochs: int
+    seeds: tuple
+
+
+_SCALES = {
+    "small": BenchScale(
+        n_train=200, n_test=80, n_labeling=40, n_neurons=25, image_size=16, epochs=2, seeds=(3,)
+    ),
+    "large": BenchScale(
+        n_train=400, n_test=150, n_labeling=60, n_neurons=40, image_size=16, epochs=3,
+        seeds=(3, 5),
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if name not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}")
+    return _SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def mnist(scale):
+    return load_dataset(
+        "mnist", n_train=scale.n_train, n_test=scale.n_test, size=scale.image_size, seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def fashion(scale):
+    return load_dataset(
+        "fashion", n_train=scale.n_train, n_test=scale.n_test, size=scale.image_size, seed=1
+    )
+
+
+def scaled_preset(name, scale, stdp_kind=None, rounding=None, seed=None, t_learn_ms=None):
+    """A preset resized to bench scale (neurons + seed), schedule preserved."""
+    kwargs = {"n_neurons": scale.n_neurons}
+    if stdp_kind is not None:
+        kwargs["stdp_kind"] = stdp_kind
+    if rounding is not None:
+        kwargs["rounding"] = rounding
+    kwargs["seed"] = seed if seed is not None else scale.seeds[0]
+    cfg = get_preset(name, **kwargs)
+    if t_learn_ms is not None:
+        cfg = replace(
+            cfg,
+            simulation=SimulationParameters(
+                dt_ms=cfg.simulation.dt_ms,
+                t_learn_ms=t_learn_ms,
+                t_rest_ms=cfg.simulation.t_rest_ms,
+                seed=cfg.simulation.seed,
+            ),
+        )
+    return cfg
+
+
+def publish(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.md").write_text(text + "\n")

@@ -1,0 +1,91 @@
+"""Fig. 1 — neuron and synapse characterisation curves.
+
+(a) LIF spiking frequency vs input current (Section III-D constants);
+(b/c) stochastic-STDP probability vs spike-time difference (eqs. 6-7);
+(d) pixel intensity -> input spike-train frequency (Section III-B).
+
+The benchmark target times the LIF population step — the innermost kernel
+the whole simulator is built on.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.analysis.report import format_table
+from repro.config.parameters import EncodingParameters, StochasticSTDPParameters
+from repro.config.presets import PAPER_LIF
+from repro.encoding.rate import intensity_to_frequency
+from repro.learning.updates import (
+    pair_depression_probability,
+    potentiation_probability,
+)
+from repro.neurons.analysis import fi_curve
+from repro.neurons.lif import LIFPopulation
+
+
+def test_fig1a_fi_curve(benchmark):
+    pop = LIFPopulation(1, PAPER_LIF)
+    rheobase = PAPER_LIF.rheobase_current()
+    currents = np.linspace(0.0, 6.0 * rheobase, 10)
+    currents_out, freqs = fi_curve(pop, currents, duration_ms=1000.0, dt_ms=0.5)
+
+    rows = [[float(i), float(f)] for i, f in zip(currents_out, freqs)]
+    publish(
+        "fig1a_fi_curve",
+        format_table(
+            ["input current", "frequency (Hz)"],
+            rows,
+            title=(
+                f"Fig. 1a: LIF f-I curve (rheobase = {rheobase:.2f}; zero below, "
+                "monotone above, as in the paper)"
+            ),
+        ),
+    )
+    below = freqs[currents_out < rheobase]
+    above = freqs[currents_out > 1.2 * rheobase]
+    assert (below == 0).all()
+    assert (above > 0).all()
+    assert (np.diff(freqs) >= -1.0).all()
+
+    # Kernel benchmark: one population step at the paper's layer size.
+    big = LIFPopulation(1000, PAPER_LIF)
+    drive = np.full(1000, 2.0 * rheobase)
+    benchmark(big.step, drive, 1.0)
+
+
+def test_fig1bc_stdp_probability_curves(benchmark):
+    params = StochasticSTDPParameters(gamma_pot=0.9, tau_pot_ms=30.0, gamma_dep=0.9, tau_dep_ms=10.0)
+    dts = np.array([0.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0])
+    p_pot = potentiation_probability(dts, params)
+    p_dep = pair_depression_probability(-dts, params)
+
+    rows = [[float(dt), float(pp), float(pd)] for dt, pp, pd in zip(dts, p_pot, p_dep)]
+    publish(
+        "fig1c_stdp_probabilities",
+        format_table(
+            ["|dt| (ms)", "P_pot (eq. 6)", "P_dep (eq. 7)"],
+            rows,
+            title="Fig. 1c: stochastic STDP probabilities vs spike-time difference",
+        ),
+    )
+    assert p_pot[0] == params.gamma_pot
+    assert (np.diff(p_pot) < 0).all()        # P_pot falls with dt
+    assert (np.diff(p_dep) < 0).all()        # pair P_dep falls as post-pre gap grows
+    benchmark(potentiation_probability, np.linspace(0, 100, 10_000), params)
+
+
+def test_fig1d_intensity_to_frequency(benchmark):
+    params = EncodingParameters(f_min_hz=1.0, f_max_hz=22.0)
+    intensities = np.array([0, 32, 64, 128, 192, 255])
+    freqs = intensity_to_frequency(intensities, params)
+    rows = [[int(i), float(f)] for i, f in zip(intensities, freqs)]
+    publish(
+        "fig1d_intensity_frequency",
+        format_table(
+            ["pixel intensity", "train frequency (Hz)"],
+            rows,
+            title="Fig. 1d: 8-bit pixel intensity -> spike-train frequency (1-22 Hz window)",
+        ),
+    )
+    assert freqs[0] == 1.0 and freqs[-1] == 22.0
+    benchmark(intensity_to_frequency, np.arange(256), params)

@@ -1,0 +1,99 @@
+"""Fig. 6 — high-frequency rasters and low-precision conductance histograms.
+
+(a) input spike trains at the low (1-22 Hz) vs high (5-78 Hz) window: the
+high-frequency raster is visibly denser over the digit's bright region;
+(b) conductance distribution after Q1.7 training, stochastic vs
+deterministic: deterministic drops a large fraction of synapses to the
+minimal conductance.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish, scaled_preset
+from repro.analysis.distributions import (
+    conductance_histogram,
+    distribution_entropy,
+    saturation_fractions,
+)
+from repro.analysis.rasters import ascii_raster, mean_rate_hz
+from repro.analysis.report import format_table
+from repro.config.parameters import EncodingParameters, STDPKind
+from repro.encoding.poisson import PoissonEncoder
+from repro.pipeline.experiment import run_experiment
+
+
+def test_fig6a_input_rasters(benchmark, mnist):
+    image = mnist.train_images[0]
+    rng = np.random.default_rng(0)
+    windows = {"low (1-22 Hz)": (1.0, 22.0), "high (5-78 Hz)": (5.0, 78.0)}
+    rates = {}
+    blocks = []
+    for name, (f_min, f_max) in windows.items():
+        encoder = PoissonEncoder(image.size, EncodingParameters(f_min_hz=f_min, f_max_hz=f_max))
+        raster = encoder.generate(image, duration_ms=300.0, dt_ms=1.0, rng=rng)
+        rates[name] = mean_rate_hz(raster)
+        blocks.append(f"{name} ({rates[name]:.1f} Hz mean):\n" + ascii_raster(raster.T[:32].T))
+
+    rows = [[name, rate] for name, rate in rates.items()]
+    table = format_table(
+        ["frequency window", "mean input rate (Hz)"],
+        rows,
+        title="Fig. 6a: input spike trains, low vs high frequency (dots are spikes)",
+    )
+    publish("fig6a_rasters", table + "\n\n```\n" + "\n\n".join(blocks) + "\n```")
+    assert rates["high (5-78 Hz)"] > 2.5 * rates["low (1-22 Hz)"]
+
+    encoder = PoissonEncoder(image.size, EncodingParameters(f_min_hz=5.0, f_max_hz=78.0))
+    benchmark(encoder.generate, image, 100.0, 1.0, rng)
+
+
+def test_fig6b_q17_conductance_distribution(benchmark, scale, mnist):
+    results = {}
+    for kind in (STDPKind.STOCHASTIC, STDPKind.DETERMINISTIC):
+        cfg = scaled_preset("8bit", scale, stdp_kind=kind)
+        results[kind] = run_experiment(
+            cfg, mnist, n_labeling=scale.n_labeling, epochs=scale.epochs, batched_eval=True
+        )
+
+    rows = []
+    hist_blocks = []
+    for kind, result in results.items():
+        g = result.conductances
+        sat = saturation_fractions(g, g_min=0.0, g_max=1.0)
+        rows.append(
+            [
+                kind.value,
+                sat["at_min"],
+                sat["at_max"],
+                sat["interior"],
+                distribution_entropy(g),
+                result.accuracy,
+            ]
+        )
+        edges, fractions = conductance_histogram(g, bins=16)
+        bars = "\n".join(
+            f"  [{edges[i]:.2f}, {edges[i+1]:.2f})  " + "#" * int(round(fractions[i] * 200))
+            for i in range(len(fractions))
+        )
+        hist_blocks.append(f"{kind.value}:\n{bars}")
+
+    table = format_table(
+        ["STDP", "frac at G_min", "frac at G_max", "interior", "entropy (bits)", "accuracy"],
+        rows,
+        title=(
+            "Fig. 6b: conductance distribution after Q1.7 training — deterministic "
+            "drops a large portion of synapses to the minimal value"
+        ),
+    )
+    publish("fig6b_q17_distribution", table + "\n\n```\n" + "\n\n".join(hist_blocks) + "\n```")
+
+    det = saturation_fractions(results[STDPKind.DETERMINISTIC].conductances)
+    sto = saturation_fractions(results[STDPKind.STOCHASTIC].conductances)
+    # Paper shape: deterministic piles more synapses onto the boundary rails.
+    assert det["at_min"] + det["at_max"] > sto["at_min"] + sto["at_max"]
+
+    benchmark.pedantic(
+        lambda: conductance_histogram(results[STDPKind.STOCHASTIC].conductances),
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,81 @@
+"""Fig. 7 — fast learning with higher input frequency.
+
+(a) accuracy loss vs maximum input frequency for the deterministic baseline
+and for stochastic STDP with the short-term parameter set;
+(b) the accuracy vs learning-time trade-off: boosting the frequency window
+shrinks the per-image presentation (500 ms -> 100 ms), cutting total
+simulated learning time by several times with graceful accuracy loss.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import publish, scaled_preset
+from repro.analysis.report import format_table
+from repro.config.parameters import STDPKind, StochasticSTDPParameters
+from repro.encoding.frequency_control import FrequencyControl
+from repro.pipeline.experiment import run_experiment
+
+#: Frequency boosts swept in Fig. 7a.  factor 3.5 ~ the paper's 78 Hz point.
+FACTORS = (1.0, 2.0, 3.5, 6.0)
+
+
+def _short_term(cfg):
+    """The Section IV-C short-term stochastic parameters (high gamma_pot,
+    long tau_pot, low gamma_dep)."""
+    return replace(
+        cfg,
+        stochastic_stdp=StochasticSTDPParameters(
+            gamma_pot=0.9, tau_pot_ms=80.0, gamma_dep=0.2, tau_dep_ms=5.0
+        ),
+    )
+
+
+def test_fig7_frequency_sweep(benchmark, scale, mnist):
+    rows = []
+    curves = {}
+    for kind in (STDPKind.DETERMINISTIC, STDPKind.STOCHASTIC):
+        base = scaled_preset("float32", scale, stdp_kind=kind)
+        if kind is STDPKind.STOCHASTIC:
+            base = _short_term(base)
+        control = FrequencyControl(base_encoding=base.encoding, base_simulation=base.simulation)
+        accs = []
+        for factor in FACTORS:
+            cfg = control.boosted_config(base, factor)
+            result = run_experiment(cfg, mnist, n_labeling=scale.n_labeling, epochs=scale.epochs, batched_eval=True)
+            sim_minutes = result.training.simulated_minutes
+            accs.append(result.accuracy)
+            rows.append(
+                [
+                    kind.value,
+                    f"{cfg.encoding.f_min_hz:g}-{cfg.encoding.f_max_hz:g}",
+                    cfg.simulation.t_learn_ms,
+                    sim_minutes,
+                    result.accuracy,
+                    accs[0] - result.accuracy,
+                ]
+            )
+        curves[kind] = accs
+
+    publish(
+        "fig7_frequency_sweep",
+        format_table(
+            ["STDP", "window (Hz)", "t_learn (ms)", "sim time (min)", "accuracy", "accuracy loss"],
+            rows,
+            title=(
+                "Fig. 7a/b: accuracy vs max input frequency and the resulting "
+                "learning-time reduction (simulated minutes for the training split)"
+            ),
+        ),
+    )
+
+    det, sto = curves[STDPKind.DETERMINISTIC], curves[STDPKind.STOCHASTIC]
+    # Paper shape (7a): pushing the frequency costs the deterministic rule
+    # more than short-term stochastic STDP at the paper's 78 Hz point.
+    det_loss = det[0] - det[2]
+    sto_loss = sto[0] - sto[2]
+    assert sto_loss <= det_loss + 0.1
+    # Paper shape (7b): the 78 Hz stochastic point stays useful (well above
+    # chance) while taking ~4-5x less simulated time.
+    assert sto[2] > 0.2
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

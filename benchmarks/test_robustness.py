@@ -1,0 +1,67 @@
+"""Extension experiment: robustness of the trained network to input noise.
+
+Not a paper figure — the natural follow-on the paper's robustness framing
+invites: after training, how does classification accuracy degrade when test
+images are corrupted?  Rate coding maps pixel corruption directly onto
+wrong-frequency spike trains, so this probes how much redundancy the
+learned conductance maps carry.
+
+Measured on one trained stochastic-STDP network (training is the expensive
+part; evaluation uses the batched engine).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import publish, scaled_preset
+from repro.analysis.report import format_table
+from repro.config.parameters import STDPKind
+from repro.datasets.transforms import occlude, salt_pepper
+from repro.engine.batched import BatchedInference
+from repro.network.inference import classify_batch
+from repro.network.wta import WTANetwork
+from repro.pipeline.evaluator import Evaluator
+from repro.pipeline.trainer import UnsupervisedTrainer
+
+
+def test_robustness_to_input_corruption(benchmark, scale, mnist):
+    cfg = scaled_preset("float32", scale, stdp_kind=STDPKind.STOCHASTIC)
+    net = WTANetwork(cfg, mnist.n_pixels)
+    UnsupervisedTrainer(net).train(mnist.train_images, epochs=scale.epochs)
+
+    label_x, label_y, test_x, test_y = mnist.labeling_split(scale.n_labeling)
+    evaluator = Evaluator(net, n_classes=10, batched=True)
+    neuron_labels = evaluator.label_neurons(label_x, label_y)
+
+    def accuracy(images):
+        counts = BatchedInference(net).collect_responses(
+            images, rng=np.random.default_rng(0)
+        )
+        predictions = classify_batch(counts, neuron_labels, 10, net.rngs.misc)
+        return float(np.mean(predictions == test_y))
+
+    rng = np.random.default_rng(7)
+    rows = [["clean", accuracy(test_x)]]
+    for fraction in (0.05, 0.15, 0.30):
+        rows.append([f"salt&pepper {fraction:.0%}", accuracy(salt_pepper(test_x, fraction, rng))])
+    for size in (3, 6):
+        rows.append([f"occlusion {size}x{size}", accuracy(occlude(test_x, size, rng))])
+
+    publish(
+        "robustness_corruption",
+        format_table(
+            ["test-input corruption", "accuracy"],
+            rows,
+            title="Extension: accuracy vs input corruption (trained stochastic net)",
+        ),
+    )
+    clean = rows[0][1]
+    mild = rows[1][1]
+    # Mild pixel noise must not destroy the classifier.
+    assert mild > 0.5 * clean or clean < 0.2
+    benchmark.pedantic(
+        lambda: BatchedInference(net).collect_responses(
+            test_x[:10], rng=np.random.default_rng(0)
+        ),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,56 @@
+"""Table I — parameters for different learning options.
+
+Regenerates the paper's parameter table from the preset registry and checks
+the constants survive a config serialisation round-trip (the simulator's
+"configuration file" path).  The benchmark target is preset construction +
+JSON round-trip, the simulator's startup cost.
+"""
+
+import json
+
+from benchmarks.conftest import publish
+from repro.analysis.report import format_table
+from repro.config.presets import get_preset, table_i_rows
+from repro.config.serialize import config_from_dict, config_to_dict
+
+
+def test_table1_parameter_registry(benchmark):
+    rows = []
+    for name, row in table_i_rows().items():
+        rows.append(
+            [
+                name,
+                row.get("alpha_p", "-"),
+                row.get("beta_p", "-"),
+                row.get("alpha_d", "-"),
+                row.get("beta_d", "-"),
+                row.get("g_max", "-"),
+                row.get("g_min", "-"),
+                row["gamma_pot"],
+                row["tau_pot_ms"],
+                row["gamma_dep"],
+                row["tau_dep_ms"],
+                row["f_max_hz"],
+                row["f_min_hz"],
+            ]
+        )
+    publish(
+        "table1_presets",
+        format_table(
+            ["option", "aP", "bP", "aD", "bD", "Gmax", "Gmin",
+             "g_pot", "t_pot", "g_dep", "t_dep", "f_max", "f_min"],
+            rows,
+            title="Table I: parameters for different learning options (preset registry)",
+        ),
+    )
+
+    # Constants must survive serialisation (config-file startup path).
+    for name in ("2bit", "4bit", "8bit", "16bit", "high_frequency", "float32"):
+        cfg = get_preset(name)
+        assert config_from_dict(json.loads(json.dumps(config_to_dict(cfg)))) == cfg
+
+    def startup():
+        cfg = get_preset("16bit")
+        return config_from_dict(config_to_dict(cfg))
+
+    benchmark(startup)

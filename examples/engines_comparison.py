@@ -1,0 +1,82 @@
+"""Three simulation engines, one neuron model (the Fig. 4 theme, extended).
+
+ParallelSpikeSim's validation story (Fig. 4) compares spiking activity and
+performance across simulators.  This repository ships three independent
+execution strategies for the same LIF semantics:
+
+1. the **reference** engine — per-neuron scalar Python loops;
+2. the **vectorised** engine — whole-population array operations (the
+   GPU-schedule substitute);
+3. the **event-driven** engine — closed-form integration between input
+   events, exact to machine precision (an analytic oracle).
+
+The example cross-checks all three: reference and vectorised must agree
+bit-for-bit; the clock-driven result must converge to the event-driven
+spike times as dt shrinks; and the wall-clock ratio shows why the
+data-parallel schedule wins.
+
+    python examples/engines_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.config.presets import PAPER_LIF
+from repro.engine.event_driven import CurrentStep, EventDrivenLIF
+from repro.engine.reference import ReferenceLIFSimulator, vectorized_lif_run
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n_inputs, n_neurons, n_steps = 10, 400, 500
+    weights = rng.uniform(0.2, 1.0, size=(n_inputs, n_neurons))
+    raster = rng.random((n_steps, n_inputs)) < 0.1
+
+    # 1 + 2: bit-identical spike trains, then timing.
+    t0 = time.perf_counter()
+    out_ref = ReferenceLIFSimulator(weights, PAPER_LIF, 8.0).run(raster)
+    t_ref = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    out_vec = vectorized_lif_run(weights, raster, PAPER_LIF, 8.0)
+    t_vec = time.perf_counter() - t0
+    identical = np.array_equal(out_ref, out_vec)
+    print(f"reference vs vectorised: {out_vec.sum()} spikes, "
+          f"bit-identical = {identical}")
+
+    rows = [
+        ["reference (loops)", t_ref, 1.0],
+        ["vectorised (array ops)", t_vec, t_ref / max(t_vec, 1e-9)],
+    ]
+    print(format_table(["engine", "wall seconds", "speedup"], rows,
+                       title=f"{n_neurons} neurons x {n_steps} steps"))
+
+    # 3: the analytic oracle. Constant current -> exact spike times.
+    oracle = EventDrivenLIF(PAPER_LIF)
+    current = 3.0 * PAPER_LIF.rheobase_current()
+    exact = oracle.run([CurrentStep(0.0, current)], duration_ms=300.0)
+    print(f"\nevent-driven engine: {len(exact)} exact spikes under constant "
+          f"drive, first at t = {exact[0]:.4f} ms")
+    print(f"analytic steady-state rate: {oracle.steady_state_rate_hz(current):.1f} Hz")
+
+    from repro.neurons.lif import LIFPopulation
+    rows = []
+    for dt in (1.0, 0.25, 0.05):
+        pop = LIFPopulation(1, PAPER_LIF)
+        spikes = []
+        for i in range(int(300.0 / dt)):
+            if pop.step(np.array([current]), dt)[0]:
+                spikes.append((i + 1) * dt)
+        n = min(len(spikes), len(exact))
+        err = float(np.abs(np.array(spikes[:n]) - np.array(exact[:n])).max())
+        rows.append([dt, len(spikes), err])
+    print(format_table(
+        ["dt (ms)", "spikes", "max |t - t_exact| (ms)"],
+        rows,
+        title="Clock-driven engine converging to the event-driven oracle",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Full unsupervised MNIST pipeline, instrumented.
+
+The complete Fig. 2 flow with explicit components (rather than the
+``run_experiment`` shortcut): network construction, training with weight
+normalisation and progress, neuron labeling on the first chunk of the test
+set, inference on the rest, confusion matrix and a map gallery.
+
+    python examples/mnist_unsupervised.py
+"""
+
+import numpy as np
+
+from repro import STDPKind, get_preset, load_dataset
+from repro.analysis.accuracy import per_class_accuracy
+from repro.analysis.conductance_maps import ascii_map, map_contrast, neuron_maps
+from repro.analysis.report import format_table
+from repro.learning.homeostasis import WeightNormalizer
+from repro.network.wta import WTANetwork
+from repro.pipeline.evaluator import Evaluator
+from repro.pipeline.progress import PrintProgress
+from repro.pipeline.trainer import UnsupervisedTrainer
+
+
+def main() -> None:
+    dataset = load_dataset("mnist", n_train=300, n_test=100, size=16, seed=1)
+    config = get_preset("float32", stdp_kind=STDPKind.STOCHASTIC, n_neurons=30, seed=3)
+
+    network = WTANetwork(config, dataset.n_pixels)
+    trainer = UnsupervisedTrainer(
+        network,
+        normalizer=WeightNormalizer(period_images=1),
+        progress=PrintProgress(every=50),
+    )
+    log = trainer.train(dataset.train_images, epochs=2)
+    print(f"\ntrained on {log.images_seen} presentations "
+          f"({log.mean_spikes_per_image:.1f} output spikes/image, "
+          f"{log.simulated_minutes:.1f} simulated minutes)")
+
+    evaluator = Evaluator(network, n_classes=dataset.n_classes)
+    label_x, label_y, test_x, test_y = dataset.labeling_split(40)
+    result = evaluator.evaluate(label_x, label_y, test_x, test_y)
+
+    print(f"\naccuracy: {result.accuracy:.1%}")
+    per_class = per_class_accuracy(result.true_labels, result.predictions, 10)
+    rows = [[c, 0.0 if np.isnan(a) else float(a)] for c, a in enumerate(per_class)]
+    print(format_table(["digit", "accuracy"], rows, title="Per-class accuracy"))
+
+    print("\nneuron labels:", result.neuron_labels.tolist())
+
+    contrast = map_contrast(network.conductances)
+    best = int(np.argmax(contrast))
+    print(f"\nhighest-contrast neuron ({best}, labeled {result.neuron_labels[best]}):")
+    maps = neuron_maps(network.conductances)
+    print(ascii_map(maps[best], g_max=float(network.conductances.max())))
+
+
+if __name__ == "__main__":
+    main()

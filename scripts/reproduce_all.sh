@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full reproduction pass: tests, benchmarks, report assembly.
+#
+# Usage: scripts/reproduce_all.sh [small|large]
+#
+# "large" uses more neurons/images/seeds (slower, tighter trends).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-small}"
+
+echo "== unit/integration tests =="
+python -m pytest tests/ -q
+
+echo "== benchmarks (scale: $SCALE) =="
+REPRO_BENCH_SCALE="$SCALE" python -m pytest benchmarks/ --benchmark-only -q
+
+echo "== assembling report =="
+python scripts/make_report.py --out REPRODUCTION_REPORT.md
+echo "done: REPRODUCTION_REPORT.md"

@@ -1,0 +1,83 @@
+"""Accuracy metrics: scores, confusion matrices, moving error rate.
+
+The moving error rate is the Fig. 8c quantity: error measured over a sliding
+window of recent predictions as training progresses, showing how quickly
+each configuration's error falls with simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import LabelingError
+
+
+def _check_pair(true: np.ndarray, predicted: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(true, dtype=np.int64)
+    p = np.asarray(predicted, dtype=np.int64)
+    if t.shape != p.shape or t.ndim != 1:
+        raise LabelingError(
+            f"true {t.shape} and predicted {p.shape} must be equal-length 1-D arrays"
+        )
+    return t, p
+
+
+def accuracy_score(true: np.ndarray, predicted: np.ndarray) -> float:
+    """Fraction of matching labels; empty input scores 0."""
+    t, p = _check_pair(true, predicted)
+    if t.size == 0:
+        return 0.0
+    return float(np.mean(t == p))
+
+
+def confusion_matrix(true: np.ndarray, predicted: np.ndarray, n_classes: int) -> np.ndarray:
+    """``counts[i, j]`` = images of class *i* predicted as class *j*.
+
+    Predictions outside ``[0, n_classes)`` (e.g. the unlabeled sentinel)
+    are tallied in an extra final column.
+    """
+    t, p = _check_pair(true, predicted)
+    if n_classes < 1:
+        raise LabelingError(f"n_classes must be >= 1, got {n_classes}")
+    if t.size and (t.min() < 0 or t.max() >= n_classes):
+        raise LabelingError("true labels out of range")
+    counts = np.zeros((n_classes, n_classes + 1), dtype=np.int64)
+    for ti, pi in zip(t, p):
+        col = pi if 0 <= pi < n_classes else n_classes
+        counts[ti, col] += 1
+    return counts
+
+
+def per_class_accuracy(true: np.ndarray, predicted: np.ndarray, n_classes: int) -> np.ndarray:
+    """Accuracy per true class; classes with no samples report NaN."""
+    confusion = confusion_matrix(true, predicted, n_classes)
+    totals = confusion.sum(axis=1).astype(np.float64)
+    correct = np.diag(confusion[:, :n_classes]).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, correct / np.maximum(totals, 1), np.nan)
+
+
+def moving_error_rate(
+    correct_flags: Sequence[bool], window: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sliding-window error over a prediction stream (Fig. 8c).
+
+    *correct_flags* is the chronological sequence of per-image hits.
+    Returns ``(positions, error_rates)``; the window is truncated at the
+    start so the curve begins at the first prediction.
+    """
+    if window < 1:
+        raise LabelingError(f"window must be >= 1, got {window}")
+    flags = np.asarray(list(correct_flags), dtype=np.float64)
+    if flags.ndim != 1:
+        raise LabelingError("correct_flags must be 1-D")
+    if flags.size == 0:
+        return np.array([]), np.array([])
+    cumsum = np.concatenate([[0.0], np.cumsum(flags)])
+    positions = np.arange(1, flags.size + 1)
+    starts = np.maximum(positions - window, 0)
+    hits = cumsum[positions] - cumsum[starts]
+    widths = positions - starts
+    return positions, 1.0 - hits / widths

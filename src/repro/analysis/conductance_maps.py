@@ -1,0 +1,87 @@
+"""Learned-feature conductance maps and their quality metrics (Fig. 5).
+
+Fig. 5 visualises each neuron's afferent conductances reshaped into the
+image plane: a well-trained neuron shows a bright class-specific pattern on
+a dark background; a failed run shows uniform grey blur ("all synapses
+learns the overlapping features of all classes").  Since this harness is
+text-only, maps render as ASCII and quality is quantified:
+
+- :func:`map_contrast` — per-map normalised spread (high = crisp feature);
+- :func:`population_selectivity` — how dissimilar the population's maps are
+  from each other (low = everyone learned the same blob, the deterministic
+  failure mode on Fashion).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+#: Dark-to-bright ramp for ASCII rendering.
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def neuron_maps(conductances: np.ndarray, side: Optional[int] = None) -> np.ndarray:
+    """Reshape ``(n_pixels, n_neurons)`` into ``(n_neurons, side, side)``."""
+    g = np.asarray(conductances, dtype=np.float64)
+    if g.ndim != 2:
+        raise TopologyError(f"conductances must be 2-D, got shape {g.shape}")
+    n_pixels = g.shape[0]
+    if side is None:
+        side = int(round(n_pixels**0.5))
+    if side * side != n_pixels:
+        raise TopologyError(f"n_pixels={n_pixels} is not {side}x{side}")
+    return g.T.reshape(g.shape[1], side, side)
+
+
+def map_contrast(conductances: np.ndarray) -> np.ndarray:
+    """Per-neuron contrast: (p90 - p10) of its map, normalised by the range.
+
+    0 means a flat map (no feature learned); values toward 1 mean strong
+    bright-vs-dark separation.  Returns shape ``(n_neurons,)``.
+    """
+    g = np.asarray(conductances, dtype=np.float64)
+    if g.ndim != 2:
+        raise TopologyError(f"conductances must be 2-D, got shape {g.shape}")
+    lo = np.percentile(g, 10, axis=0)
+    hi = np.percentile(g, 90, axis=0)
+    full = g.max() - g.min()
+    if full <= 0:
+        return np.zeros(g.shape[1])
+    return (hi - lo) / full
+
+
+def population_selectivity(conductances: np.ndarray) -> float:
+    """Mean pairwise (1 - cosine similarity) between neuron maps.
+
+    Near 0: every neuron learned the same pattern (the Fig. 5a failure of
+    deterministic STDP on Fashion).  Larger: diverse class-specific
+    features.  Neurons with all-zero maps are excluded.
+    """
+    g = np.asarray(conductances, dtype=np.float64)
+    if g.ndim != 2:
+        raise TopologyError(f"conductances must be 2-D, got shape {g.shape}")
+    norms = np.linalg.norm(g, axis=0)
+    live = g[:, norms > 0]
+    if live.shape[1] < 2:
+        return 0.0
+    unit = live / np.linalg.norm(live, axis=0)
+    similarity = unit.T @ unit
+    n = similarity.shape[0]
+    off_diagonal = similarity[~np.eye(n, dtype=bool)]
+    return float(np.mean(1.0 - off_diagonal))
+
+
+def ascii_map(map2d: np.ndarray, g_min: float = 0.0, g_max: Optional[float] = None) -> str:
+    """Render one neuron map as an ASCII block (the text Fig. 5)."""
+    arr = np.asarray(map2d, dtype=np.float64)
+    if arr.ndim != 2:
+        raise TopologyError(f"map must be 2-D, got shape {arr.shape}")
+    top = g_max if g_max is not None else max(arr.max(), g_min + 1e-9)
+    span = max(top - g_min, 1e-9)
+    levels = np.clip((arr - g_min) / span, 0.0, 1.0)
+    indices = np.minimum((levels * len(_ASCII_RAMP)).astype(int), len(_ASCII_RAMP) - 1)
+    return "\n".join("".join(_ASCII_RAMP[i] for i in row) for row in indices)

@@ -1,0 +1,69 @@
+"""Conductance distribution statistics (Fig. 6b).
+
+Fig. 6b compares the histogram of all synapse conductances after Q1.7
+training: stochastic STDP keeps a spread distribution, while deterministic
+STDP drops "a large portion of synapses ... to the minimal conductance
+value".  :func:`saturation_fractions` quantifies exactly that collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+
+def conductance_histogram(
+    conductances: np.ndarray,
+    bins: int = 16,
+    g_min: float = 0.0,
+    g_max: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram over ``[g_min, g_max]``: ``(bin_edges, fractions)``.
+
+    Fractions sum to 1 over all synapses (values outside the range are
+    clipped into the boundary bins).
+    """
+    if bins < 1:
+        raise TopologyError(f"bins must be >= 1, got {bins}")
+    if g_max <= g_min:
+        raise TopologyError(f"need g_max > g_min, got [{g_min}, {g_max}]")
+    g = np.clip(np.asarray(conductances, dtype=np.float64).ravel(), g_min, g_max)
+    counts, edges = np.histogram(g, bins=bins, range=(g_min, g_max))
+    total = max(g.size, 1)
+    return edges, counts / total
+
+
+def saturation_fractions(
+    conductances: np.ndarray,
+    g_min: float = 0.0,
+    g_max: float = 1.0,
+    tolerance: float = 1e-9,
+) -> Dict[str, float]:
+    """Fractions of synapses pinned at the range boundaries.
+
+    Returns ``{"at_min": ..., "at_max": ..., "interior": ...}``.  The
+    deterministic low-precision failure shows up as a large ``at_min``.
+    """
+    g = np.asarray(conductances, dtype=np.float64).ravel()
+    if g.size == 0:
+        raise TopologyError("conductance array is empty")
+    at_min = float(np.mean(g <= g_min + tolerance))
+    at_max = float(np.mean(g >= g_max - tolerance))
+    return {"at_min": at_min, "at_max": at_max, "interior": 1.0 - at_min - at_max}
+
+
+def distribution_entropy(
+    conductances: np.ndarray, bins: int = 16, g_min: float = 0.0, g_max: float = 1.0
+) -> float:
+    """Shannon entropy (bits) of the binned conductance distribution.
+
+    A healthy learned state keeps several occupied levels; total collapse
+    to one bin gives entropy 0.  Used by the Fig. 6b bench as a single
+    summary number alongside the histogram.
+    """
+    _, fractions = conductance_histogram(conductances, bins, g_min, g_max)
+    p = fractions[fractions > 0]
+    return float(-(p * np.log2(p)).sum())

@@ -1,0 +1,61 @@
+"""Plain-text table formatting for bench output and EXPERIMENTS.md.
+
+Every bench prints its reproduction of a paper table/figure through
+:func:`format_table`, so the harness output and the recorded results share
+one format (GitHub-flavoured Markdown pipes, also readable as plain text).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def _render_cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """A Markdown table with aligned columns.
+
+    Floats render at *precision* decimals; booleans as yes/no.  Raises if a
+    row's width does not match the header.
+    """
+    header_list = [str(h) for h in headers]
+    if not header_list:
+        raise ReproError("table needs at least one column")
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = [_render_cell(v, precision) for v in row]
+        if len(cells) != len(header_list):
+            raise ReproError(
+                f"row has {len(cells)} cells but table has {len(header_list)} columns"
+            )
+        rendered.append(cells)
+
+    widths = [len(h) for h in header_list]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    parts = []
+    if title:
+        parts.append(f"### {title}")
+        parts.append("")
+    parts.append(line(header_list))
+    parts.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    parts.extend(line(cells) for cells in rendered)
+    return "\n".join(parts)

@@ -1,0 +1,103 @@
+"""Spike-train statistics: ISI distributions, CV, Fano factor.
+
+Quantifies the input/output spike trains the paper shows as raster dots
+(Fig. 6a): a Poisson train has ISI coefficient-of-variation ~1 and Fano
+factor ~1; a strictly periodic train has both near 0.  These statistics
+back the Poisson-vs-periodic encoder ablation and characterise the output
+regularity of the WTA layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def interspike_intervals(spike_times_ms: Sequence[float]) -> np.ndarray:
+    """Sorted inter-spike intervals of one train (empty for < 2 spikes)."""
+    times = np.sort(np.asarray(list(spike_times_ms), dtype=np.float64))
+    if times.size < 2:
+        return np.array([])
+    return np.diff(times)
+
+
+def isi_cv(spike_times_ms: Sequence[float]) -> float:
+    """Coefficient of variation of the ISIs (~1 Poisson, ~0 periodic).
+
+    Returns NaN when fewer than two intervals exist.
+    """
+    isis = interspike_intervals(spike_times_ms)
+    if isis.size < 2 or isis.mean() == 0:
+        return float("nan")
+    return float(isis.std() / isis.mean())
+
+
+def fano_factor(
+    spike_times_ms: Sequence[float], duration_ms: float, window_ms: float = 100.0
+) -> float:
+    """Variance/mean of spike counts in consecutive windows (~1 Poisson).
+
+    Returns NaN when there are fewer than two windows or no spikes.
+    """
+    if duration_ms <= 0 or window_ms <= 0:
+        raise SimulationError("duration_ms and window_ms must be positive")
+    n_windows = int(duration_ms // window_ms)
+    if n_windows < 2:
+        return float("nan")
+    times = np.asarray(list(spike_times_ms), dtype=np.float64)
+    counts, _ = np.histogram(times, bins=n_windows, range=(0.0, n_windows * window_ms))
+    mean = counts.mean()
+    if mean == 0:
+        return float("nan")
+    return float(counts.var() / mean)
+
+
+def raster_train_statistics(
+    raster: np.ndarray, dt_ms: float = 1.0, window_ms: float = 100.0
+) -> Dict[str, float]:
+    """Aggregate regularity statistics over all channels of a raster.
+
+    Returns mean rate (Hz), mean ISI CV and mean Fano factor across the
+    channels that spiked enough to measure.
+    """
+    arr = np.asarray(raster, dtype=bool)
+    if arr.ndim != 2:
+        raise SimulationError(f"raster must be 2-D, got shape {arr.shape}")
+    duration_ms = arr.shape[0] * dt_ms
+    rates = []
+    cvs = []
+    fanos = []
+    for channel in range(arr.shape[1]):
+        times = np.flatnonzero(arr[:, channel]) * dt_ms
+        rates.append(times.size / (duration_ms / 1000.0))
+        cv = isi_cv(times)
+        if not np.isnan(cv):
+            cvs.append(cv)
+        fano = fano_factor(times, duration_ms, window_ms)
+        if not np.isnan(fano):
+            fanos.append(fano)
+    return {
+        "mean_rate_hz": float(np.mean(rates)) if rates else 0.0,
+        "mean_isi_cv": float(np.mean(cvs)) if cvs else float("nan"),
+        "mean_fano": float(np.mean(fanos)) if fanos else float("nan"),
+        "n_channels_measured": float(len(cvs)),
+    }
+
+
+def synchrony_index(raster: np.ndarray) -> float:
+    """Population synchrony: variance of the population rate, normalised.
+
+    0 for independent channels, toward 1 when channels co-fire.  Computed as
+    ``var(sum_t) / sum(var_i)`` over channels (Golomb's measure).
+    """
+    arr = np.asarray(raster, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] < 2:
+        raise SimulationError("raster must be 2-D with at least 2 steps")
+    population = arr.sum(axis=1)
+    per_channel_var = arr.var(axis=0).sum()
+    if per_channel_var == 0:
+        return 0.0
+    return float(population.var() / per_channel_var)

@@ -1,0 +1,102 @@
+"""Multi-seed statistics for experiment results.
+
+The WTA winner races make single runs noisy at reduced scale; trend claims
+need aggregation.  This module provides:
+
+- :func:`summarize` — mean / std / min / max over a set of per-seed scores;
+- :func:`bootstrap_ci` — percentile bootstrap confidence interval for the
+  mean;
+- :class:`SeedStudy` — run one experiment factory over several seeds and
+  tabulate the aggregate, the building block for seed-averaged benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate statistics of one metric across seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    n: int
+
+    def as_row(self) -> List[float]:
+        return [self.mean, self.std, self.minimum, self.maximum]
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} +/- {self.std:.3f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean/std/min/max of per-seed scores (sample std, ddof=1 when n>1)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("cannot summarize an empty score list")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        n=int(arr.size),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap CI for the mean of *values*."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("cannot bootstrap an empty score list")
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    means = rng.choice(arr, size=(n_resamples, arr.size), replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))
+
+
+class SeedStudy:
+    """Run ``factory(seed) -> score`` over seeds and aggregate per variant."""
+
+    def __init__(self, seeds: Sequence[int]) -> None:
+        if not seeds:
+            raise ReproError("SeedStudy needs at least one seed")
+        self.seeds = list(seeds)
+        self._scores: Dict[str, List[float]] = {}
+
+    def run(self, name: str, factory: Callable[[int], float]) -> Summary:
+        """Evaluate one variant across all seeds; returns its summary."""
+        scores = [float(factory(seed)) for seed in self.seeds]
+        self._scores[name] = scores
+        return summarize(scores)
+
+    def scores(self, name: str) -> List[float]:
+        if name not in self._scores:
+            raise ReproError(f"no variant named {name!r}; ran {sorted(self._scores)}")
+        return list(self._scores[name])
+
+    def summary_rows(self) -> List[List[object]]:
+        """``[name, mean, std, min, max]`` rows for report tables."""
+        return [
+            [name] + summarize(scores).as_row() for name, scores in self._scores.items()
+        ]
+
+    def difference(self, a: str, b: str) -> Summary:
+        """Per-seed paired differences ``a - b`` (same seeds, so paired)."""
+        sa, sb = self.scores(a), self.scores(b)
+        return summarize([x - y for x, y in zip(sa, sb)])

@@ -1,0 +1,102 @@
+"""Image-file export for figures (no plotting dependencies).
+
+Writes the paper's visual artefacts as portable graymap/pixmap files that
+any image viewer opens:
+
+- :func:`write_pgm` — one 2-D array as an 8-bit binary PGM;
+- :func:`save_conductance_grid` — the Fig. 5 panel: every neuron's learned
+  map tiled into one image, each tile independently normalised;
+- :func:`save_raster_image` — the Fig. 6a panel: a spike raster as a
+  black/white bitmap (time on x, channel on y).
+
+Used by the figure benches when ``REPRO_SAVE_IMAGES`` is set, and available
+to downstream users who want real image files instead of ASCII art.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.analysis.conductance_maps import neuron_maps
+from repro.errors import ReproError
+
+
+def write_pgm(path: Union[str, Path], image: np.ndarray) -> None:
+    """Write a 2-D float/int array as an 8-bit binary PGM (P5).
+
+    Float input is expected in [0, 1] and is scaled to [0, 255]; integer
+    input is written as-is (clipped to [0, 255]).
+    """
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise ReproError(f"PGM image must be 2-D, got shape {arr.shape}")
+    if arr.dtype.kind == "f":
+        data = np.clip(arr * 255.0, 0, 255).astype(np.uint8)
+    else:
+        data = np.clip(arr, 0, 255).astype(np.uint8)
+    header = f"P5\n{data.shape[1]} {data.shape[0]}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + data.tobytes())
+
+
+def read_pgm(path: Union[str, Path]) -> np.ndarray:
+    """Read back a binary PGM written by :func:`write_pgm` (for tests)."""
+    raw = Path(path).read_bytes()
+    if not raw.startswith(b"P5"):
+        raise ReproError(f"{path} is not a binary PGM")
+    parts = raw.split(b"\n", 3)
+    if len(parts) < 4:
+        raise ReproError(f"{path}: truncated PGM header")
+    width, height = (int(x) for x in parts[1].split())
+    maxval = int(parts[2])
+    if maxval != 255:
+        raise ReproError(f"{path}: only 8-bit PGMs supported")
+    body = parts[3]
+    if len(body) < width * height:
+        raise ReproError(f"{path}: truncated PGM payload")
+    return np.frombuffer(body[: width * height], dtype=np.uint8).reshape(height, width)
+
+
+def save_conductance_grid(
+    path: Union[str, Path],
+    conductances: np.ndarray,
+    columns: int = 8,
+    padding: int = 1,
+    side: Optional[int] = None,
+) -> np.ndarray:
+    """Tile all neuron maps into one PGM (the Fig. 5 gallery).
+
+    Each tile is normalised to its own [min, max] so faint features stay
+    visible.  Returns the composed image array (also written to *path*).
+    """
+    if columns < 1:
+        raise ReproError(f"columns must be >= 1, got {columns}")
+    maps = neuron_maps(conductances, side=side)
+    n, h, w = maps.shape
+    rows = (n + columns - 1) // columns
+    canvas = np.zeros((rows * (h + padding) + padding, columns * (w + padding) + padding))
+    for i in range(n):
+        r, c = divmod(i, columns)
+        tile = maps[i]
+        span = tile.max() - tile.min()
+        tile = (tile - tile.min()) / span if span > 0 else np.zeros_like(tile)
+        y = padding + r * (h + padding)
+        x = padding + c * (w + padding)
+        canvas[y : y + h, x : x + w] = tile
+    write_pgm(path, canvas)
+    return canvas
+
+
+def save_raster_image(path: Union[str, Path], raster: np.ndarray) -> np.ndarray:
+    """Write a boolean spike raster as a black/white PGM (Fig. 6a).
+
+    Rows are channels, columns are time steps; a spike is a white pixel.
+    """
+    arr = np.asarray(raster, dtype=bool)
+    if arr.ndim != 2:
+        raise ReproError(f"raster must be 2-D, got shape {arr.shape}")
+    image = arr.T.astype(np.float64)  # (channels, steps)
+    write_pgm(path, image)
+    return image

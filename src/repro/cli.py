@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run`` — train + evaluate one learning option on a dataset, optionally
+  saving a checkpoint and the learned maps;
+- ``evaluate`` — load a checkpoint and classify a test split;
+- ``presets`` — list the Table I learning options and their parameters;
+- ``fi-curve`` — print the Fig. 1a frequency-vs-current curve;
+- ``info`` — describe a checkpoint file.
+
+The CLI is a thin layer over the library: each command parses arguments,
+calls the same public API the examples use, and prints report tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.conductance_maps import ascii_map, map_contrast, neuron_maps
+from repro.analysis.report import format_table
+from repro.config.parameters import RoundingMode, STDPKind
+from repro.config.presets import available_presets, get_preset, table_i_rows
+from repro.config.serialize import save_json
+from repro.datasets.dataset import load_dataset
+from repro.errors import ReproError
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.neurons.analysis import fi_curve
+from repro.neurons.lif import LIFPopulation
+from repro.pipeline.evaluator import Evaluator
+from repro.pipeline.experiment import build_network, run_experiment
+from repro.pipeline.progress import PrintProgress
+from repro.network.inference import classify_batch
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ParallelSpikeSim reproduction: stochastic-STDP SNN learning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="train + evaluate one learning option")
+    run.add_argument("--preset", choices=available_presets(), default="float32")
+    run.add_argument("--stdp", choices=["stochastic", "deterministic"], default="stochastic")
+    run.add_argument("--rounding", choices=[m.value for m in RoundingMode], default="stochastic")
+    run.add_argument("--dataset", choices=["mnist", "fashion"], default="mnist")
+    run.add_argument("--n-train", type=int, default=200)
+    run.add_argument("--n-test", type=int, default=100)
+    run.add_argument("--n-labeling", type=int, default=40)
+    run.add_argument("--neurons", type=int, default=25)
+    run.add_argument("--size", type=int, default=16, help="image side in pixels")
+    run.add_argument("--epochs", type=int, default=2)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--batched-eval", action="store_true")
+    run.add_argument("--quiet", action="store_true")
+    run.add_argument("--save", metavar="PATH", help="write a checkpoint here")
+    run.add_argument("--save-config", metavar="PATH", help="write the config JSON here")
+    run.add_argument("--show-maps", type=int, default=0, metavar="N",
+                     help="print the first N learned maps")
+
+    ev = sub.add_parser("evaluate", help="classify a test split with a checkpoint")
+    ev.add_argument("checkpoint")
+    ev.add_argument("--dataset", choices=["mnist", "fashion"], default="mnist")
+    ev.add_argument("--n-test", type=int, default=100)
+    ev.add_argument("--n-labeling", type=int, default=40)
+    ev.add_argument("--size", type=int, default=16)
+    ev.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("presets", help="list Table I learning options")
+
+    fi = sub.add_parser("fi-curve", help="Fig. 1a frequency-vs-current curve")
+    fi.add_argument("--points", type=int, default=8)
+    fi.add_argument("--max-current", type=float, default=None)
+
+    info = sub.add_parser("info", help="describe a checkpoint")
+    info.add_argument("checkpoint")
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    dataset = load_dataset(
+        args.dataset, n_train=args.n_train, n_test=args.n_test, size=args.size, seed=args.seed
+    )
+    config = get_preset(
+        args.preset,
+        stdp_kind=STDPKind(args.stdp),
+        rounding=RoundingMode(args.rounding),
+        n_neurons=args.neurons,
+        seed=args.seed,
+    )
+    print(f"config: {config.describe()}")
+    if args.save_config:
+        save_json(config, args.save_config)
+
+    progress = None if args.quiet else PrintProgress(every=50)
+    result = run_experiment(
+        config,
+        dataset,
+        n_labeling=args.n_labeling,
+        epochs=args.epochs,
+        progress=progress,
+        batched_eval=args.batched_eval,
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["accuracy", result.accuracy],
+                ["labeled neuron fraction", result.evaluation.labeled_fraction],
+                ["simulated minutes", result.training.simulated_minutes],
+                ["wall seconds", result.training.wall_seconds],
+                ["mean spikes / image", result.training.mean_spikes_per_image],
+            ],
+            title="Result",
+        )
+    )
+
+    if args.show_maps > 0:
+        maps = neuron_maps(result.conductances)
+        order = np.argsort(-map_contrast(result.conductances))
+        for idx in order[: args.show_maps]:
+            print(f"\nneuron {idx} (label {result.evaluation.neuron_labels[idx]}):")
+            print(ascii_map(maps[idx], g_max=float(result.conductances.max())))
+
+    if args.save:
+        network = build_network(config, dataset.n_pixels)
+        network.synapses.set_conductances(result.conductances)
+        save_checkpoint(args.save, network, result.evaluation.neuron_labels)
+        print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    network, labels = load_checkpoint(args.checkpoint)
+    dataset = load_dataset(
+        args.dataset, n_train=1, n_test=args.n_test, size=args.size, seed=args.seed
+    )
+    if dataset.n_pixels != network.n_pixels:
+        print(
+            f"error: checkpoint expects {network.n_pixels} pixels, dataset has "
+            f"{dataset.n_pixels}",
+            file=sys.stderr,
+        )
+        return 2
+    network.freeze()
+    evaluator = Evaluator(network, n_classes=dataset.n_classes)
+    if labels is None:
+        label_x, label_y, test_x, test_y = dataset.labeling_split(args.n_labeling)
+        result = evaluator.evaluate(label_x, label_y, test_x, test_y)
+        accuracy, n_images = result.accuracy, len(test_y)
+    else:
+        responses = evaluator.collect_responses(dataset.test_images)
+        predictions = classify_batch(responses, labels, dataset.n_classes, network.rngs.misc)
+        accuracy = float(np.mean(predictions == dataset.test_labels))
+        n_images = dataset.test_labels.size
+    print(f"accuracy on {n_images} images: {accuracy:.1%}")
+    return 0
+
+
+def _cmd_presets(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, row in table_i_rows().items():
+        rows.append(
+            [name, row["gamma_pot"], row["tau_pot_ms"], row["gamma_dep"], row["tau_dep_ms"],
+             f"{row['f_min_hz']:g}-{row['f_max_hz']:g}"]
+        )
+    print(
+        format_table(
+            ["preset", "gamma_pot", "tau_pot", "gamma_dep", "tau_dep", "window (Hz)"],
+            rows,
+            title="Table I learning options",
+        )
+    )
+    return 0
+
+
+def _cmd_fi_curve(args: argparse.Namespace) -> int:
+    pop = LIFPopulation(1)
+    rheobase = pop.params.rheobase_current()
+    top = args.max_current if args.max_current is not None else 5.0 * rheobase
+    currents, freqs = fi_curve(pop, np.linspace(0.0, top, args.points), duration_ms=800.0)
+    print(
+        format_table(
+            ["current", "frequency (Hz)"],
+            [[float(i), float(f)] for i, f in zip(currents, freqs)],
+            title=f"LIF f-I curve (rheobase {rheobase:.2f})",
+        )
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    network, labels = load_checkpoint(args.checkpoint)
+    g = network.conductances
+    rows = [
+        ["config", network.config.describe()],
+        ["pixels", network.n_pixels],
+        ["neurons", network.config.wta.n_neurons],
+        ["conductance range", f"[{g.min():.3f}, {g.max():.3f}]"],
+        ["labeled", "yes" if labels is not None else "no"],
+    ]
+    print(format_table(["field", "value"], rows, title=f"Checkpoint {args.checkpoint}"))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "evaluate": _cmd_evaluate,
+    "presets": _cmd_presets,
+    "fi-curve": _cmd_fi_curve,
+    "info": _cmd_info,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Datasets: real IDX files when available, procedural surrogates otherwise.
+
+The paper trains on MNIST and Fashion-MNIST (60k train / 10k test, 28x28,
+8-bit).  This environment has no network access, so:
+
+- :mod:`repro.datasets.idx` reads/writes the IDX binary format and loads the
+  real files if a directory is supplied (``REPRO_MNIST_DIR`` or an explicit
+  path);
+- :mod:`repro.datasets.synthetic_mnist` procedurally renders stroke-based
+  digits with per-sample jitter;
+- :mod:`repro.datasets.synthetic_fashion` renders apparel silhouettes whose
+  classes deliberately share overlapping shapes (the "complex, feature-rich"
+  property driving the paper's Fashion-MNIST results);
+- :mod:`repro.datasets.dataset` is the common container with train/test
+  splits;
+- :mod:`repro.datasets.transforms` provides downsampling/normalisation.
+
+See DESIGN.md §2 for why the substitution preserves the studied behaviour.
+"""
+
+from repro.datasets.dataset import Dataset, load_dataset
+from repro.datasets.idx import read_idx, write_idx
+from repro.datasets.synthetic_fashion import FASHION_CLASS_NAMES, generate_fashion
+from repro.datasets.synthetic_mnist import generate_digits
+from repro.datasets.transforms import binarize, downsample, normalize_intensity
+
+__all__ = [
+    "Dataset",
+    "load_dataset",
+    "read_idx",
+    "write_idx",
+    "FASHION_CLASS_NAMES",
+    "generate_fashion",
+    "generate_digits",
+    "binarize",
+    "downsample",
+    "normalize_intensity",
+]

@@ -1,0 +1,94 @@
+"""Reader/writer for the IDX binary format used by MNIST distributions.
+
+Implements the format described on the MNIST page: a magic number whose
+third byte encodes the element dtype and fourth byte the number of
+dimensions, followed by big-endian dimension sizes and raw data.  Only the
+dtypes appearing in MNIST-style files are supported.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+#: IDX type byte -> numpy dtype (big-endian where multi-byte).
+_TYPE_CODES = {
+    0x08: np.dtype(np.uint8),
+    0x09: np.dtype(np.int8),
+    0x0B: np.dtype(">i2"),
+    0x0C: np.dtype(">i4"),
+    0x0D: np.dtype(">f4"),
+    0x0E: np.dtype(">f8"),
+}
+_DTYPE_TO_CODE = {
+    np.dtype(np.uint8): 0x08,
+    np.dtype(np.int8): 0x09,
+    np.dtype(">i2"): 0x0B,
+    np.dtype(">i4"): 0x0C,
+    np.dtype(">f4"): 0x0D,
+    np.dtype(">f8"): 0x0E,
+}
+
+
+def read_idx(path: Union[str, Path]) -> np.ndarray:
+    """Read an IDX file into a numpy array (native byte order)."""
+    raw = Path(path).read_bytes()
+    if len(raw) < 4:
+        raise DatasetError(f"{path}: too short to be an IDX file")
+    zero1, zero2, type_code, ndim = struct.unpack(">BBBB", raw[:4])
+    if zero1 != 0 or zero2 != 0:
+        raise DatasetError(f"{path}: bad IDX magic (first two bytes must be zero)")
+    dtype = _TYPE_CODES.get(type_code)
+    if dtype is None:
+        raise DatasetError(f"{path}: unknown IDX type code 0x{type_code:02x}")
+    header_end = 4 + 4 * ndim
+    if len(raw) < header_end:
+        raise DatasetError(f"{path}: truncated IDX dimension header")
+    shape = struct.unpack(f">{ndim}I", raw[4:header_end])
+    expected = int(np.prod(shape)) * dtype.itemsize
+    body = raw[header_end:]
+    if len(body) != expected:
+        raise DatasetError(
+            f"{path}: payload is {len(body)} bytes, expected {expected} for shape {shape}"
+        )
+    arr = np.frombuffer(body, dtype=dtype).reshape(shape)
+    return arr.astype(arr.dtype.newbyteorder("="))
+
+
+def write_idx(path: Union[str, Path], array: np.ndarray) -> None:
+    """Write *array* as an IDX file (round-trips with :func:`read_idx`)."""
+    arr = np.asarray(array)
+    if arr.dtype == np.uint8 or arr.dtype == np.int8:
+        out = arr
+    elif arr.dtype.kind == "i" and arr.dtype.itemsize == 2:
+        out = arr.astype(">i2")
+    elif arr.dtype.kind == "i":
+        out = arr.astype(">i4")
+    elif arr.dtype.kind == "f" and arr.dtype.itemsize == 4:
+        out = arr.astype(">f4")
+    elif arr.dtype.kind == "f":
+        out = arr.astype(">f8")
+    else:
+        raise DatasetError(f"dtype {arr.dtype} not representable in IDX")
+    code = _DTYPE_TO_CODE[np.dtype(out.dtype)]
+    header = struct.pack(">BBBB", 0, 0, code, out.ndim)
+    header += struct.pack(f">{out.ndim}I", *out.shape)
+    Path(path).write_bytes(header + out.tobytes())
+
+
+def load_mnist_pair(images_path: Union[str, Path], labels_path: Union[str, Path]):
+    """Load an (images, labels) IDX pair, checking consistency."""
+    images = read_idx(images_path)
+    labels = read_idx(labels_path)
+    if images.ndim != 3:
+        raise DatasetError(f"{images_path}: expected 3-D image tensor, got {images.shape}")
+    if labels.ndim != 1 or labels.shape[0] != images.shape[0]:
+        raise DatasetError(
+            f"label count {labels.shape} does not match image count {images.shape[0]}"
+        )
+    return images, labels

@@ -1,0 +1,105 @@
+"""Image transforms: downsampling, normalisation, binarisation.
+
+Small utilities the pipeline uses to adapt 28x28 IDX material to scaled-down
+experiment sizes and to condition synthetic images.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def downsample(images: np.ndarray, factor: int) -> np.ndarray:
+    """Block-mean downsample by an integer *factor* (batch or single image).
+
+    ``(n, h, w)`` or ``(h, w)`` uint8/float input; dimensions must divide by
+    *factor*.  Returns the same dtype family (uint8 in, uint8 out).
+    """
+    if factor < 1:
+        raise DatasetError(f"factor must be >= 1, got {factor}")
+    arr = np.asarray(images)
+    single = arr.ndim == 2
+    if single:
+        arr = arr[None]
+    if arr.ndim != 3:
+        raise DatasetError(f"images must be 2-D or 3-D, got shape {arr.shape}")
+    n, h, w = arr.shape
+    if h % factor or w % factor:
+        raise DatasetError(f"image size ({h}, {w}) not divisible by factor {factor}")
+    out = (
+        arr.reshape(n, h // factor, factor, w // factor, factor)
+        .astype(np.float64)
+        .mean(axis=(2, 4))
+    )
+    if np.issubdtype(np.asarray(images).dtype, np.integer):
+        out = np.clip(np.round(out), 0, 255).astype(np.uint8)
+    return out[0] if single else out
+
+
+def normalize_intensity(images: np.ndarray, peak: int = 255) -> np.ndarray:
+    """Rescale each image so its maximum pixel hits *peak* (uint8 out).
+
+    Blank images are returned unchanged.
+    """
+    if not 1 <= peak <= 255:
+        raise DatasetError(f"peak must be in [1, 255], got {peak}")
+    arr = np.asarray(images, dtype=np.float64)
+    single = arr.ndim == 2
+    if single:
+        arr = arr[None]
+    maxima = arr.max(axis=(1, 2), keepdims=True)
+    scale = np.where(maxima > 0, peak / np.maximum(maxima, 1e-9), 1.0)
+    out = np.clip(np.round(arr * scale), 0, 255).astype(np.uint8)
+    return out[0] if single else out
+
+
+def binarize(images: np.ndarray, threshold: int = 128) -> np.ndarray:
+    """Threshold to {0, 255} (uint8)."""
+    if not 0 <= threshold <= 255:
+        raise DatasetError(f"threshold must be in [0, 255], got {threshold}")
+    arr = np.asarray(images)
+    return np.where(arr >= threshold, 255, 0).astype(np.uint8)
+
+
+def salt_pepper(
+    images: np.ndarray, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Corrupt a *fraction* of pixels to 0 or 255 (half each, uint8 out).
+
+    The robustness-extension workload: rate coding turns pixel corruption
+    directly into wrong-frequency spike trains.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
+    arr = np.asarray(images).copy().astype(np.uint8)
+    draws = rng.random(arr.shape)
+    arr[draws < fraction / 2.0] = 0
+    arr[(draws >= fraction / 2.0) & (draws < fraction)] = 255
+    return arr
+
+
+def occlude(
+    images: np.ndarray, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Zero a random ``size x size`` square per image (uint8 out).
+
+    Structured occlusion, the harder robustness case: a contiguous part of
+    the learned feature goes silent.
+    """
+    arr = np.asarray(images).copy().astype(np.uint8)
+    single = arr.ndim == 2
+    if single:
+        arr = arr[None]
+    if arr.ndim != 3:
+        raise DatasetError(f"images must be 2-D or 3-D, got shape {arr.shape}")
+    h, w = arr.shape[1], arr.shape[2]
+    if not 0 <= size <= min(h, w):
+        raise DatasetError(f"occlusion size {size} exceeds image {h}x{w}")
+    if size > 0:
+        for i in range(arr.shape[0]):
+            y = int(rng.integers(0, h - size + 1))
+            x = int(rng.integers(0, w - size + 1))
+            arr[i, y : y + size, x : x + size] = 0
+    return arr[0] if single else arr

@@ -1,0 +1,26 @@
+"""Input encoding: images to spike trains (Fig. 1d) and frequency control.
+
+- :mod:`repro.encoding.rate` — pixel intensity to spike frequency mapping.
+- :mod:`repro.encoding.poisson` — Poisson spike-train generation at those
+  frequencies (one train per pixel).
+- :mod:`repro.encoding.periodic` — strictly periodic trains, the
+  deterministic alternative (ablation material).
+- :mod:`repro.encoding.frequency_control` — the module between input images
+  and the neuron simulator that rescales the frequency window and shortens
+  presentation time (frequency boost + learning-time reduction,
+  Section III-A).
+"""
+
+from repro.encoding.frequency_control import FrequencyControl
+from repro.encoding.periodic import PeriodicEncoder
+from repro.encoding.poisson import PoissonEncoder
+from repro.encoding.rate import expected_spike_count, intensity_to_frequency, make_encoder
+
+__all__ = [
+    "FrequencyControl",
+    "PeriodicEncoder",
+    "PoissonEncoder",
+    "expected_spike_count",
+    "intensity_to_frequency",
+    "make_encoder",
+]

@@ -1,0 +1,128 @@
+"""Frequency-control module (Section III-A).
+
+ParallelSpikeSim inserts "an additional module between input images and
+spiking neuron simulator that allows controlling the frequency of the input
+spike train".  It "works in two phases: frequency boost and learning time
+reduction": raising the frequency window delivers the same information in
+fewer milliseconds, so the per-image presentation time can shrink in
+proportion — the mechanism behind the 3x learning-time reduction of
+Section IV-C (1-22 Hz @ 500 ms/image -> 5-78 Hz @ 100 ms/image).
+
+:class:`FrequencyControl` derives boosted ``(EncodingParameters,
+SimulationParameters)`` pairs from a base configuration and provides the
+sweep grid used by the Fig. 7 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.config.parameters import (
+    AdaptiveThresholdParameters,
+    EncodingParameters,
+    ExperimentConfig,
+    SimulationParameters,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrequencyControl:
+    """Derives frequency-boosted learning schedules from a base config."""
+
+    base_encoding: EncodingParameters
+    base_simulation: SimulationParameters
+    #: Presentation time never drops below this (the WTA inhibition period
+    #: and membrane integration need a minimum number of spikes per image).
+    min_t_learn_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.min_t_learn_ms <= 0.0:
+            raise ConfigurationError("min_t_learn_ms must be positive")
+
+    def boost(self, factor: float) -> Tuple[EncodingParameters, SimulationParameters]:
+        """Phase 1 + 2: scale the frequency window up and t_learn down.
+
+        ``factor = 1`` returns the base schedule.  The expected number of
+        spikes per image stays approximately constant:
+        ``f * t_learn = const``.
+        """
+        if factor < 1.0:
+            raise ConfigurationError(f"boost factor must be >= 1, got {factor}")
+        enc = self.base_encoding.with_frequency_range(
+            self.base_encoding.f_min_hz * factor,
+            self.base_encoding.f_max_hz * factor,
+        )
+        t_learn = max(self.base_simulation.t_learn_ms / factor, self.min_t_learn_ms)
+        sim = SimulationParameters(
+            dt_ms=self.base_simulation.dt_ms,
+            t_learn_ms=t_learn,
+            t_rest_ms=self.base_simulation.t_rest_ms,
+            seed=self.base_simulation.seed,
+        )
+        return enc, sim
+
+    def paper_high_frequency(self) -> Tuple[EncodingParameters, SimulationParameters]:
+        """The Table I "high frequency" row: 5-78 Hz at 100 ms/image."""
+        enc = self.base_encoding.with_frequency_range(5.0, 78.0)
+        sim = SimulationParameters(
+            dt_ms=self.base_simulation.dt_ms,
+            t_learn_ms=100.0,
+            t_rest_ms=self.base_simulation.t_rest_ms,
+            seed=self.base_simulation.seed,
+        )
+        return enc, sim
+
+    def sweep(
+        self, factors: List[float]
+    ) -> List[Tuple[float, EncodingParameters, SimulationParameters]]:
+        """Boosted schedules for every factor (the Fig. 7a sweep grid)."""
+        return [(f,) + self.boost(f) for f in factors]
+
+    def boosted_config(self, config: ExperimentConfig, factor: float) -> ExperimentConfig:
+        """A whole :class:`ExperimentConfig` rescaled for a frequency boost.
+
+        Beyond the encoding window and ``t_learn`` (see :meth:`boost`), the
+        WTA dynamics that are calibrated against the presentation time are
+        rescaled so the *number of competition rounds per image* and the
+        *per-image homeostatic pressure* stay constant:
+
+        - ``t_inh_ms`` and ``current_tau_ms`` shrink with ``t_learn``;
+        - ``theta_plus`` shrinks with it too (theta integrates spikes per
+          unit of simulated time, and a boosted run packs ``factor`` times
+          more images into it).
+        """
+        enc, sim = self.boost(factor)
+        time_scale = sim.t_learn_ms / self.base_simulation.t_learn_ms
+        wta = config.wta
+        adaptation = wta.adaptive_threshold
+        scaled_wta = replace(
+            wta,
+            t_inh_ms=max(wta.t_inh_ms * time_scale, 2.0),
+            current_tau_ms=max(wta.current_tau_ms * time_scale, 5.0),
+            adaptive_threshold=AdaptiveThresholdParameters(
+                theta_plus=adaptation.theta_plus * time_scale,
+                tau_ms=adaptation.tau_ms * time_scale,
+                enabled=adaptation.enabled,
+            ),
+        )
+        return replace(
+            config,
+            name=f"{config.name}-x{factor:g}",
+            encoding=enc,
+            simulation=replace(sim, seed=config.simulation.seed),
+            wta=scaled_wta,
+        )
+
+    def simulated_learning_time_ms(self, n_images: int, factor: float = 1.0) -> float:
+        """Total simulated time to learn *n_images* at the given boost.
+
+        This is the paper's "simulation time" axis (Figs. 7b, 8c): biological
+        milliseconds of network time, the quantity that drops 500 -> 100 ms
+        per image in high-frequency mode.
+        """
+        if n_images < 0:
+            raise ConfigurationError(f"n_images must be >= 0, got {n_images}")
+        _, sim = self.boost(factor)
+        return n_images * (sim.t_learn_ms + sim.t_rest_ms)

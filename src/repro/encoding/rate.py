@@ -1,0 +1,69 @@
+"""Pixel intensity to spike-train frequency conversion (Fig. 1d).
+
+"Pixel intensity of input images, which is an 8-bit value, is encoded into
+specific spiking frequency of one spike train. [...] Frequency is in a range
+between f_input_max and f_input_min, and proportional to the pixel
+intensity." (Section III-B.)
+
+:func:`intensity_to_frequency` performs the linear map; ``invert=True``
+flips polarity for black-on-white material (the paper's "for darker pixels,
+the spiking frequency is higher" phrasing, which for white-stroke-on-black
+digit images coincides with the proportional map).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.parameters import EncodingParameters
+from repro.errors import DatasetError
+
+
+def intensity_to_frequency(
+    image: np.ndarray, params: EncodingParameters
+) -> np.ndarray:
+    """Map 8-bit pixel intensities onto frequencies in ``[f_min, f_max]``.
+
+    *image* may have any shape; values must lie in
+    ``[0, intensity_levels - 1]``.  Returns frequencies in Hz with the same
+    shape.  Zero-intensity pixels map exactly to ``f_min`` and full-scale
+    pixels to ``f_max`` (or the reverse with ``invert=True``).
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    top = params.intensity_levels - 1
+    if arr.size and (arr.min() < 0 or arr.max() > top):
+        raise DatasetError(
+            f"pixel intensities must be in [0, {top}], got "
+            f"[{arr.min()}, {arr.max()}]"
+        )
+    fraction = arr / top
+    if params.invert:
+        fraction = 1.0 - fraction
+    return params.f_min_hz + fraction * (params.f_max_hz - params.f_min_hz)
+
+
+def expected_spike_count(
+    image: np.ndarray, params: EncodingParameters, duration_ms: float
+) -> np.ndarray:
+    """Expected spikes per pixel over a presentation of *duration_ms*."""
+    if duration_ms < 0.0:
+        raise DatasetError(f"duration_ms must be >= 0, got {duration_ms}")
+    freqs = intensity_to_frequency(image, params)
+    return freqs * (duration_ms / 1000.0)
+
+
+def make_encoder(params: EncodingParameters, n_pixels: int):
+    """Build the spike-train encoder selected by ``params.kind``.
+
+    Returns a :class:`~repro.encoding.poisson.PoissonEncoder` or
+    :class:`~repro.encoding.periodic.PeriodicEncoder` for ``n_pixels``
+    parallel trains.
+    """
+    # Local imports avoid a cycle: the encoder modules import this one's
+    # intensity_to_frequency.
+    from repro.encoding.periodic import PeriodicEncoder
+    from repro.encoding.poisson import PoissonEncoder
+
+    if params.kind == "poisson":
+        return PoissonEncoder(n_pixels, params)
+    return PeriodicEncoder(n_pixels, params)

@@ -1,0 +1,39 @@
+"""Simulation engines and instrumentation.
+
+- :mod:`repro.engine.rng` — named, independently-seeded random streams (the
+  CUDA RNG substitute; see DESIGN.md).
+- :mod:`repro.engine.clock` — the simulation clock.
+- :mod:`repro.engine.simulator` — the vectorised clock-driven engine: the
+  whole population advances as array operations each step, the same
+  data-parallel schedule the paper's GPU kernels execute.
+- :mod:`repro.engine.reference` — an independent per-neuron scalar LIF
+  implementation used to cross-validate spiking activity and to measure the
+  vectorised engine's speedup (the Fig. 4 comparison role CARLsim plays in
+  the paper).
+- :mod:`repro.engine.monitors` — spike/state/conductance recording.
+"""
+
+from repro.engine.batched import BatchedInference
+from repro.engine.clock import SimulationClock
+from repro.engine.event_driven import CurrentStep, EventDrivenLIF, poisson_like_schedule
+from repro.engine.monitors import ConductanceMonitor, RateMonitor, SpikeMonitor, StateMonitor
+from repro.engine.reference import ReferenceLIFNeuron, ReferenceLIFSimulator
+from repro.engine.rng import RngStreams
+from repro.engine.simulator import Simulator, StepResult
+
+__all__ = [
+    "BatchedInference",
+    "SimulationClock",
+    "CurrentStep",
+    "EventDrivenLIF",
+    "poisson_like_schedule",
+    "ConductanceMonitor",
+    "RateMonitor",
+    "SpikeMonitor",
+    "StateMonitor",
+    "ReferenceLIFNeuron",
+    "ReferenceLIFSimulator",
+    "RngStreams",
+    "Simulator",
+    "StepResult",
+]

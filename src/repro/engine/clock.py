@@ -1,0 +1,45 @@
+"""The simulation clock.
+
+Time is measured in simulated (biological) milliseconds — the quantity the
+paper's "simulation time" axes count (Figs. 7b, 8c).  The clock tracks the
+current time and step index; converting wall-clock measurements to speedups
+is the job of :mod:`repro.analysis.runtime`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimulationClock:
+    """Monotonic clock advancing in fixed steps of ``dt_ms``."""
+
+    def __init__(self, dt_ms: float = 1.0) -> None:
+        if dt_ms <= 0.0:
+            raise SimulationError(f"dt_ms must be positive, got {dt_ms}")
+        self.dt_ms = float(dt_ms)
+        self._step = 0
+
+    @property
+    def t_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._step * self.dt_ms
+
+    @property
+    def step_index(self) -> int:
+        """Number of completed steps."""
+        return self._step
+
+    def advance(self) -> float:
+        """Complete one step; return the new time."""
+        self._step += 1
+        return self.t_ms
+
+    def steps_for(self, duration_ms: float) -> int:
+        """How many steps cover *duration_ms* (rounded to nearest)."""
+        if duration_ms < 0.0:
+            raise SimulationError(f"duration_ms must be >= 0, got {duration_ms}")
+        return int(round(duration_ms / self.dt_ms))
+
+    def reset(self) -> None:
+        self._step = 0

@@ -1,0 +1,144 @@
+"""Recording instruments for simulations.
+
+Monitors subscribe to the engine and record per-step data:
+
+- :class:`SpikeMonitor` — (time, neuron-index) pairs; provides rasters
+  (Fig. 6a) and spike counts;
+- :class:`StateMonitor` — traces of a state array (membrane potential,
+  theta, ...) for selected neurons;
+- :class:`RateMonitor` — windowed population firing rates;
+- :class:`ConductanceMonitor` — periodic snapshots of a conductance matrix
+  (the data behind Fig. 5's learned-feature maps and Fig. 6b's histograms).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class SpikeMonitor:
+    """Records every spike of one named layer as (t_ms, neuron_index)."""
+
+    def __init__(self, layer: str = "output") -> None:
+        self.layer = layer
+        self._times: List[float] = []
+        self._indices: List[int] = []
+
+    def record(self, t_ms: float, spikes: np.ndarray) -> None:
+        idx = np.flatnonzero(np.asarray(spikes, dtype=bool))
+        self._times.extend([t_ms] * idx.size)
+        self._indices.extend(int(i) for i in idx)
+
+    @property
+    def count(self) -> int:
+        return len(self._times)
+
+    def events(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All recorded spikes as ``(times_ms, neuron_indices)`` arrays."""
+        return np.asarray(self._times), np.asarray(self._indices, dtype=np.int64)
+
+    def counts_per_neuron(self, n: int) -> np.ndarray:
+        """Total spikes per neuron index, length *n*."""
+        counts = np.zeros(n, dtype=np.int64)
+        for i in self._indices:
+            if i >= n:
+                raise SimulationError(f"recorded index {i} >= n={n}")
+            counts[i] += 1
+        return counts
+
+    def clear(self) -> None:
+        self._times.clear()
+        self._indices.clear()
+
+
+class StateMonitor:
+    """Traces a state getter for selected neuron indices every step."""
+
+    def __init__(
+        self, getter: Callable[[], np.ndarray], indices: Optional[Sequence[int]] = None
+    ) -> None:
+        self._getter = getter
+        self._indices = None if indices is None else np.asarray(indices, dtype=np.int64)
+        self._times: List[float] = []
+        self._values: List[np.ndarray] = []
+
+    def record(self, t_ms: float) -> None:
+        state = np.asarray(self._getter(), dtype=np.float64)
+        if self._indices is not None:
+            state = state[self._indices]
+        self._times.append(t_ms)
+        self._values.append(state.copy())
+
+    def traces(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times_ms, values)`` with values of shape (steps, n_selected)."""
+        return np.asarray(self._times), np.asarray(self._values)
+
+    def clear(self) -> None:
+        self._times.clear()
+        self._values.clear()
+
+
+class RateMonitor:
+    """Windowed mean firing rate of a whole layer, in Hz per neuron."""
+
+    def __init__(self, n_neurons: int, window_ms: float = 100.0) -> None:
+        if n_neurons < 1:
+            raise SimulationError(f"n_neurons must be >= 1, got {n_neurons}")
+        if window_ms <= 0.0:
+            raise SimulationError(f"window_ms must be positive, got {window_ms}")
+        self.n_neurons = n_neurons
+        self.window_ms = window_ms
+        self._window_spikes = 0
+        self._window_start = 0.0
+        self._times: List[float] = []
+        self._rates: List[float] = []
+
+    def record(self, t_ms: float, spikes: np.ndarray) -> None:
+        self._window_spikes += int(np.count_nonzero(spikes))
+        if t_ms - self._window_start >= self.window_ms:
+            window_s = (t_ms - self._window_start) / 1000.0
+            rate = self._window_spikes / (self.n_neurons * max(window_s, 1e-9))
+            self._times.append(t_ms)
+            self._rates.append(rate)
+            self._window_spikes = 0
+            self._window_start = t_ms
+
+    def rates(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self._times), np.asarray(self._rates)
+
+    def clear(self) -> None:
+        self._window_spikes = 0
+        self._window_start = 0.0
+        self._times.clear()
+        self._rates.clear()
+
+
+class ConductanceMonitor:
+    """Snapshots a conductance matrix every ``period_ms`` of simulated time."""
+
+    def __init__(self, getter: Callable[[], np.ndarray], period_ms: float = 1000.0) -> None:
+        if period_ms <= 0.0:
+            raise SimulationError(f"period_ms must be positive, got {period_ms}")
+        self._getter = getter
+        self.period_ms = period_ms
+        self._next_at = 0.0
+        self._times: List[float] = []
+        self._snapshots: List[np.ndarray] = []
+
+    def record(self, t_ms: float) -> None:
+        if t_ms + 1e-9 >= self._next_at:
+            self._times.append(t_ms)
+            self._snapshots.append(np.array(self._getter(), copy=True))
+            self._next_at = t_ms + self.period_ms
+
+    def snapshots(self) -> Tuple[np.ndarray, List[np.ndarray]]:
+        return np.asarray(self._times), self._snapshots
+
+    def clear(self) -> None:
+        self._next_at = 0.0
+        self._times.clear()
+        self._snapshots.clear()

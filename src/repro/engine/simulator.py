@@ -1,0 +1,124 @@
+"""The vectorised clock-driven simulation engine.
+
+This is the repo's substitute for the paper's GPU execution model: at every
+time step the entire network state advances through whole-array NumPy
+operations — membrane integration, spike detection, synaptic currents and
+STDP updates each touch all neurons/synapses at once, exactly the
+data-parallel schedule a CUDA kernel grid executes one thread per neuron.
+
+The engine is model-agnostic: anything implementing the small
+:class:`SimulatedModel` protocol (an ``advance(t_ms, dt_ms)`` returning a
+:class:`StepResult`) can be run, monitored and timed.  The Fig. 3 WTA
+network (:class:`repro.network.wta.WTANetwork`) is the primary model; the
+Fig. 4 engine-comparison bench also runs plain populations through it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+import numpy as np
+
+from repro.engine.clock import SimulationClock
+from repro.engine.monitors import RateMonitor, SpikeMonitor, StateMonitor
+from repro.errors import SimulationError
+
+
+@dataclass
+class StepResult:
+    """What a model reports after one time step."""
+
+    t_ms: float
+    #: Boolean spike masks per named layer (``"input"``, ``"output"``, ...).
+    spikes: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class SimulatedModel(Protocol):
+    """Anything the engine can run."""
+
+    def advance(self, t_ms: float, dt_ms: float) -> StepResult:
+        """Advance internal state by one step and report spikes."""
+        ...
+
+
+@dataclass
+class RunStats:
+    """Timing summary of one :meth:`Simulator.run` call."""
+
+    steps: int
+    simulated_ms: float
+    wall_seconds: float
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.steps / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def realtime_factor(self) -> float:
+        """Simulated milliseconds per wall-clock millisecond."""
+        wall_ms = self.wall_seconds * 1000.0
+        return self.simulated_ms / wall_ms if wall_ms > 0 else float("inf")
+
+
+class Simulator:
+    """Clock-driven runner with monitor fan-out."""
+
+    def __init__(self, model: SimulatedModel, dt_ms: float = 1.0) -> None:
+        self.model = model
+        self.clock = SimulationClock(dt_ms)
+        self._spike_monitors: List[tuple] = []  # (layer_name, SpikeMonitor)
+        self._rate_monitors: List[tuple] = []   # (layer_name, RateMonitor)
+        self._state_monitors: List[StateMonitor] = []
+        self._callbacks: List[Callable[[StepResult], None]] = []
+
+    def add_spike_monitor(self, monitor: SpikeMonitor, layer: Optional[str] = None) -> SpikeMonitor:
+        """Attach *monitor* to the named layer (defaults to the monitor's)."""
+        self._spike_monitors.append((layer or monitor.layer, monitor))
+        return monitor
+
+    def add_rate_monitor(self, monitor: RateMonitor, layer: str) -> RateMonitor:
+        self._rate_monitors.append((layer, monitor))
+        return monitor
+
+    def add_state_monitor(self, monitor: StateMonitor) -> StateMonitor:
+        self._state_monitors.append(monitor)
+        return monitor
+
+    def add_callback(self, fn: Callable[[StepResult], None]) -> None:
+        """Register a per-step hook (used by trainers and custom probes)."""
+        self._callbacks.append(fn)
+
+    def run(self, duration_ms: float) -> RunStats:
+        """Advance the model for *duration_ms* of simulated time."""
+        n_steps = self.clock.steps_for(duration_ms)
+        return self.run_steps(n_steps)
+
+    def run_steps(self, n_steps: int) -> RunStats:
+        """Advance the model by exactly *n_steps* steps."""
+        if n_steps < 0:
+            raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
+        dt = self.clock.dt_ms
+        start = time.perf_counter()
+        for _ in range(n_steps):
+            t = self.clock.t_ms
+            result = self.model.advance(t, dt)
+            self._dispatch(result)
+            self.clock.advance()
+        wall = time.perf_counter() - start
+        return RunStats(steps=n_steps, simulated_ms=n_steps * dt, wall_seconds=wall)
+
+    def _dispatch(self, result: StepResult) -> None:
+        for layer, monitor in self._spike_monitors:
+            spikes = result.spikes.get(layer)
+            if spikes is not None:
+                monitor.record(result.t_ms, spikes)
+        for layer, monitor in self._rate_monitors:
+            spikes = result.spikes.get(layer)
+            if spikes is not None:
+                monitor.record(result.t_ms, spikes)
+        for monitor in self._state_monitors:
+            monitor.record(result.t_ms)
+        for fn in self._callbacks:
+            fn(result)

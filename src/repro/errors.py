@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ParallelSpikeSim reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Specific subclasses exist for the
+main failure domains: configuration validation, quantisation formats,
+network wiring, dataset handling and simulation-engine misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter object or preset is invalid or inconsistent."""
+
+
+class QuantizationError(ReproError):
+    """A fixed-point format or rounding request cannot be honoured."""
+
+
+class TopologyError(ReproError):
+    """A network description is malformed (bad shapes, dangling layers...)."""
+
+
+class DatasetError(ReproError):
+    """A dataset file or generator request is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven with inconsistent state."""
+
+
+class LabelingError(ReproError):
+    """Neuron labeling or inference was attempted with unusable data."""

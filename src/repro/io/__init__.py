@@ -1,0 +1,10 @@
+"""Persistence: trained-network checkpoints.
+
+- :mod:`repro.io.checkpoint` — save/load the learned state of a
+  :class:`~repro.network.wta.WTANetwork` (conductances, adaptive thresholds,
+  neuron labels and the full config) as a single ``.npz`` file.
+"""
+
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = ["load_checkpoint", "save_checkpoint"]

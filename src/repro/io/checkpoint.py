@@ -1,0 +1,84 @@
+"""Save and restore trained networks.
+
+A checkpoint is one ``.npz`` file holding the learned state — synapse
+conductances and per-neuron adaptive-threshold offsets — together with the
+JSON-serialised :class:`ExperimentConfig` that produced it and (optionally)
+the neuron labels assigned after training.  ``load_checkpoint``
+reconstructs a ready-to-infer :class:`WTANetwork`.
+
+The config travels inside the file so a checkpoint is self-describing: the
+loader rebuilds the exact quantiser, encoder and neuron parameters, then
+overwrites the freshly-initialised state with the stored arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.config.serialize import config_from_dict, config_to_dict
+from repro.errors import DatasetError
+from repro.network.wta import WTANetwork
+
+#: Format marker stored in every checkpoint.
+_MAGIC = "repro-wta-checkpoint-v1"
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    network: WTANetwork,
+    neuron_labels: Optional[np.ndarray] = None,
+) -> None:
+    """Write *network*'s learned state (and optional labels) to *path*."""
+    payload = {
+        "magic": np.array(_MAGIC),
+        "config_json": np.array(json.dumps(config_to_dict(network.config))),
+        "n_pixels": np.array(network.n_pixels),
+        "conductances": network.conductances,
+        "theta": network.neurons.theta,
+    }
+    if neuron_labels is not None:
+        labels = np.asarray(neuron_labels, dtype=np.int64)
+        if labels.shape != (network.config.wta.n_neurons,):
+            raise DatasetError(
+                f"neuron_labels must have shape ({network.config.wta.n_neurons},), "
+                f"got {labels.shape}"
+            )
+        payload["neuron_labels"] = labels
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_checkpoint(
+    path: Union[str, Path]
+) -> Tuple[WTANetwork, Optional[np.ndarray]]:
+    """Rebuild the network stored at *path*.
+
+    Returns ``(network, neuron_labels)`` — labels are ``None`` when the
+    checkpoint was saved without them.  The restored network starts in
+    learning-enabled mode with the stored conductances and thresholds;
+    call :meth:`WTANetwork.freeze` for pure inference.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _MAGIC:
+            raise DatasetError(f"{path} is not a repro checkpoint")
+        config = config_from_dict(json.loads(str(data["config_json"])))
+        n_pixels = int(data["n_pixels"])
+        conductances = np.array(data["conductances"])
+        theta = np.array(data["theta"])
+        labels = np.array(data["neuron_labels"]) if "neuron_labels" in data else None
+
+    network = WTANetwork(config, n_pixels)
+    if conductances.shape != network.conductances.shape:
+        raise DatasetError(
+            f"stored conductances {conductances.shape} do not match the "
+            f"config's network shape {network.conductances.shape}"
+        )
+    network.synapses.set_conductances(conductances, network.rngs.rounding)
+    network.neurons.theta[:] = theta
+    return network, labels

@@ -1,0 +1,41 @@
+"""STDP learning rules — the paper's core contribution.
+
+- :mod:`repro.learning.base` — the rule interface the engine drives once per
+  time step.
+- :mod:`repro.learning.deterministic` — the conductance-dependent
+  deterministic rule of eqs. (4)-(5) (the *baseline*; Querlioz-style
+  schedule: a post spike potentiates recently-active afferents and
+  depresses the rest).
+- :mod:`repro.learning.stochastic` — the stochastic rule of eqs. (6)-(7):
+  LTP/LTD become probabilistic events whose probability is exponential in
+  the pre/post spike-time difference.
+- :mod:`repro.learning.updates` — shared kernels: eq. (4)/(5) magnitudes and
+  probability curves (also used by the Fig. 1 bench).
+- :mod:`repro.learning.homeostasis` — divisive weight normalisation
+  scheduling used alongside the WTA circuit.
+"""
+
+from repro.learning.base import STDPRule
+from repro.learning.deterministic import DeterministicSTDP
+from repro.learning.homeostasis import WeightNormalizer
+from repro.learning.stochastic import LTDMode, StochasticSTDP
+from repro.learning.updates import (
+    depression_magnitude,
+    depression_probability,
+    pair_depression_probability,
+    potentiation_magnitude,
+    potentiation_probability,
+)
+
+__all__ = [
+    "STDPRule",
+    "DeterministicSTDP",
+    "WeightNormalizer",
+    "LTDMode",
+    "StochasticSTDP",
+    "depression_magnitude",
+    "depression_probability",
+    "pair_depression_probability",
+    "potentiation_magnitude",
+    "potentiation_probability",
+]

@@ -1,0 +1,51 @@
+"""Interface between the simulation engine and a synaptic learning rule.
+
+The engine calls :meth:`STDPRule.step` once per time step with the plastic
+synapse matrix, the spike timers and the current step's spike masks.  The
+calling convention (enforced by the engine and relied on by both rules):
+
+1. the engine records the step's *pre* spikes into the timers **before**
+   calling the rule — a pre spike simultaneous with a post spike counts as
+   Δt = 0, the strongest causal pairing;
+2. the rule reads timers and applies conductance deltas through
+   :meth:`ConductanceMatrix.apply_delta` (which quantises);
+3. the engine records the step's *post* spikes into the timers **after**
+   the rule returns, so pair-based LTD sees only strictly-earlier post
+   spikes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.synapses.conductance import ConductanceMatrix
+from repro.synapses.traces import SpikeTimers
+
+
+class STDPRule(abc.ABC):
+    """Abstract synaptic plasticity rule driven once per time step."""
+
+    @abc.abstractmethod
+    def step(
+        self,
+        g: ConductanceMatrix,
+        timers: SpikeTimers,
+        pre_spikes: np.ndarray,
+        post_spikes: np.ndarray,
+        t_ms: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Apply this step's conductance updates.
+
+        ``pre_spikes``/``post_spikes`` are boolean masks of shape
+        ``(n_pre,)`` / ``(n_post,)`` for spikes occurring at time ``t_ms``.
+        ``timers`` already contain this step's pre spikes but not its post
+        spikes.
+        """
+
+    @property
+    def name(self) -> str:
+        """Short identifier used in reports."""
+        return type(self).__name__

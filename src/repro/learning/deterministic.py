@@ -1,0 +1,58 @@
+"""Deterministic conductance-dependent STDP — the paper's baseline.
+
+The rule comes from Querlioz et al. [4] (the source of eqs. 4-5): at every
+post-synaptic spike, each afferent synapse is updated *unconditionally*:
+
+- if its pre-neuron fired within ``window_ms`` before the post spike, the
+  synapse potentiates by eq. (4);
+- otherwise it depresses by eq. (5).
+
+Every update fires with probability 1 — this is exactly what breaks down at
+low precision (Section IV-D): with a fixed one-LSB step per event, every
+post spike slams *all* 784 afferents by a full quantisation step, the
+network "quickly lose[s] memory of learned features" and a large portion of
+synapses drops to the minimal conductance (paper Fig. 6b, bottom).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.parameters import DeterministicSTDPParameters
+from repro.learning.base import STDPRule
+from repro.learning.updates import depression_magnitude, potentiation_magnitude
+from repro.synapses.conductance import ConductanceMatrix
+from repro.synapses.traces import SpikeTimers
+
+
+class DeterministicSTDP(STDPRule):
+    """Eqs. (4)-(5) with the Querlioz post-spike update schedule."""
+
+    def __init__(self, params: DeterministicSTDPParameters = DeterministicSTDPParameters()) -> None:
+        self.params = params
+
+    def step(
+        self,
+        g: ConductanceMatrix,
+        timers: SpikeTimers,
+        pre_spikes: np.ndarray,
+        post_spikes: np.ndarray,
+        t_ms: float,
+        rng: np.random.Generator,
+    ) -> None:
+        post = np.asarray(post_spikes, dtype=bool)
+        if not post.any():
+            return
+
+        elapsed = timers.elapsed_pre(t_ms)          # (n_pre,), +inf if never
+        recent = elapsed <= self.params.window_ms   # (n_pre,)
+
+        cols = np.flatnonzero(post)
+        g_cols = g.g[:, cols]                       # (n_pre, k)
+        dg_pot = potentiation_magnitude(g_cols, self.params)
+        dg_dep = depression_magnitude(g_cols, self.params)
+        delta_cols = np.where(recent[:, None], dg_pot, -dg_dep)
+
+        delta = np.zeros_like(g.g)
+        delta[:, cols] = delta_cols
+        g.apply_delta(delta, rng)

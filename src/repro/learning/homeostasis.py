@@ -1,0 +1,71 @@
+"""Homeostatic mechanisms that keep WTA learning distributed.
+
+The adaptive threshold lives with the neuron model
+(:class:`repro.neurons.AdaptiveLIFPopulation`); this module adds the synaptic
+side: periodic divisive weight normalisation.  Each post-neuron's afferent
+conductances are rescaled to a common total at image boundaries, preventing
+any one neuron from accumulating unbounded total drive.  This is standard in
+the Diehl & Cook pipeline the paper's baseline reproduces.
+
+Normalisation is skipped for fixed-LSB (<= 8-bit) quantisers by default:
+rescaling a 4-level conductance grid is more destructive than the imbalance
+it fixes, and the paper's low-precision runs rely on the STDP dynamics
+alone.  The trainer exposes this as a switch so the ablation bench can
+measure the effect either way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.synapses.conductance import ConductanceMatrix
+
+
+class WeightNormalizer:
+    """Divisive per-column conductance normalisation on a fixed schedule."""
+
+    def __init__(
+        self,
+        target_fraction: float = 0.35,
+        period_images: int = 1,
+        enabled: bool = True,
+        skip_fixed_lsb: bool = True,
+    ) -> None:
+        if not 0.0 < target_fraction <= 1.0:
+            raise ConfigurationError(
+                f"target_fraction must be in (0, 1], got {target_fraction}"
+            )
+        if period_images < 1:
+            raise ConfigurationError(f"period_images must be >= 1, got {period_images}")
+        self.target_fraction = target_fraction
+        self.period_images = period_images
+        self.enabled = enabled
+        self.skip_fixed_lsb = skip_fixed_lsb
+        self._images_seen = 0
+
+    def target_sum(self, g: ConductanceMatrix) -> float:
+        """Total afferent conductance each post-neuron is scaled to."""
+        return self.target_fraction * g.n_pre * (g.g_max - g.g_min) + g.n_pre * g.g_min
+
+    def after_image(
+        self, g: ConductanceMatrix, rng: Optional[np.random.Generator] = None
+    ) -> bool:
+        """Normalise if this image boundary is on the schedule.
+
+        Returns ``True`` when a normalisation was applied.
+        """
+        self._images_seen += 1
+        if not self.enabled:
+            return False
+        if self.skip_fixed_lsb and g.quantizer.uses_fixed_lsb:
+            return False
+        if self._images_seen % self.period_images != 0:
+            return False
+        g.normalize_columns(self.target_sum(g), rng)
+        return True
+
+    def reset(self) -> None:
+        self._images_seen = 0

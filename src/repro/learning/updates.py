@@ -1,0 +1,103 @@
+"""Shared STDP kernels: update magnitudes (eqs. 4-5) and probabilities (6-7).
+
+These are the pure functions behind both learning rules.  Keeping them
+standalone lets the Fig. 1b/c bench plot the probability curves directly and
+lets the property-based tests pin their analytic bounds:
+
+- magnitudes are positive and bounded by ``alpha`` on ``[g_min, g_max]``;
+- potentiation magnitude *decreases* with G (hard-to-strengthen near G_max),
+  depression magnitude *increases* with G;
+- probabilities live in ``[0, gamma]`` and are monotone in Δt with the signs
+  the paper states (P_pot falls with Δt; depression probability rises with
+  the time since the contributing pre spike).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config.parameters import DeterministicSTDPParameters, StochasticSTDPParameters
+
+ArrayLike = "np.typing.ArrayLike"
+
+
+def potentiation_magnitude(
+    g: np.ndarray, params: DeterministicSTDPParameters
+) -> np.ndarray:
+    """Eq. (4): ``ΔG_p = alpha_p * exp(-beta_p (G - G_min)/(G_max - G_min))``.
+
+    The closer a conductance already is to ``G_max``, the smaller the
+    increment — the soft-bound behaviour of memristive synapses the rule
+    models.
+    """
+    g = np.asarray(g, dtype=np.float64)
+    normalized = (g - params.g_min) / params.g_range
+    return params.alpha_p * np.exp(-params.beta_p * normalized)
+
+
+def depression_magnitude(
+    g: np.ndarray, params: DeterministicSTDPParameters
+) -> np.ndarray:
+    """Eq. (5): ``ΔG_d = alpha_d * exp(-beta_d (G_max - G)/(G_max - G_min))``.
+
+    Returned as a positive magnitude; callers subtract it.  Conductances
+    near ``G_min`` barely depress further (soft lower bound).
+    """
+    g = np.asarray(g, dtype=np.float64)
+    normalized = (params.g_max - g) / params.g_range
+    return params.alpha_d * np.exp(-params.beta_d * normalized)
+
+
+def potentiation_probability(
+    dt_ms: np.ndarray, params: StochasticSTDPParameters
+) -> np.ndarray:
+    """Eq. (6): ``P_pot = gamma_pot * exp(-Δt / tau_pot)`` for Δt >= 0.
+
+    Δt is the elapsed time between the contributing pre spike and the post
+    spike; a smaller Δt means a stronger causal relationship and a higher
+    potentiation probability.  ``Δt = +inf`` (channel never spiked) maps to
+    probability 0; negative Δt is clipped to 0 elapsed (probability capped
+    at ``gamma_pot``).
+    """
+    dt = np.maximum(np.asarray(dt_ms, dtype=np.float64), 0.0)
+    return params.gamma_pot * np.exp(-dt / params.tau_pot_ms)
+
+
+def depression_probability(
+    dt_ms: np.ndarray, params: StochasticSTDPParameters
+) -> np.ndarray:
+    """Post-event depression probability, rising with Δt.
+
+    The paper states "for depression, the probability is higher when Δt is
+    larger" — synapses whose pre-neuron has been silent for a long time at
+    the moment the post-neuron fires are the non-causal ones and should
+    weaken.  We implement the capped complement of the eq. (7) exponential,
+
+        ``P_dep = gamma_dep * (1 - exp(-Δt / tau_dep_post))``,
+
+    which is 0 at Δt = 0, monotone increasing, and saturates at
+    ``gamma_dep`` for channels that never spiked (Δt = +inf).  The
+    timescale is ``tau_dep_post_ms`` (input inter-spike scale), not the
+    pair-coincidence ``tau_dep_ms`` — see the parameter docs.  The exact
+    signed-Δt pair form of eq. (7) is available as
+    :func:`pair_depression_probability` and selectable via
+    :class:`repro.learning.stochastic.LTDMode`.
+    """
+    dt = np.maximum(np.asarray(dt_ms, dtype=np.float64), 0.0)
+    return params.gamma_dep * (1.0 - np.exp(-dt / params.tau_dep_post_ms))
+
+
+def pair_depression_probability(
+    dt_signed_ms: np.ndarray, params: StochasticSTDPParameters
+) -> np.ndarray:
+    """Eq. (7) exactly: ``P_dep = gamma_dep * exp(Δt / tau_dep)`` for Δt <= 0.
+
+    Fig. 1b sign convention: Δt = t_post - t_pre is negative when the
+    post-neuron fired *before* the pre spike arrived (the anti-causal
+    ordering that triggers depression).  Δt closer to zero — the spikes
+    nearly coincided — gives the higher probability.  Positive Δt is
+    clamped to 0 (probability capped at ``gamma_dep``); ``Δt = -inf``
+    (post never fired) maps to probability 0.
+    """
+    dt = np.minimum(np.asarray(dt_signed_ms, dtype=np.float64), 0.0)
+    return params.gamma_dep * np.exp(dt / params.tau_dep_ms)

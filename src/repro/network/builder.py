@@ -1,0 +1,225 @@
+"""Builder turning a :class:`NetworkGraph` into a runnable model.
+
+The built :class:`GenericNetwork` implements the engine's ``advance``
+protocol: at each step the input encoder (if any) produces input spikes,
+every connection propagates its source's spikes into the target's current,
+populations step, and plastic connections apply their STDP rule.
+
+Recurrent connections (e.g. all-to-all lateral inhibition) are evaluated
+against the *previous* step's spikes, the standard one-step synaptic delay
+of clock-driven simulators — which is also what makes an explicit
+excitatory/inhibitory WTA loop stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config.parameters import EncodingParameters
+from repro.encoding.rate import make_encoder
+from repro.engine.rng import RngStreams
+from repro.engine.simulator import StepResult
+from repro.errors import TopologyError
+from repro.learning.base import STDPRule
+from repro.neurons.adaptive_lif import AdaptiveLIFPopulation
+from repro.neurons.adex import AdExPopulation
+from repro.neurons.izhikevich import IzhikevichPopulation
+from repro.neurons.lif import LIFPopulation
+from repro.network.topology import INPUT_LAYER, ConnectionSpec, LayerSpec, NetworkGraph
+from repro.quantization.quantizer import FloatQuantizer
+from repro.synapses.base import SynapseGroup
+from repro.synapses.conductance import ConductanceMatrix
+from repro.synapses.static import StaticSynapses
+from repro.synapses.traces import SpikeTimers
+
+
+class GenericNetwork:
+    """A runnable multi-layer network built by :class:`NetworkBuilder`."""
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        populations: Dict[str, object],
+        synapses: Dict[str, SynapseGroup],
+        plastic_rules: Dict[str, STDPRule],
+        timers: Dict[str, SpikeTimers],
+        encoder,
+        rngs: RngStreams,
+    ) -> None:
+        self.graph = graph
+        self.populations = populations
+        self.synapses = synapses
+        self.plastic_rules = plastic_rules
+        self.timers = timers
+        self.encoder = encoder
+        self.rngs = rngs
+        self.learning_enabled = True
+        self._prev_spikes: Dict[str, np.ndarray] = {
+            name: np.zeros(graph.size_of(name), dtype=bool) for name in graph.layer_names()
+        }
+
+    @staticmethod
+    def _key(conn: ConnectionSpec) -> str:
+        return f"{conn.source}->{conn.target}"
+
+    def present_image(self, image: np.ndarray) -> None:
+        if self.encoder is None:
+            raise TopologyError("network has no input encoder")
+        try:
+            self.encoder.set_image(image, self.rngs.encoding)
+        except TypeError:
+            self.encoder.set_image(image)
+
+    def advance(self, t_ms: float, dt_ms: float) -> StepResult:
+        if self.encoder is not None:
+            input_spikes = self.encoder.step(dt_ms, self.rngs.encoding)
+        else:
+            input_spikes = np.zeros(max(self.graph.n_inputs, 0), dtype=bool)
+
+        for timer in self.timers.values():
+            timer.record_pre(input_spikes, t_ms)
+
+        step_spikes: Dict[str, np.ndarray] = {INPUT_LAYER: input_spikes}
+        new_spikes: Dict[str, np.ndarray] = {}
+        for layer in self.graph.layers:
+            current = np.zeros(layer.n, dtype=np.float64)
+            for conn in self.graph.incoming(layer.name):
+                if conn.source == INPUT_LAYER:
+                    source_spikes = input_spikes
+                elif conn.source in new_spikes:
+                    source_spikes = new_spikes[conn.source]
+                else:
+                    source_spikes = self._prev_spikes[conn.source]
+                group = self.synapses[self._key(conn)]
+                current += group.propagate(source_spikes, conn.amplitude)
+            new_spikes[layer.name] = self.populations[layer.name].step(current, dt_ms)
+
+        if self.learning_enabled:
+            for key, rule in self.plastic_rules.items():
+                target = key.split("->", 1)[1]
+                rule.step(
+                    self.synapses[key],
+                    self.timers[key],
+                    input_spikes,
+                    new_spikes[target],
+                    t_ms,
+                    self.rngs.learning,
+                )
+
+        for key, timer in self.timers.items():
+            target = key.split("->", 1)[1]
+            timer.record_post(new_spikes[target], t_ms)
+
+        self._prev_spikes.update(new_spikes)
+        step_spikes.update(new_spikes)
+        return StepResult(t_ms=t_ms, spikes=step_spikes)
+
+    def reset_state(self) -> None:
+        for population in self.populations.values():
+            population.reset_state()
+        for timer in self.timers.values():
+            timer.reset()
+        for name in self._prev_spikes:
+            self._prev_spikes[name] = np.zeros_like(self._prev_spikes[name])
+        if self.encoder is not None:
+            self.encoder.clear()
+
+
+class NetworkBuilder:
+    """Fluent assembly of custom topologies."""
+
+    def __init__(self, n_inputs: int = 0, seed: int = 0) -> None:
+        self._graph = NetworkGraph(n_inputs=n_inputs)
+        self._static_weights: Dict[str, np.ndarray] = {}
+        self._plastic: Dict[str, STDPRule] = {}
+        self._encoding: Optional[EncodingParameters] = None
+        self._rngs = RngStreams(seed)
+
+    def with_encoder(self, params: EncodingParameters) -> "NetworkBuilder":
+        if self._graph.n_inputs == 0:
+            raise TopologyError("cannot attach an encoder to a graph with no inputs")
+        self._encoding = params
+        return self
+
+    def add_layer(self, spec: LayerSpec) -> "NetworkBuilder":
+        self._graph.layers.append(spec)
+        return self
+
+    def connect_static(
+        self, source: str, target: str, weights: np.ndarray, amplitude: float = 1.0
+    ) -> "NetworkBuilder":
+        conn = ConnectionSpec(source, target, weight_kind="static", amplitude=amplitude)
+        self._graph.connections.append(conn)
+        self._static_weights[f"{source}->{target}"] = np.asarray(weights, dtype=np.float64)
+        return self
+
+    def connect_plastic(
+        self,
+        target: str,
+        rule: STDPRule,
+        amplitude: float = 1.0,
+        g_init_low: float = 0.2,
+        g_init_high: float = 0.6,
+        quantizer=None,
+    ) -> "NetworkBuilder":
+        """A plastic connection from the input trains to *target*."""
+        conn = ConnectionSpec(INPUT_LAYER, target, weight_kind="plastic", amplitude=amplitude)
+        self._graph.connections.append(conn)
+        key = f"{INPUT_LAYER}->{target}"
+        self._plastic[key] = rule
+        self._static_weights[key + "#init"] = np.array([g_init_low, g_init_high])
+        if quantizer is not None:
+            self._static_weights[key + "#quantizer"] = quantizer  # type: ignore[assignment]
+        return self
+
+    def build(self) -> GenericNetwork:
+        """Validate the graph and materialise populations and synapses."""
+        self._graph.validate()
+
+        populations: Dict[str, object] = {}
+        for layer in self._graph.layers:
+            if layer.kind == "lif":
+                populations[layer.name] = LIFPopulation(layer.n, layer.lif)
+            elif layer.kind == "adaptive_lif":
+                populations[layer.name] = AdaptiveLIFPopulation(layer.n, layer.lif)
+            elif layer.kind == "adex":
+                populations[layer.name] = AdExPopulation(layer.n)
+            else:
+                populations[layer.name] = IzhikevichPopulation(layer.n, layer.izhikevich)
+
+        synapses: Dict[str, SynapseGroup] = {}
+        timers: Dict[str, SpikeTimers] = {}
+        for conn in self._graph.connections:
+            key = f"{conn.source}->{conn.target}"
+            n_pre = self._graph.size_of(conn.source)
+            n_post = self._graph.size_of(conn.target)
+            if conn.weight_kind == "static":
+                weights = self._static_weights[key]
+                if weights.shape != (n_pre, n_post):
+                    raise TopologyError(
+                        f"weights for {key} must have shape ({n_pre}, {n_post}), "
+                        f"got {weights.shape}"
+                    )
+                synapses[key] = StaticSynapses(weights)
+            else:
+                init = self._static_weights[key + "#init"]
+                quantizer = self._static_weights.get(key + "#quantizer") or FloatQuantizer()
+                synapses[key] = ConductanceMatrix(
+                    n_pre,
+                    n_post,
+                    quantizer=quantizer,
+                    g_init_low=float(init[0]),
+                    g_init_high=float(init[1]),
+                    rng=self._rngs.init,
+                )
+                timers[key] = SpikeTimers(n_pre, n_post)
+
+        encoder = None
+        if self._encoding is not None:
+            encoder = make_encoder(self._encoding, self._graph.n_inputs)
+
+        return GenericNetwork(
+            self._graph, populations, synapses, self._plastic, timers, encoder, self._rngs
+        )

@@ -1,0 +1,92 @@
+"""Inference by labeled-neuron votes (Section III-B).
+
+After labeling, a test image's class is predicted from the spiking response
+of the first layer: each labeled group of neurons votes with its mean spike
+count (mean, not sum, so a class that happens to own more neurons carries no
+built-in advantage — the Diehl & Cook convention the paper's baseline
+follows) and the highest-scoring class wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LabelingError
+from repro.network.labeling import UNLABELED
+
+
+def vote_scores(
+    spike_counts: np.ndarray, neuron_labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Per-class mean spike count over that class's labeled neurons.
+
+    Classes with no labeled neurons score ``-inf`` so they can never win.
+    """
+    counts = np.asarray(spike_counts, dtype=np.float64)
+    labels = np.asarray(neuron_labels, dtype=np.int64)
+    if counts.shape != labels.shape:
+        raise LabelingError(
+            f"spike_counts {counts.shape} and neuron_labels {labels.shape} must match"
+        )
+    if n_classes < 1:
+        raise LabelingError(f"n_classes must be >= 1, got {n_classes}")
+    if labels.size and labels.max() >= n_classes:
+        raise LabelingError(f"label {labels.max()} out of range [0, {n_classes})")
+
+    scores = np.full(n_classes, -np.inf)
+    for cls in range(n_classes):
+        members = labels == cls
+        if members.any():
+            scores[cls] = counts[members].mean()
+    return scores
+
+
+def predict_label(
+    spike_counts: np.ndarray,
+    neuron_labels: np.ndarray,
+    n_classes: int,
+    rng: Optional[np.random.Generator] = None,
+) -> int:
+    """Predicted class for one test image.
+
+    Ties (including the all-silent response) break uniformly at random when
+    an RNG is supplied, otherwise to the lowest class index — random
+    tie-breaking keeps the all-silent case at chance accuracy instead of
+    biasing toward class 0.
+    """
+    scores = vote_scores(spike_counts, neuron_labels, n_classes)
+    if not np.isfinite(scores).any():
+        # No labeled neurons at all: pure guess.
+        return int(rng.integers(n_classes)) if rng is not None else 0
+    best = scores.max()
+    candidates = np.flatnonzero(scores == best)
+    if candidates.size == 1 or rng is None:
+        return int(candidates[0])
+    return int(rng.choice(candidates))
+
+
+def classify_batch(
+    response_counts: np.ndarray,
+    neuron_labels: np.ndarray,
+    n_classes: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Predictions for a ``(n_images, n_neurons)`` response matrix."""
+    responses = np.asarray(response_counts, dtype=np.float64)
+    if responses.ndim != 2:
+        raise LabelingError(f"response_counts must be 2-D, got shape {responses.shape}")
+    labels = np.asarray(neuron_labels, dtype=np.int64)
+    if labels.shape != (responses.shape[1],):
+        raise LabelingError(
+            f"neuron_labels must have shape ({responses.shape[1]},), got {labels.shape}"
+        )
+    if not (labels != UNLABELED).any():
+        # Degenerate network: every prediction is a guess.
+        if rng is not None:
+            return rng.integers(n_classes, size=responses.shape[0])
+        return np.zeros(responses.shape[0], dtype=np.int64)
+    return np.array(
+        [predict_label(row, labels, n_classes, rng) for row in responses], dtype=np.int64
+    )

@@ -1,0 +1,94 @@
+"""Neuron labeling (Section III-B).
+
+"After learning is complete, the first 1000 images in the test set are used
+to label all the neurons in the first layer."  Each neuron is assigned the
+class for which it fired most, normalised by how often that class was
+presented; unresponsive neurons get the sentinel label ``-1`` and never
+contribute votes at inference time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LabelingError
+
+#: Label given to neurons that never spiked during the labeling phase.
+UNLABELED = -1
+
+
+def assign_labels(class_counts: np.ndarray, presentations: np.ndarray) -> np.ndarray:
+    """Labels from a ``(n_classes, n_neurons)`` spike-count matrix.
+
+    *presentations* gives how many labeling images of each class were shown;
+    counts are normalised by it so an over-represented class cannot claim
+    every neuron.  Returns an ``(n_neurons,)`` int array of class labels,
+    ``-1`` for silent neurons.
+    """
+    counts = np.asarray(class_counts, dtype=np.float64)
+    pres = np.asarray(presentations, dtype=np.float64)
+    if counts.ndim != 2:
+        raise LabelingError(f"class_counts must be 2-D, got shape {counts.shape}")
+    if pres.shape != (counts.shape[0],):
+        raise LabelingError(
+            f"presentations must have shape ({counts.shape[0]},), got {pres.shape}"
+        )
+    if (pres < 0).any():
+        raise LabelingError("presentation counts must be non-negative")
+
+    safe_pres = np.where(pres > 0, pres, 1.0)
+    rates = counts / safe_pres[:, None]
+    # Classes never presented cannot be assigned.
+    rates[pres == 0, :] = -np.inf
+
+    labels = np.argmax(rates, axis=0).astype(np.int64)
+    silent = counts.sum(axis=0) == 0
+    labels[silent] = UNLABELED
+    return labels
+
+
+class NeuronLabeler:
+    """Accumulates per-class spike counts across labeling presentations."""
+
+    def __init__(self, n_classes: int, n_neurons: int) -> None:
+        if n_classes < 1 or n_neurons < 1:
+            raise LabelingError(
+                f"need n_classes, n_neurons >= 1, got ({n_classes}, {n_neurons})"
+            )
+        self.n_classes = int(n_classes)
+        self.n_neurons = int(n_neurons)
+        self._counts = np.zeros((n_classes, n_neurons), dtype=np.float64)
+        self._presentations = np.zeros(n_classes, dtype=np.int64)
+
+    @property
+    def class_counts(self) -> np.ndarray:
+        return self._counts
+
+    @property
+    def presentations(self) -> np.ndarray:
+        return self._presentations
+
+    def add(self, label: int, spike_counts: np.ndarray) -> None:
+        """Record one labeling image's per-neuron spike counts."""
+        if not 0 <= label < self.n_classes:
+            raise LabelingError(f"label {label} out of range [0, {self.n_classes})")
+        counts = np.asarray(spike_counts, dtype=np.float64)
+        if counts.shape != (self.n_neurons,):
+            raise LabelingError(
+                f"spike_counts must have shape ({self.n_neurons},), got {counts.shape}"
+            )
+        if (counts < 0).any():
+            raise LabelingError("spike counts must be non-negative")
+        self._counts[label] += counts
+        self._presentations[label] += 1
+
+    def labels(self) -> np.ndarray:
+        """Finalise: the per-neuron class assignment."""
+        if self._presentations.sum() == 0:
+            raise LabelingError("no labeling images were presented")
+        return assign_labels(self._counts, self._presentations)
+
+    def coverage(self) -> float:
+        """Fraction of neurons that received a (non-silent) label."""
+        labels = self.labels()
+        return float(np.mean(labels != UNLABELED))

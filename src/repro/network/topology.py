@@ -1,0 +1,136 @@
+"""Generic network descriptions: layers, connections, validation.
+
+ParallelSpikeSim's "unified data structures encapsulate all network
+information into the network object ... to facilitate swift addition of
+functionality and customization of network hierarchy, layer connectivity
+and behavior of each synapse and neuron" (Section III-A).  This module is
+that network object: a declarative graph of :class:`LayerSpec` and
+:class:`ConnectionSpec` entries that :class:`repro.network.builder` turns
+into a runnable model.
+
+``"input"`` is a reserved source name referring to the encoder-driven spike
+trains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.parameters import IzhikevichParameters, LIFParameters
+from repro.errors import TopologyError
+
+#: Reserved name for the encoder-driven input spike trains.
+INPUT_LAYER = "input"
+
+#: Neuron model kinds a LayerSpec may request.
+LAYER_KINDS = ("lif", "adaptive_lif", "izhikevich", "adex")
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One neuron layer: a name, a size and a neuron-model choice."""
+
+    name: str
+    n: int
+    kind: str = "lif"
+    lif: LIFParameters = field(default_factory=LIFParameters)
+    izhikevich: IzhikevichParameters = field(default_factory=IzhikevichParameters)
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name == INPUT_LAYER:
+            raise TopologyError(f"layer name {self.name!r} is empty or reserved")
+        if self.n < 1:
+            raise TopologyError(f"layer {self.name!r} needs n >= 1, got {self.n}")
+        if self.kind not in LAYER_KINDS:
+            raise TopologyError(
+                f"layer {self.name!r} kind must be one of {LAYER_KINDS}, got {self.kind!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """A dense connection between two named layers.
+
+    ``weight_kind`` is ``"static"`` (frozen weights supplied at build time)
+    or ``"plastic"`` (a ConductanceMatrix updated by an STDP rule).
+    ``amplitude`` scales the propagated current (eq. 3's ``v_pre``).
+    """
+
+    source: str
+    target: str
+    weight_kind: str = "static"
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.source or not self.target:
+            raise TopologyError("connection endpoints must be non-empty names")
+        if self.target == INPUT_LAYER:
+            raise TopologyError("connections cannot target the input layer")
+        if self.weight_kind not in ("static", "plastic"):
+            raise TopologyError(
+                f"weight_kind must be 'static' or 'plastic', got {self.weight_kind!r}"
+            )
+        if self.weight_kind == "plastic" and self.source != INPUT_LAYER:
+            raise TopologyError("plastic connections must originate at the input layer")
+
+
+@dataclass
+class NetworkGraph:
+    """A validated collection of layers and connections."""
+
+    n_inputs: int
+    layers: List[LayerSpec] = field(default_factory=list)
+    connections: List[ConnectionSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 0:
+            raise TopologyError(f"n_inputs must be >= 0, got {self.n_inputs}")
+
+    def layer_names(self) -> Tuple[str, ...]:
+        return tuple(layer.name for layer in self.layers)
+
+    def layer(self, name: str) -> LayerSpec:
+        for spec in self.layers:
+            if spec.name == name:
+                return spec
+        raise TopologyError(f"no layer named {name!r}; have {self.layer_names()}")
+
+    def size_of(self, name: str) -> int:
+        """Neuron count of a layer, or the input width for ``"input"``."""
+        if name == INPUT_LAYER:
+            if self.n_inputs == 0:
+                raise TopologyError("graph has no input layer (n_inputs == 0)")
+            return self.n_inputs
+        return self.layer(name).n
+
+    def validate(self) -> None:
+        """Check name uniqueness and that every connection endpoint exists."""
+        names = self.layer_names()
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise TopologyError(f"duplicate layer names: {sorted(duplicates)}")
+        known = set(names) | ({INPUT_LAYER} if self.n_inputs > 0 else set())
+        for conn in self.connections:
+            if conn.source not in known:
+                raise TopologyError(f"connection source {conn.source!r} is not a known layer")
+            if conn.target not in set(names):
+                raise TopologyError(f"connection target {conn.target!r} is not a known layer")
+
+    def incoming(self, name: str) -> List[ConnectionSpec]:
+        """Connections feeding the named layer."""
+        return [c for c in self.connections if c.target == name]
+
+    def summary(self) -> Dict[str, object]:
+        """Inventory used by reports: sizes, synapse counts per connection."""
+        self.validate()
+        synapses = {
+            f"{c.source}->{c.target}": self.size_of(c.source) * self.size_of(c.target)
+            for c in self.connections
+        }
+        return {
+            "n_inputs": self.n_inputs,
+            "layers": {layer.name: layer.n for layer in self.layers},
+            "synapses": synapses,
+            "total_synapses": sum(synapses.values()),
+        }

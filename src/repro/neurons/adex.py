@@ -1,0 +1,97 @@
+"""Adaptive exponential integrate-and-fire (AdEx) population.
+
+A third neuron model under the simulator's "different neuron models"
+support (alongside LIF and Izhikevich): Brette & Gerstner's AdEx,
+
+    ``C dv/dt = -g_L (v - E_L) + g_L DeltaT exp((v - V_T)/DeltaT) + I - w``
+    ``tau_w dw/dt = a (v - E_L) - w``
+
+with reset ``v <- V_r``, ``w <- w + b`` when the exponential blow-up
+carries ``v`` past ``v_spike``.  Defaults are the tonic-firing parameter
+set from the original paper (Brette & Gerstner 2005).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.neurons.base import NeuronPopulation
+
+
+@dataclass(frozen=True)
+class AdExParameters:
+    """AdEx constants; units mV, ms, nA, nS, pF."""
+
+    c_membrane: float = 281.0      # pF
+    g_leak: float = 30.0           # nS
+    e_leak: float = -70.6          # mV
+    delta_t: float = 2.0           # mV, spike sharpness
+    v_threshold: float = -50.4     # mV, exponential threshold V_T
+    v_spike: float = 0.0           # mV, numerical spike cutoff
+    v_reset: float = -70.6         # mV
+    tau_w: float = 144.0           # ms
+    a: float = 4.0                 # nS, subthreshold adaptation
+    b: float = 0.0805              # nA, spike-triggered adaptation
+    v_init: float = -70.6
+
+    def __post_init__(self) -> None:
+        if self.c_membrane <= 0 or self.g_leak <= 0:
+            raise ConfigurationError("c_membrane and g_leak must be positive")
+        if self.delta_t <= 0:
+            raise ConfigurationError("delta_t must be positive")
+        if self.tau_w <= 0:
+            raise ConfigurationError("tau_w must be positive")
+        if self.v_reset >= self.v_spike:
+            raise ConfigurationError("v_reset must be below v_spike")
+
+
+class AdExPopulation(NeuronPopulation):
+    """A population of ``n`` AdEx neurons sharing one parameter set.
+
+    ``step`` takes current in nA.  The exponential term is clamped at the
+    spike cutoff to keep Euler integration stable at dt = 1 ms.
+    """
+
+    def __init__(self, n: int, params: AdExParameters = AdExParameters()) -> None:
+        super().__init__(n)
+        self.params = params
+        self._v = np.full(n, params.v_init, dtype=np.float64)
+        self._w = np.zeros(n, dtype=np.float64)
+
+    @property
+    def v(self) -> np.ndarray:
+        return self._v
+
+    @property
+    def w(self) -> np.ndarray:
+        """Adaptation current, nA."""
+        return self._w
+
+    def step(self, current: np.ndarray, dt_ms: float) -> np.ndarray:
+        current = self._check_current(current)
+        p = self.params
+
+        # Clamp the exponential argument: beyond the cutoff the neuron is
+        # declared spiking anyway, and exp() would overflow.
+        exp_arg = np.minimum((self._v - p.v_threshold) / p.delta_t, 20.0)
+        leak = -p.g_leak * (self._v - p.e_leak)
+        spike_drive = p.g_leak * p.delta_t * np.exp(exp_arg)
+        # Units: g[nS] * v[mV] = pA; (current - w)[nA] * 1000 = pA; dividing
+        # by C[pF] gives dv in mV per ms.
+        dv = (leak + spike_drive + 1000.0 * (current - self._w)) / p.c_membrane
+        self._v += dv * dt_ms
+        # a[nS] * v[mV] = pA = 1e-3 nA; w stays in nA.
+        dw = (p.a * (self._v - p.e_leak) * 1e-3 - self._w) / p.tau_w
+        self._w += dw * dt_ms
+
+        spikes = self._v >= p.v_spike
+        self._v[spikes] = p.v_reset
+        self._w[spikes] += p.b
+        return spikes
+
+    def reset_state(self) -> None:
+        self._v.fill(self.params.v_init)
+        self._w.fill(0.0)

@@ -1,0 +1,58 @@
+"""Population interface shared by every neuron model.
+
+A population is a vectorised group of ``n`` identical neurons.  The
+simulation engine drives it with one call per time step:
+
+    ``spikes = population.step(current, dt_ms)``
+
+where ``current`` is the per-neuron input current (eq. 3's ``I``) and the
+return value is a boolean array marking which neurons crossed threshold
+during the step.  Populations own only their state arrays; synapses,
+inhibition and learning live elsewhere, which is what lets the same model
+run under both the vectorised and the reference engines.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class NeuronPopulation(abc.ABC):
+    """Abstract base for vectorised neuron populations."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise SimulationError(f"population size must be >= 1, got {n}")
+        self._n = int(n)
+
+    @property
+    def n(self) -> int:
+        """Number of neurons in the population."""
+        return self._n
+
+    @property
+    @abc.abstractmethod
+    def v(self) -> np.ndarray:
+        """Current membrane potentials, shape ``(n,)``."""
+
+    @abc.abstractmethod
+    def step(self, current: np.ndarray, dt_ms: float) -> np.ndarray:
+        """Advance one time step; return boolean spike mask of shape ``(n,)``."""
+
+    @abc.abstractmethod
+    def reset_state(self) -> None:
+        """Restore the population to its initial state."""
+
+    def _check_current(self, current: np.ndarray) -> np.ndarray:
+        arr = np.asarray(current, dtype=np.float64)
+        if arr.shape == ():
+            arr = np.full(self._n, float(arr))
+        if arr.shape != (self._n,):
+            raise SimulationError(
+                f"current must have shape ({self._n},), got {arr.shape}"
+            )
+        return arr

@@ -1,0 +1,30 @@
+"""The unsupervised-learning pipeline (the Fig. 2 flowchart).
+
+- :mod:`repro.pipeline.trainer` — present the training set image by image,
+  stepping the network and applying homeostasis at image boundaries.
+- :mod:`repro.pipeline.evaluator` — the paper's evaluation protocol: freeze
+  plasticity, label neurons with the first chunk of the test set, classify
+  the rest by labeled-neuron votes.
+- :mod:`repro.pipeline.experiment` — one self-contained experiment: config +
+  dataset in, accuracies/runtimes/conductance snapshots out.  The unit every
+  bench is built from.
+- :mod:`repro.pipeline.progress` — lightweight progress reporting.
+"""
+
+from repro.pipeline.evaluator import EvaluationResult, Evaluator
+from repro.pipeline.experiment import ExperimentResult, run_experiment
+from repro.pipeline.progress import NullProgress, PrintProgress
+from repro.pipeline.sweep import ParameterSweep
+from repro.pipeline.trainer import TrainingLog, UnsupervisedTrainer
+
+__all__ = [
+    "EvaluationResult",
+    "Evaluator",
+    "ExperimentResult",
+    "run_experiment",
+    "NullProgress",
+    "ParameterSweep",
+    "PrintProgress",
+    "TrainingLog",
+    "UnsupervisedTrainer",
+]

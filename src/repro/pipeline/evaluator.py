@@ -1,0 +1,146 @@
+"""Evaluation protocol (Section III-B): label neurons, then classify.
+
+The paper's procedure after training:
+
+1. freeze plasticity;
+2. present the first ``n_labeling`` test images (1000 in the paper); each
+   neuron is labeled with the class it responded to most;
+3. present the remaining test images; each is classified by the
+   labeled-neuron vote of :mod:`repro.network.inference`.
+
+``Evaluator`` runs the whole protocol and also exposes
+:meth:`Evaluator.collect_responses` for reuse (labeling, inference and the
+mid-training accuracy probe all need per-image response vectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.accuracy import accuracy_score, confusion_matrix
+from repro.errors import LabelingError
+from repro.network.inference import classify_batch
+from repro.network.labeling import NeuronLabeler
+from repro.network.wta import WTANetwork
+from repro.pipeline.progress import NullProgress
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of the label-then-infer protocol."""
+
+    accuracy: float
+    predictions: np.ndarray
+    true_labels: np.ndarray
+    neuron_labels: np.ndarray
+    confusion: np.ndarray
+    labeled_fraction: float
+
+    @property
+    def error_rate(self) -> float:
+        return 1.0 - self.accuracy
+
+
+class Evaluator:
+    """Runs labeling and inference against a trained network."""
+
+    def __init__(
+        self,
+        network: WTANetwork,
+        n_classes: int = 10,
+        t_present_ms: Optional[float] = None,
+        progress=None,
+        batched: bool = False,
+    ) -> None:
+        self.network = network
+        self.n_classes = n_classes
+        # Presentation time for labeling/inference; defaults to the training
+        # schedule's t_learn.
+        self.t_present_ms = (
+            t_present_ms
+            if t_present_ms is not None
+            else network.config.simulation.t_learn_ms
+        )
+        self.progress = progress if progress is not None else NullProgress()
+        #: When set, responses are computed by the image-parallel
+        #: :class:`repro.engine.batched.BatchedInference` engine —
+        #: statistically equivalent, roughly an order of magnitude faster.
+        self.batched = batched
+
+    def collect_responses(self, images: np.ndarray, label: str = "responses") -> np.ndarray:
+        """Per-image output spike counts, shape ``(n_images, n_neurons)``.
+
+        Runs inside :meth:`WTANetwork.evaluation_mode`, so plasticity and
+        threshold adaptation are untouched.
+        """
+        if self.batched:
+            from repro.engine.batched import BatchedInference
+
+            rng = np.random.default_rng(
+                np.random.SeedSequence((self.network.config.simulation.seed, 0xBA7C4))
+            )
+            return BatchedInference(self.network).collect_responses(
+                images, t_present_ms=self.t_present_ms, rng=rng
+            )
+        batch = np.asarray(images)
+        if batch.ndim == 2:
+            batch = batch[None]
+        sim = self.network.config.simulation
+        dt = sim.dt_ms
+        steps = int(round(self.t_present_ms / dt))
+        n_neurons = self.network.config.wta.n_neurons
+        responses = np.zeros((batch.shape[0], n_neurons), dtype=np.int64)
+
+        self.progress.start(batch.shape[0], label)
+        with self.network.evaluation_mode() as net:
+            t_ms = 0.0
+            for idx, image in enumerate(batch):
+                net.present_image(image)
+                for _ in range(steps):
+                    result = net.advance(t_ms, dt)
+                    responses[idx] += result.spikes["output"]
+                    t_ms += dt
+                net.rest()
+                t_ms += sim.t_rest_ms
+                self.progress.update(idx + 1)
+        self.progress.finish()
+        return responses
+
+    def label_neurons(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Assign a class to every neuron from its labeling-set responses."""
+        labels = np.asarray(labels, dtype=np.int64)
+        responses = self.collect_responses(images, label="labeling")
+        if responses.shape[0] != labels.shape[0]:
+            raise LabelingError(
+                f"{responses.shape[0]} responses but {labels.shape[0]} labels"
+            )
+        labeler = NeuronLabeler(self.n_classes, responses.shape[1])
+        for lbl, counts in zip(labels, responses):
+            labeler.add(int(lbl), counts)
+        return labeler.labels()
+
+    def evaluate(
+        self,
+        labeling_images: np.ndarray,
+        labeling_labels: np.ndarray,
+        test_images: np.ndarray,
+        test_labels: np.ndarray,
+    ) -> EvaluationResult:
+        """The full protocol; returns accuracy and diagnostics."""
+        neuron_labels = self.label_neurons(labeling_images, labeling_labels)
+        responses = self.collect_responses(test_images, label="inference")
+        predictions = classify_batch(
+            responses, neuron_labels, self.n_classes, self.network.rngs.misc
+        )
+        true = np.asarray(test_labels, dtype=np.int64)
+        return EvaluationResult(
+            accuracy=accuracy_score(true, predictions),
+            predictions=predictions,
+            true_labels=true,
+            neuron_labels=neuron_labels,
+            confusion=confusion_matrix(true, predictions, self.n_classes),
+            labeled_fraction=float(np.mean(neuron_labels >= 0)),
+        )

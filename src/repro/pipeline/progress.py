@@ -1,0 +1,61 @@
+"""Progress reporting for long training runs.
+
+Two implementations of one tiny interface: :class:`NullProgress` (silent,
+the default everywhere tests run) and :class:`PrintProgress` (periodic
+one-line updates with throughput and ETA, what the examples use).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class NullProgress:
+    """No-op progress sink."""
+
+    def start(self, total: int, label: str) -> None:
+        """Begin a phase of *total* units named *label*."""
+
+    def update(self, done: int, note: str = "") -> None:
+        """Report *done* units complete."""
+
+    def finish(self) -> None:
+        """End the phase."""
+
+
+class PrintProgress(NullProgress):
+    """Periodic single-line progress printed to a stream."""
+
+    def __init__(self, every: int = 10, stream: Optional[TextIO] = None) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.every = every
+        self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._label = ""
+        self._t0 = 0.0
+
+    def start(self, total: int, label: str) -> None:
+        self._total = max(total, 1)
+        self._label = label
+        self._t0 = time.perf_counter()
+        print(f"[{label}] starting: {total} items", file=self.stream)
+
+    def update(self, done: int, note: str = "") -> None:
+        if done % self.every and done != self._total:
+            return
+        elapsed = time.perf_counter() - self._t0
+        rate = done / elapsed if elapsed > 0 else float("inf")
+        remaining = (self._total - done) / rate if rate > 0 else 0.0
+        suffix = f" | {note}" if note else ""
+        print(
+            f"[{self._label}] {done}/{self._total} "
+            f"({rate:.1f}/s, eta {remaining:.0f}s){suffix}",
+            file=self.stream,
+        )
+
+    def finish(self) -> None:
+        elapsed = time.perf_counter() - self._t0
+        print(f"[{self._label}] done in {elapsed:.1f}s", file=self.stream)

@@ -1,0 +1,87 @@
+"""Seed-averaged parameter sweeps.
+
+The reduced-scale runs are noisy (WTA winner races), so trend studies need
+the same experiment repeated over seeds and variants compared on aggregate.
+:class:`ParameterSweep` runs a set of named config *factories* (functions
+``seed -> ExperimentConfig``) over a seed list against one dataset, records
+per-seed accuracies and produces a report table.
+
+Example::
+
+    sweep = ParameterSweep(dataset, seeds=(3, 5, 7), epochs=2)
+    sweep.add("stochastic", lambda s: get_preset("float32", seed=s))
+    sweep.add("baseline", lambda s: baseline_preset(seed=s))
+    print(sweep.table(title="float32: stochastic vs baseline"))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.statistics import SeedStudy, Summary
+from repro.config.parameters import ExperimentConfig
+from repro.datasets.dataset import Dataset
+from repro.errors import ReproError
+from repro.learning.stochastic import LTDMode
+from repro.pipeline.experiment import run_experiment
+
+ConfigFactory = Callable[[int], ExperimentConfig]
+
+
+class ParameterSweep:
+    """Run config variants across seeds; aggregate accuracy per variant."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        seeds: Sequence[int] = (0,),
+        n_labeling: Optional[int] = None,
+        epochs: int = 1,
+        ltd_mode: LTDMode = LTDMode.POST_EVENT,
+        batched_eval: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.study = SeedStudy(list(seeds))
+        self.n_labeling = n_labeling
+        self.epochs = epochs
+        self.ltd_mode = ltd_mode
+        self.batched_eval = batched_eval
+        self._order: List[str] = []
+
+    def add(self, name: str, factory: ConfigFactory, epochs: Optional[int] = None) -> Summary:
+        """Run one variant across all seeds; returns its accuracy summary."""
+        if name in self._order:
+            raise ReproError(f"variant {name!r} already swept")
+
+        def score(seed: int) -> float:
+            config = factory(seed)
+            result = run_experiment(
+                config,
+                self.dataset,
+                n_labeling=self.n_labeling,
+                epochs=epochs if epochs is not None else self.epochs,
+                ltd_mode=self.ltd_mode,
+                batched_eval=self.batched_eval,
+            )
+            return result.accuracy
+
+        summary = self.study.run(name, score)
+        self._order.append(name)
+        return summary
+
+    def scores(self, name: str) -> List[float]:
+        return self.study.scores(name)
+
+    def gap(self, a: str, b: str) -> Summary:
+        """Paired per-seed accuracy difference ``a - b``."""
+        return self.study.difference(a, b)
+
+    def table(self, title: Optional[str] = None) -> str:
+        """A Markdown table of mean/std/min/max accuracy per variant."""
+        if not self._order:
+            raise ReproError("no variants swept yet")
+        rows = self.study.summary_rows()
+        return format_table(
+            ["variant", "mean accuracy", "std", "min", "max"], rows, title=title
+        )

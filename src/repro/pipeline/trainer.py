@@ -1,0 +1,114 @@
+"""Unsupervised training loop (the learning half of Fig. 2).
+
+Each training image is presented to the network for ``t_learn`` ms of
+simulated time (the paper's 500 ms baseline / 100 ms high-frequency
+schedule) followed by a short rest that relaxes fast state.  At every image
+boundary the optional :class:`~repro.learning.homeostasis.WeightNormalizer`
+runs.  The trainer records per-image output spike counts, simulated time and
+wall-clock time — the raw material of the run-time comparisons in Figs. 7b
+and 8b.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.learning.homeostasis import WeightNormalizer
+from repro.network.wta import WTANetwork
+from repro.pipeline.progress import NullProgress
+
+
+@dataclass
+class TrainingLog:
+    """What one training run produced."""
+
+    images_seen: int = 0
+    total_steps: int = 0
+    simulated_ms: float = 0.0
+    wall_seconds: float = 0.0
+    #: Output spikes per presented image.
+    spikes_per_image: List[int] = field(default_factory=list)
+    normalizations: int = 0
+
+    @property
+    def mean_spikes_per_image(self) -> float:
+        if not self.spikes_per_image:
+            return 0.0
+        return float(np.mean(self.spikes_per_image))
+
+    @property
+    def simulated_minutes(self) -> float:
+        """The paper's "simulation time" axis, in minutes of network time."""
+        return self.simulated_ms / 60_000.0
+
+
+class UnsupervisedTrainer:
+    """Presents images to a :class:`WTANetwork` and drives plasticity."""
+
+    def __init__(
+        self,
+        network: WTANetwork,
+        normalizer: Optional[WeightNormalizer] = None,
+        progress=None,
+    ) -> None:
+        self.network = network
+        self.normalizer = normalizer if normalizer is not None else WeightNormalizer()
+        self.progress = progress if progress is not None else NullProgress()
+
+    def train(
+        self,
+        images: np.ndarray,
+        epochs: int = 1,
+        on_image_end: Optional[Callable[[int, TrainingLog], None]] = None,
+    ) -> TrainingLog:
+        """Learn from *images* (``(n, h, w)`` or ``(n, pixels)``).
+
+        ``on_image_end(image_index, log)`` fires after each presentation —
+        the hook the moving-error-rate probe (Fig. 8c) uses.
+        """
+        batch = np.asarray(images)
+        if batch.ndim == 2:
+            batch = batch[:, None, :]  # treat rows as flat images
+        if batch.ndim != 3:
+            raise SimulationError(f"images must be 2-D or 3-D, got shape {batch.shape}")
+
+        sim = self.network.config.simulation
+        steps_per_image = sim.steps_per_image
+        dt = sim.dt_ms
+        log = TrainingLog()
+
+        self.progress.start(batch.shape[0] * epochs, "train")
+        start = time.perf_counter()
+        t_ms = 0.0
+        seen = 0
+        for _ in range(epochs):
+            for image in batch:
+                spikes_this_image = 0
+                self.network.present_image(image)
+                for _ in range(steps_per_image):
+                    result = self.network.advance(t_ms, dt)
+                    spikes_this_image += int(np.count_nonzero(result.spikes["output"]))
+                    t_ms += dt
+                self.network.rest()
+                t_ms += sim.t_rest_ms
+
+                if self.normalizer.after_image(self.network.synapses, self.network.rngs.rounding):
+                    log.normalizations += 1
+
+                seen += 1
+                log.images_seen = seen
+                log.total_steps += steps_per_image
+                log.simulated_ms = seen * (sim.t_learn_ms + sim.t_rest_ms)
+                log.spikes_per_image.append(spikes_this_image)
+                log.wall_seconds = time.perf_counter() - start
+                self.progress.update(seen, f"{spikes_this_image} spikes")
+                if on_image_end is not None:
+                    on_image_end(seen - 1, log)
+        log.wall_seconds = time.perf_counter() - start
+        self.progress.finish()
+        return log

@@ -1,0 +1,32 @@
+"""Fixed-point arithmetic for low-precision learning (Section III-C).
+
+- :mod:`repro.quantization.qformat` — Q-format descriptors (``Q1.7`` etc.):
+  representable range, resolution, grid snapping.
+- :mod:`repro.quantization.rounding` — the three rounding options: bit
+  truncation, round-to-nearest and stochastic rounding (eq. 8).
+- :mod:`repro.quantization.quantizer` — :class:`Quantizer`, the object the
+  learning module uses: it owns a format + rounding mode, exposes the
+  per-event ``delta_g`` (the fixed ``1/2^n`` LSB for <= 8 total bits) and
+  quantises conductance arrays in place.
+"""
+
+from repro.quantization.qformat import QFormat, parse_qformat
+from repro.quantization.rounding import (
+    round_nearest,
+    round_stochastic,
+    round_truncate,
+    stochastic_round_up_probability,
+)
+from repro.quantization.quantizer import FloatQuantizer, Quantizer, make_quantizer
+
+__all__ = [
+    "QFormat",
+    "parse_qformat",
+    "round_nearest",
+    "round_stochastic",
+    "round_truncate",
+    "stochastic_round_up_probability",
+    "FloatQuantizer",
+    "Quantizer",
+    "make_quantizer",
+]

@@ -1,0 +1,100 @@
+"""Q-format fixed-point descriptors.
+
+The paper stores synapse conductance in unsigned fixed point written as
+``Qm.n``: *m* integer bits and *n* fractional bits (total width ``m + n``).
+Table II uses ``Q0.2``, ``Q0.4``, ``Q1.7`` and ``Q1.15``.  A ``QFormat``
+knows its representable grid: resolution ``2^-n``, minimum 0 and maximum
+``2^m - 2^-n``.  Conductances are clamped onto that grid by the quantiser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+_QFORMAT_RE = re.compile(r"^[Qq](\d+)\.(\d+)$")
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """An unsigned fixed-point format with ``int_bits`` + ``frac_bits`` bits."""
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0:
+            raise QuantizationError(f"int_bits must be non-negative, got {self.int_bits}")
+        if self.frac_bits < 1:
+            raise QuantizationError(f"frac_bits must be at least 1, got {self.frac_bits}")
+        if self.total_bits > 32:
+            raise QuantizationError(f"total width {self.total_bits} exceeds 32 bits")
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits."""
+        return self.int_bits + self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        """The value of one least-significant bit, ``2^-frac_bits``."""
+        return 2.0 ** -self.frac_bits
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable value (formats are unsigned)."""
+        return 0.0
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value, ``2^int_bits - resolution``."""
+        return 2.0 ** self.int_bits - self.resolution
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable values, ``2^total_bits``."""
+        return 1 << self.total_bits
+
+    def __str__(self) -> str:
+        return f"Q{self.int_bits}.{self.frac_bits}"
+
+    def clamp(self, values: np.ndarray) -> np.ndarray:
+        """Clip *values* into the representable range (no grid snapping)."""
+        return np.clip(values, self.min_value, self.max_value)
+
+    def is_representable(self, values: np.ndarray, atol: float = 1e-12) -> np.ndarray:
+        """Boolean mask of entries that lie exactly on the format's grid."""
+        arr = np.asarray(values, dtype=np.float64)
+        in_range = (arr >= self.min_value - atol) & (arr <= self.max_value + atol)
+        scaled = arr / self.resolution
+        on_grid = np.abs(scaled - np.round(scaled)) <= atol / self.resolution
+        return in_range & on_grid
+
+    def grid(self) -> np.ndarray:
+        """All representable values in ascending order.
+
+        Only sensible for narrow formats (used by tests and distribution
+        plots); refuses to materialise more than 2^16 levels.
+        """
+        if self.total_bits > 16:
+            raise QuantizationError(
+                f"refusing to materialise {self.num_levels} grid points for {self}"
+            )
+        return np.arange(self.num_levels, dtype=np.float64) * self.resolution
+
+
+def parse_qformat(fmt: str) -> QFormat:
+    """Parse a ``"Qm.n"`` string into a :class:`QFormat`.
+
+    Raises :class:`QuantizationError` for malformed strings.
+    """
+    if not isinstance(fmt, str):
+        raise QuantizationError(f"Q-format must be a string, got {type(fmt).__name__}")
+    match = _QFORMAT_RE.match(fmt.strip())
+    if match is None:
+        raise QuantizationError(f"malformed Q-format {fmt!r}; expected e.g. 'Q1.7'")
+    return QFormat(int_bits=int(match.group(1)), frac_bits=int(match.group(2)))

@@ -1,0 +1,53 @@
+"""Non-plastic synapses with a fixed weight matrix.
+
+Used for the fixed wiring of custom topologies built with
+:mod:`repro.network.builder` — e.g. one-to-one excitatory links from the
+first layer to the inhibition layer, or all-to-all inhibitory fan-out
+(negative weights) from the inhibition layer back to the first layer, the
+explicit-synapse version of the Fig. 3 WTA circuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.synapses.base import SynapseGroup
+
+
+class StaticSynapses(SynapseGroup):
+    """A frozen dense connection from ``n_pre`` to ``n_post``."""
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise TopologyError(f"weights must be 2-D, got ndim={weights.ndim}")
+        super().__init__(weights.shape[0], weights.shape[1])
+        self._w = weights.copy()
+        self._w.setflags(write=False)
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._w
+
+    @classmethod
+    def one_to_one(cls, n: int, weight: float = 1.0) -> "StaticSynapses":
+        """Diagonal wiring: source *i* drives target *i* with *weight*."""
+        return cls(np.eye(n) * weight)
+
+    @classmethod
+    def all_to_all(cls, n_pre: int, n_post: int, weight: float) -> "StaticSynapses":
+        """Uniform dense wiring with a single shared *weight*."""
+        return cls(np.full((n_pre, n_post), weight))
+
+    @classmethod
+    def lateral_inhibition(cls, n: int, weight: float) -> "StaticSynapses":
+        """All-to-all wiring excluding self-connections (WTA fan-out).
+
+        *weight* is typically negative: neuron *i* inhibits every neuron
+        except itself, the explicit-synapse form of the Fig. 3 inhibition
+        layer.
+        """
+        w = np.full((n, n), weight)
+        np.fill_diagonal(w, 0.0)
+        return cls(w)

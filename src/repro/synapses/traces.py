@@ -1,0 +1,73 @@
+"""Spike timers: the temporal bookkeeping behind STDP.
+
+The stochastic STDP module "uses spike timers to track the temporal
+relationship between pre-synaptic and post-synaptic spikes" (Section III-A).
+``SpikeTimers`` records, per pre-channel and per post-neuron, the time of the
+most recent spike; the learning rules query the elapsed time Δt at each
+LTP/LTD event.
+
+Channels that have never spiked report ``+inf`` elapsed time, which drives
+every exponential STDP kernel to probability/magnitude zero — exactly the
+"no causal relationship" case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Sentinel for "never spiked".
+NEVER = -np.inf
+
+
+class SpikeTimers:
+    """Last-spike-time registers for ``n_pre`` sources and ``n_post`` targets."""
+
+    def __init__(self, n_pre: int, n_post: int) -> None:
+        if n_pre < 1 or n_post < 1:
+            raise SimulationError(f"need n_pre, n_post >= 1, got ({n_pre}, {n_post})")
+        self.n_pre = int(n_pre)
+        self.n_post = int(n_post)
+        self._last_pre = np.full(n_pre, NEVER, dtype=np.float64)
+        self._last_post = np.full(n_post, NEVER, dtype=np.float64)
+
+    @property
+    def last_pre(self) -> np.ndarray:
+        """Most recent pre-spike time per channel (``-inf`` if never)."""
+        return self._last_pre
+
+    @property
+    def last_post(self) -> np.ndarray:
+        """Most recent post-spike time per neuron (``-inf`` if never)."""
+        return self._last_post
+
+    def record_pre(self, spikes: np.ndarray, t_ms: float) -> None:
+        """Register pre-synaptic spikes occurring at time *t_ms*."""
+        spikes = self._check_mask(spikes, self.n_pre, "pre")
+        self._last_pre[spikes] = t_ms
+
+    def record_post(self, spikes: np.ndarray, t_ms: float) -> None:
+        """Register post-synaptic spikes occurring at time *t_ms*."""
+        spikes = self._check_mask(spikes, self.n_post, "post")
+        self._last_post[spikes] = t_ms
+
+    def elapsed_pre(self, t_ms: float) -> np.ndarray:
+        """Δt since each channel's last pre-spike (``+inf`` if never)."""
+        return t_ms - self._last_pre
+
+    def elapsed_post(self, t_ms: float) -> np.ndarray:
+        """Δt since each neuron's last post-spike (``+inf`` if never)."""
+        return t_ms - self._last_post
+
+    def reset(self) -> None:
+        """Forget all spike history (called at image boundaries)."""
+        self._last_pre.fill(NEVER)
+        self._last_post.fill(NEVER)
+
+    @staticmethod
+    def _check_mask(spikes: np.ndarray, n: int, kind: str) -> np.ndarray:
+        mask = np.asarray(spikes, dtype=bool)
+        if mask.shape != (n,):
+            raise SimulationError(f"{kind} spike mask must have shape ({n},), got {mask.shape}")
+        return mask

@@ -1,0 +1,9 @@
+"""Version metadata for the :mod:`repro` package."""
+
+__version__ = "1.0.0"
+
+#: The paper this repository reproduces.
+PAPER = (
+    "Fast and Low-Precision Learning in GPU-Accelerated Spiking Neural "
+    "Network (She, Long, Mukhopadhyay - DATE 2019)"
+)

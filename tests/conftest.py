@@ -1,0 +1,49 @@
+"""Shared fixtures: tiny datasets and fast configurations.
+
+Unit tests use deliberately small networks and short presentations so the
+whole suite stays fast; the trend-level physics is exercised by the
+benchmarks instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import (
+    ExperimentConfig,
+    SimulationParameters,
+    STDPKind,
+    WTAParameters,
+)
+from repro.config.presets import get_preset
+from repro.datasets.dataset import load_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_config() -> ExperimentConfig:
+    """8 neurons, 50 ms per image: fast enough for per-test training."""
+    cfg = get_preset("float32", stdp_kind=STDPKind.STOCHASTIC, n_neurons=8, seed=0)
+    return replace(
+        cfg,
+        wta=replace(cfg.wta, n_neurons=8),
+        simulation=SimulationParameters(dt_ms=1.0, t_learn_ms=50.0, t_rest_ms=5.0, seed=0),
+    )
+
+
+@pytest.fixture
+def tiny_dataset():
+    """20 train / 20 test synthetic digits at 8x8 (64 input channels)."""
+    return load_dataset("mnist", n_train=20, n_test=20, size=8, seed=42)
+
+
+@pytest.fixture
+def small_images(tiny_dataset):
+    return tiny_dataset.train_images[:5]

@@ -1,0 +1,75 @@
+"""Tests for the adaptive-threshold LIF population."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import AdaptiveThresholdParameters, LIFParameters
+from repro.neurons.adaptive_lif import AdaptiveLIFPopulation
+
+
+def drive(pop, current, steps, dt=1.0):
+    counts = np.zeros(pop.n, dtype=int)
+    for _ in range(steps):
+        counts += pop.step(np.full(pop.n, current), dt)
+    return counts
+
+
+class TestThetaDynamics:
+    def test_theta_grows_with_spikes(self):
+        pop = AdaptiveLIFPopulation(1, adaptation=AdaptiveThresholdParameters(theta_plus=0.5, tau_ms=1e6))
+        n = drive(pop, 50.0, 200)[0]
+        assert n > 0
+        assert pop.theta[0] == pytest.approx(0.5 * n, rel=0.01)
+
+    def test_theta_decays(self):
+        pop = AdaptiveLIFPopulation(1, adaptation=AdaptiveThresholdParameters(theta_plus=1.0, tau_ms=100.0))
+        drive(pop, 50.0, 50)
+        peak = pop.theta[0]
+        drive(pop, 0.0, 500)
+        assert pop.theta[0] < 0.01 * peak
+
+    def test_adaptation_slows_firing(self):
+        fast = AdaptiveLIFPopulation(1, adaptation=AdaptiveThresholdParameters(enabled=False))
+        slow = AdaptiveLIFPopulation(1, adaptation=AdaptiveThresholdParameters(theta_plus=1.0, tau_ms=1e6))
+        assert drive(slow, 30.0, 1000)[0] < drive(fast, 30.0, 1000)[0]
+
+    def test_disabled_adaptation_keeps_theta_zero(self):
+        pop = AdaptiveLIFPopulation(2, adaptation=AdaptiveThresholdParameters(enabled=False))
+        drive(pop, 50.0, 200)
+        assert np.all(pop.theta == 0.0)
+
+    def test_effective_threshold(self):
+        pop = AdaptiveLIFPopulation(1, adaptation=AdaptiveThresholdParameters(theta_plus=2.0, tau_ms=1e9))
+        drive(pop, 50.0, 50)
+        assert np.all(pop.effective_threshold == pop.params.v_threshold + pop.theta)
+
+
+class TestStatePersistence:
+    def test_relax_keeps_theta(self):
+        pop = AdaptiveLIFPopulation(1, adaptation=AdaptiveThresholdParameters(theta_plus=1.0, tau_ms=1e9))
+        drive(pop, 50.0, 100)
+        theta = pop.theta[0]
+        assert theta > 0
+        pop.relax()
+        assert pop.theta[0] == theta
+        assert pop.v[0] == pop.params.v_init
+
+    def test_reset_state_clears_theta(self):
+        pop = AdaptiveLIFPopulation(1)
+        drive(pop, 50.0, 100)
+        pop.reset_state()
+        assert pop.theta[0] == 0.0
+
+    def test_freeze_adaptation_stops_growth(self):
+        pop = AdaptiveLIFPopulation(1, adaptation=AdaptiveThresholdParameters(theta_plus=1.0, tau_ms=1e9))
+        drive(pop, 50.0, 100)
+        frozen = pop.theta[0]
+        pop.freeze_adaptation()
+        drive(pop, 50.0, 100)
+        assert pop.theta[0] == frozen
+
+    def test_inhibition_inherited_from_lif(self):
+        pop = AdaptiveLIFPopulation(2, inhibition_strength=0.0)
+        pop.inhibit(np.array([True, False]), 100.0)
+        counts = drive(pop, 50.0, 50)
+        assert counts[0] == 0 and counts[1] > 0

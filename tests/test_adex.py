@@ -1,0 +1,92 @@
+"""Tests for the AdEx neuron model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.neurons.adex import AdExParameters, AdExPopulation
+
+
+def drive(pop, current_na, steps, dt=0.5):
+    counts = np.zeros(pop.n, dtype=int)
+    for _ in range(steps):
+        counts += pop.step(np.full(pop.n, current_na), dt)
+    return counts
+
+
+class TestDynamics:
+    def test_silent_at_rest(self):
+        pop = AdExPopulation(2)
+        assert drive(pop, 0.0, 2000).sum() == 0
+
+    def test_rheobase_roughly_correct(self):
+        # g_L (V_T - E_L) = 30 nS * 20.2 mV ~ 0.6 nA; below it no spikes.
+        pop = AdExPopulation(1)
+        assert drive(pop, 0.4, 4000).sum() == 0
+        pop.reset_state()
+        assert drive(pop, 1.0, 4000).sum() > 0
+
+    def test_reset_applied(self):
+        pop = AdExPopulation(1)
+        spiked = False
+        for _ in range(4000):
+            if pop.step(np.array([1.5]), 0.5)[0]:
+                spiked = True
+                break
+        assert spiked
+        assert pop.v[0] == pop.params.v_reset
+        assert pop.w[0] >= pop.params.b  # spike-triggered adaptation jumped
+
+    def test_adaptation_slows_firing(self):
+        """Inter-spike intervals lengthen under constant drive (tonic adapt)."""
+        pop = AdExPopulation(1)
+        times = []
+        for t in range(6000):
+            if pop.step(np.array([1.0]), 0.5)[0]:
+                times.append(t)
+        assert len(times) >= 3
+        gaps = np.diff(times)
+        assert gaps[-1] >= gaps[0]
+
+    def test_no_overflow_under_huge_drive(self):
+        pop = AdExPopulation(4)
+        counts = drive(pop, 50.0, 500)
+        assert np.isfinite(pop.v).all()
+        assert (counts > 0).all()
+
+    def test_reset_state(self):
+        pop = AdExPopulation(2)
+        drive(pop, 1.0, 1000)
+        pop.reset_state()
+        assert np.allclose(pop.v, pop.params.v_init)
+        assert np.allclose(pop.w, 0.0)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdExParameters(delta_t=0.0)
+        with pytest.raises(ConfigurationError):
+            AdExParameters(c_membrane=-1.0)
+        with pytest.raises(ConfigurationError):
+            AdExParameters(v_reset=10.0, v_spike=0.0)
+
+
+class TestBuilderIntegration:
+    def test_adex_layer_in_builder(self):
+        from repro.config.parameters import EncodingParameters
+        from repro.network.builder import NetworkBuilder
+        from repro.network.topology import LayerSpec
+
+        builder = NetworkBuilder(n_inputs=4, seed=0)
+        builder.with_encoder(EncodingParameters(f_min_hz=0.0, f_max_hz=400.0))
+        builder.add_layer(LayerSpec("adex", 2, kind="adex"))
+        # Mean drive = 4 px * 0.2 spikes/step * w * amp must clear the
+        # ~0.6 nA rheobase.
+        builder.connect_static("input", "adex", np.full((4, 2), 1.0), amplitude=3.0)
+        net = builder.build()
+        net.present_image(np.full(4, 255, dtype=np.uint8))
+        total = 0
+        for t in range(2000):
+            total += net.advance(float(t), 0.5).spikes["adex"].sum()
+        assert total > 0

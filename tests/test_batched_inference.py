@@ -1,0 +1,123 @@
+"""Tests for the image-parallel batched inference engine."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.batched import BatchedInference
+from repro.errors import SimulationError
+from repro.network.wta import WTANetwork
+from repro.pipeline.evaluator import Evaluator
+from repro.pipeline.trainer import UnsupervisedTrainer
+
+
+@pytest.fixture
+def trained(tiny_config, tiny_dataset):
+    net = WTANetwork(tiny_config, 64)
+    UnsupervisedTrainer(net).train(tiny_dataset.train_images[:10])
+    return net
+
+
+class TestCorrectness:
+    def test_shapes(self, trained, tiny_dataset):
+        counts = BatchedInference(trained).collect_responses(
+            tiny_dataset.test_images[:6], rng=np.random.default_rng(0)
+        )
+        assert counts.shape == (6, 8)
+        assert counts.dtype == np.int64
+        assert (counts >= 0).all()
+
+    def test_single_image_2d_input(self, trained, tiny_dataset):
+        counts = BatchedInference(trained).collect_responses(
+            tiny_dataset.test_images[0], rng=np.random.default_rng(0)
+        )
+        assert counts.shape == (1, 8)
+
+    def test_deterministic_given_rng(self, trained, tiny_dataset):
+        a = BatchedInference(trained).collect_responses(
+            tiny_dataset.test_images[:4], rng=np.random.default_rng(7)
+        )
+        b = BatchedInference(trained).collect_responses(
+            tiny_dataset.test_images[:4], rng=np.random.default_rng(7)
+        )
+        assert np.array_equal(a, b)
+
+    def test_batch_rows_independent(self, trained, tiny_dataset):
+        """An image's response must not depend on its batch neighbours.
+
+        A blank image must stay silent even when batched with bright ones
+        (cross-row leakage would excite it), and bright rows must spike.
+        """
+        bright = tiny_dataset.test_images[:3]
+        blank = np.zeros((1,) + bright.shape[1:], dtype=bright.dtype)
+        batch = np.concatenate([blank, bright])
+        counts = BatchedInference(trained).collect_responses(
+            batch, t_present_ms=200.0, rng=np.random.default_rng(3)
+        )
+        # Blank row: only f_min-rate background drive, far below the bright rows.
+        assert counts[0].sum() <= counts[1:].sum(axis=1).min()
+
+    def test_statistical_agreement_with_sequential(self, trained, tiny_dataset):
+        """Batched responses are statistically equivalent to sequential ones.
+
+        The WTA winner races are intrinsically stochastic (two sequential
+        runs with different input-spike draws agree only partially with each
+        other), so the criterion is aggregate: total activity in the same
+        ballpark and the population's overall response profile correlated.
+        """
+        images = tiny_dataset.test_images[:10]
+        sequential = Evaluator(trained, t_present_ms=150.0).collect_responses(images)
+        batched = BatchedInference(trained).collect_responses(
+            images, t_present_ms=150.0, rng=np.random.default_rng(0)
+        )
+        assert batched.sum() == pytest.approx(sequential.sum(), rel=0.5)
+        seq_profile = sequential.sum(axis=0).astype(float)
+        bat_profile = batched.sum(axis=0).astype(float)
+        if seq_profile.std() > 0 and bat_profile.std() > 0:
+            corr = np.corrcoef(seq_profile, bat_profile)[0, 1]
+            assert corr > 0.3
+
+    def test_single_winner_respected(self, trained, tiny_dataset):
+        """With single_winner the per-step winner cap bounds total counts."""
+        steps = 50
+        counts = BatchedInference(trained).collect_responses(
+            tiny_dataset.test_images[:4], t_present_ms=float(steps),
+            rng=np.random.default_rng(0),
+        )
+        assert (counts.sum(axis=1) <= steps).all()
+
+    def test_wrong_pixel_count_rejected(self, trained):
+        with pytest.raises(SimulationError):
+            BatchedInference(trained).collect_responses(np.zeros((2, 5, 5)))
+
+
+class TestPerformance:
+    def test_faster_than_sequential(self, trained, tiny_dataset):
+        images = np.repeat(tiny_dataset.test_images[:10], 3, axis=0)  # 30 images
+        t0 = time.perf_counter()
+        Evaluator(trained, t_present_ms=100.0).collect_responses(images)
+        sequential_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        BatchedInference(trained).collect_responses(
+            images, t_present_ms=100.0, rng=np.random.default_rng(0)
+        )
+        batched_s = time.perf_counter() - t0
+        assert batched_s < sequential_s
+
+
+class TestEvaluatorIntegration:
+    def test_batched_flag(self, trained, tiny_dataset):
+        ev = Evaluator(trained, t_present_ms=100.0, batched=True)
+        counts = ev.collect_responses(tiny_dataset.test_images[:5])
+        assert counts.shape == (5, 8)
+
+    def test_batched_evaluate_protocol(self, trained, tiny_dataset):
+        ev = Evaluator(trained, n_classes=10, t_present_ms=100.0, batched=True)
+        result = ev.evaluate(
+            tiny_dataset.test_images[:10],
+            tiny_dataset.test_labels[:10],
+            tiny_dataset.test_images[10:],
+            tiny_dataset.test_labels[10:],
+        )
+        assert 0.0 <= result.accuracy <= 1.0

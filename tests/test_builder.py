@@ -1,0 +1,120 @@
+"""Tests for the network builder and the generic runnable network."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import EncodingParameters, LIFParameters
+from repro.errors import TopologyError
+from repro.learning.stochastic import StochasticSTDP
+from repro.network.builder import NetworkBuilder
+from repro.network.topology import LayerSpec
+from repro.synapses.static import StaticSynapses
+
+
+def strong_lif():
+    """LIF with a low threshold so tests spike easily."""
+    return LIFParameters(v_threshold=-66.0, v_init=-70.0, refractory_ms=0.0)
+
+
+class TestBuilder:
+    def test_feedforward_two_layers(self):
+        net = (
+            NetworkBuilder(n_inputs=4, seed=0)
+            .with_encoder(EncodingParameters(f_min_hz=0.0, f_max_hz=200.0))
+            .add_layer(LayerSpec("exc", 3, lif=strong_lif()))
+            .connect_static("input", "exc", np.full((4, 3), 1.0), amplitude=10.0)
+            .build()
+        )
+        net.present_image(np.full(4, 255, dtype=np.uint8))
+        total = 0
+        for t in range(200):
+            result = net.advance(float(t), 1.0)
+            total += result.spikes["exc"].sum()
+        assert total > 0
+
+    def test_recurrent_inhibition_uses_previous_step(self):
+        """An exc->exc lateral-inhibition loop must not explode."""
+        builder = NetworkBuilder(n_inputs=2, seed=0)
+        builder.with_encoder(EncodingParameters(f_min_hz=0.0, f_max_hz=500.0))
+        builder.add_layer(LayerSpec("exc", 2, lif=strong_lif()))
+        builder.connect_static("input", "exc", np.eye(2), amplitude=20.0)
+        builder.connect_static("exc", "exc", StaticSynapses.lateral_inhibition(2, -50.0).weights)
+        net = builder.build()
+        net.present_image(np.array([255, 255], dtype=np.uint8))
+        counts = np.zeros(2, dtype=int)
+        for t in range(300):
+            counts += net.advance(float(t), 1.0).spikes["exc"]
+        assert counts.sum() > 0
+
+    def test_plastic_connection_learns(self):
+        builder = NetworkBuilder(n_inputs=6, seed=0)
+        builder.with_encoder(EncodingParameters(f_min_hz=0.0, f_max_hz=300.0))
+        builder.add_layer(LayerSpec("exc", 2, lif=strong_lif()))
+        builder.connect_plastic("exc", StochasticSTDP(), amplitude=10.0)
+        net = builder.build()
+        key = "input->exc"
+        before = net.synapses[key].g.copy()
+        net.present_image(np.array([255, 255, 255, 0, 0, 0], dtype=np.uint8))
+        for t in range(500):
+            net.advance(float(t), 1.0)
+        after = net.synapses[key].g
+        assert not np.array_equal(before, after)
+        # Driven channels should net-potentiate relative to silent ones.
+        assert after[:3].mean() - before[:3].mean() > after[3:].mean() - before[3:].mean()
+
+    def test_learning_can_be_disabled(self):
+        builder = NetworkBuilder(n_inputs=4, seed=0)
+        builder.with_encoder(EncodingParameters(f_min_hz=0.0, f_max_hz=300.0))
+        builder.add_layer(LayerSpec("exc", 2, lif=strong_lif()))
+        builder.connect_plastic("exc", StochasticSTDP(), amplitude=10.0)
+        net = builder.build()
+        net.learning_enabled = False
+        before = net.synapses["input->exc"].g.copy()
+        net.present_image(np.full(4, 255, dtype=np.uint8))
+        for t in range(200):
+            net.advance(float(t), 1.0)
+        assert np.array_equal(net.synapses["input->exc"].g, before)
+
+    def test_izhikevich_layer_supported(self):
+        builder = NetworkBuilder(n_inputs=2, seed=0)
+        builder.with_encoder(EncodingParameters(f_min_hz=0.0, f_max_hz=500.0))
+        builder.add_layer(LayerSpec("izh", 2, kind="izhikevich"))
+        builder.connect_static("input", "izh", np.eye(2), amplitude=30.0)
+        net = builder.build()
+        net.present_image(np.array([255, 255], dtype=np.uint8))
+        total = 0
+        for t in range(500):
+            total += net.advance(float(t), 1.0).spikes["izh"].sum()
+        assert total > 0
+
+    def test_reset_state(self):
+        builder = NetworkBuilder(n_inputs=2, seed=0)
+        builder.with_encoder(EncodingParameters())
+        builder.add_layer(LayerSpec("exc", 2))
+        builder.connect_static("input", "exc", np.eye(2))
+        net = builder.build()
+        net.present_image(np.array([255, 255], dtype=np.uint8))
+        net.advance(0.0, 1.0)
+        net.reset_state()
+        assert net.encoder.frequencies_hz is None
+
+
+class TestBuilderValidation:
+    def test_encoder_requires_inputs(self):
+        with pytest.raises(TopologyError):
+            NetworkBuilder(n_inputs=0).with_encoder(EncodingParameters())
+
+    def test_weight_shape_checked_at_build(self):
+        builder = NetworkBuilder(n_inputs=4, seed=0)
+        builder.add_layer(LayerSpec("exc", 3))
+        builder.connect_static("input", "exc", np.ones((3, 4)))  # transposed
+        with pytest.raises(TopologyError):
+            builder.build()
+
+    def test_present_image_without_encoder_rejected(self):
+        builder = NetworkBuilder(n_inputs=4, seed=0)
+        builder.add_layer(LayerSpec("exc", 3))
+        builder.connect_static("input", "exc", np.ones((4, 3)))
+        net = builder.build()
+        with pytest.raises(TopologyError):
+            net.present_image(np.zeros(4))

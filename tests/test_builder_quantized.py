@@ -1,0 +1,30 @@
+"""Builder with quantised plastic connections (fixed-point custom nets)."""
+
+import numpy as np
+
+from repro.config.parameters import EncodingParameters, LIFParameters, RoundingMode
+from repro.learning.stochastic import StochasticSTDP
+from repro.network.builder import NetworkBuilder
+from repro.network.topology import LayerSpec
+from repro.quantization.qformat import parse_qformat
+from repro.quantization.quantizer import Quantizer
+
+
+def test_plastic_connection_with_quantizer_stays_on_grid():
+    quantizer = Quantizer(parse_qformat("Q0.4"), RoundingMode.NEAREST)
+    builder = NetworkBuilder(n_inputs=6, seed=0)
+    builder.with_encoder(EncodingParameters(f_min_hz=0.0, f_max_hz=300.0))
+    builder.add_layer(
+        LayerSpec("exc", 2, lif=LIFParameters(v_threshold=-66.0, refractory_ms=0.0))
+    )
+    builder.connect_plastic("exc", StochasticSTDP(), amplitude=10.0, quantizer=quantizer)
+    net = builder.build()
+
+    net.present_image(np.array([255, 255, 255, 0, 0, 0], dtype=np.uint8))
+    for t in range(300):
+        net.advance(float(t), 1.0)
+
+    g = net.synapses["input->exc"].g
+    scaled = g * 16
+    assert np.allclose(scaled, np.round(scaled), atol=1e-9)
+    assert (g >= 0.0).all() and (g <= quantizer.g_max + 1e-9).all()

@@ -1,0 +1,75 @@
+"""Tests for network checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.network.wta import WTANetwork
+from repro.pipeline.evaluator import Evaluator
+from repro.pipeline.trainer import UnsupervisedTrainer
+
+
+@pytest.fixture
+def trained(tiny_config, tiny_dataset):
+    net = WTANetwork(tiny_config, 64)
+    UnsupervisedTrainer(net).train(tiny_dataset.train_images[:8])
+    return net
+
+
+class TestRoundTrip:
+    def test_state_restored(self, tmp_path, trained):
+        path = tmp_path / "net.npz"
+        save_checkpoint(path, trained)
+        restored, labels = load_checkpoint(path)
+        assert labels is None
+        assert np.array_equal(restored.conductances, trained.conductances)
+        assert np.array_equal(restored.neurons.theta, trained.neurons.theta)
+        assert restored.config == trained.config
+
+    def test_labels_round_trip(self, tmp_path, trained):
+        path = tmp_path / "net.npz"
+        labels = np.arange(8) % 3
+        save_checkpoint(path, trained, neuron_labels=labels)
+        _, restored_labels = load_checkpoint(path)
+        assert np.array_equal(restored_labels, labels)
+
+    def test_restored_network_infers(self, tmp_path, trained, tiny_dataset):
+        path = tmp_path / "net.npz"
+        save_checkpoint(path, trained)
+        restored, _ = load_checkpoint(path)
+        restored.freeze()
+        counts = Evaluator(restored, t_present_ms=50.0).collect_responses(
+            tiny_dataset.test_images[:3]
+        )
+        assert counts.shape == (3, 8)
+
+    def test_fixed_point_checkpoint(self, tmp_path, tiny_dataset):
+        from repro.config.presets import get_preset
+        from dataclasses import replace
+        from repro.config.parameters import SimulationParameters
+
+        cfg = get_preset("4bit", n_neurons=6, seed=0)
+        cfg = replace(cfg, simulation=SimulationParameters(t_learn_ms=30.0, seed=0))
+        net = WTANetwork(cfg, 64)
+        UnsupervisedTrainer(net).train(tiny_dataset.train_images[:4])
+        path = tmp_path / "q.npz"
+        save_checkpoint(path, net)
+        restored, _ = load_checkpoint(path)
+        assert np.array_equal(restored.conductances, net.conductances)
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_checkpoint(path)
+
+    def test_wrong_label_shape_rejected(self, tmp_path, trained):
+        with pytest.raises(DatasetError):
+            save_checkpoint(tmp_path / "x.npz", trained, neuron_labels=np.zeros(3, dtype=int))

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestPresets:
+    def test_lists_all_options(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("2bit", "4bit", "8bit", "16bit", "high_frequency"):
+            assert name in out
+
+
+class TestFICurve:
+    def test_prints_curve(self, capsys):
+        assert main(["fi-curve", "--points", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "rheobase" in out
+        assert "frequency" in out
+
+
+class TestRun:
+    def test_tiny_run(self, capsys, tmp_path):
+        code = main(
+            [
+                "run",
+                "--n-train", "10",
+                "--n-test", "20",
+                "--n-labeling", "5",
+                "--neurons", "6",
+                "--size", "8",
+                "--epochs", "1",
+                "--quiet",
+                "--batched-eval",
+                "--save", str(tmp_path / "net.npz"),
+                "--save-config", str(tmp_path / "cfg.json"),
+                "--show-maps", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert (tmp_path / "net.npz").exists()
+        assert (tmp_path / "cfg.json").exists()
+        assert "neuron" in out  # the map block
+
+    def test_run_writes_loadable_checkpoint(self, capsys, tmp_path):
+        path = tmp_path / "net.npz"
+        main(
+            ["run", "--n-train", "6", "--n-test", "12", "--n-labeling", "4",
+             "--neurons", "4", "--size", "8", "--epochs", "1", "--quiet",
+             "--save", str(path)]
+        )
+        capsys.readouterr()
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "neurons" in out
+        assert "labeled" in out
+
+
+class TestEvaluate:
+    def test_checkpoint_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "net.npz"
+        main(
+            ["run", "--n-train", "6", "--n-test", "12", "--n-labeling", "4",
+             "--neurons", "4", "--size", "8", "--epochs", "1", "--quiet",
+             "--save", str(path)]
+        )
+        capsys.readouterr()
+        code = main(["evaluate", str(path), "--n-test", "10", "--size", "8"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_pixel_mismatch_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "net.npz"
+        main(
+            ["run", "--n-train", "6", "--n-test", "12", "--n-labeling", "4",
+             "--neurons", "4", "--size", "8", "--epochs", "1", "--quiet",
+             "--save", str(path)]
+        )
+        capsys.readouterr()
+        code = main(["evaluate", str(path), "--n-test", "10", "--size", "16"])
+        assert code == 2
+        assert "pixels" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_checkpoint_is_an_error_exit(self, capsys):
+        assert main(["info", "/nonexistent/x.npz"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

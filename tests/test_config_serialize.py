@@ -1,0 +1,68 @@
+"""Round-trip tests for config serialisation."""
+
+import pytest
+
+from repro.config.parameters import (
+    ExperimentConfig,
+    LIFParameters,
+    QuantizationConfig,
+    RoundingMode,
+    STDPKind,
+)
+from repro.config.presets import get_preset
+from repro.config.serialize import config_from_dict, config_to_dict, load_json, save_json
+from repro.errors import ConfigurationError
+
+
+class TestDictRoundTrip:
+    def test_lif_round_trip(self):
+        p = LIFParameters(a=-5.0, b=-0.1, refractory_ms=3.0)
+        assert config_from_dict(config_to_dict(p)) == p
+
+    def test_experiment_round_trip(self):
+        cfg = get_preset("8bit", stdp_kind=STDPKind.DETERMINISTIC, n_neurons=13)
+        restored = config_from_dict(config_to_dict(cfg))
+        assert restored == cfg
+
+    def test_enums_serialise_as_values(self):
+        q = QuantizationConfig(fmt="Q0.4", rounding=RoundingMode.STOCHASTIC)
+        data = config_to_dict(q)
+        assert data["rounding"] == {"__enum__": "RoundingMode", "value": "stochastic"}
+
+    def test_type_tag_present(self):
+        assert config_to_dict(LIFParameters())["__type__"] == "LIFParameters"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"__type__": "Nonsense"})
+
+    def test_missing_tag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"a": 1})
+
+    def test_non_config_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_to_dict({"plain": "dict"})
+
+
+class TestJsonFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        cfg = get_preset("high_frequency", n_neurons=7, seed=99)
+        path = tmp_path / "config.json"
+        save_json(cfg, path)
+        assert load_json(path) == cfg
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_json(path)
+
+    def test_validation_still_applies_on_load(self, tmp_path):
+        cfg = ExperimentConfig()
+        path = tmp_path / "config.json"
+        save_json(cfg, path)
+        text = path.read_text().replace("-74.7", "-10.0")  # v_reset above threshold
+        path.write_text(text)
+        with pytest.raises(ConfigurationError):
+            load_json(path)

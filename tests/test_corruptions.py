@@ -1,0 +1,61 @@
+"""Tests for the corruption transforms (robustness extension)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.transforms import occlude, salt_pepper
+from repro.errors import DatasetError
+
+
+class TestSaltPepper:
+    def test_fraction_zero_identity(self, rng):
+        img = np.full((8, 8), 100, dtype=np.uint8)
+        assert np.array_equal(salt_pepper(img, 0.0, rng), img)
+
+    def test_fraction_one_all_extreme(self, rng):
+        img = np.full((16, 16), 100, dtype=np.uint8)
+        out = salt_pepper(img, 1.0, rng)
+        assert set(np.unique(out)) <= {0, 255}
+
+    def test_corruption_rate(self, rng):
+        img = np.full((100, 100), 100, dtype=np.uint8)
+        out = salt_pepper(img, 0.3, rng)
+        corrupted = (out != 100).mean()
+        assert corrupted == pytest.approx(0.3, abs=0.03)
+
+    def test_roughly_half_salt_half_pepper(self, rng):
+        img = np.full((100, 100), 100, dtype=np.uint8)
+        out = salt_pepper(img, 0.5, rng)
+        assert (out == 0).mean() == pytest.approx(0.25, abs=0.03)
+        assert (out == 255).mean() == pytest.approx(0.25, abs=0.03)
+
+    def test_input_untouched(self, rng):
+        img = np.full((8, 8), 100, dtype=np.uint8)
+        salt_pepper(img, 0.5, rng)
+        assert (img == 100).all()
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(DatasetError):
+            salt_pepper(np.zeros((2, 2), np.uint8), 1.5, rng)
+
+
+class TestOcclude:
+    def test_square_zeroed(self, rng):
+        img = np.full((10, 10), 200, dtype=np.uint8)
+        out = occlude(img, 4, rng)
+        assert (out == 0).sum() == 16
+        assert (out == 200).sum() == 84
+
+    def test_batch_independent_positions(self, rng):
+        batch = np.full((20, 12, 12), 200, dtype=np.uint8)
+        out = occlude(batch, 5, rng)
+        masks = [np.argwhere(o == 0)[0] for o in out]
+        assert len({tuple(m) for m in masks}) > 1
+
+    def test_zero_size_identity(self, rng):
+        img = np.full((8, 8), 50, dtype=np.uint8)
+        assert np.array_equal(occlude(img, 0, rng), img)
+
+    def test_too_large_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            occlude(np.zeros((8, 8), np.uint8), 9, rng)

@@ -1,0 +1,80 @@
+"""Tests for the dataset disk cache."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cache import (
+    cache_key,
+    cached_load_dataset,
+    load_saved_dataset,
+    save_dataset,
+)
+from repro.datasets.dataset import load_dataset
+from repro.errors import DatasetError
+
+
+class TestKey:
+    def test_stable(self):
+        assert cache_key(a=1, b="x") == cache_key(b="x", a=1)
+
+    def test_parameter_sensitivity(self):
+        assert cache_key(seed=1) != cache_key(seed=2)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        ds = load_dataset("mnist", n_train=6, n_test=4, size=8, seed=0)
+        path = tmp_path / "ds.npz"
+        save_dataset(path, ds)
+        out = load_saved_dataset(path)
+        assert out.name == ds.name
+        assert np.array_equal(out.train_images, ds.train_images)
+        assert np.array_equal(out.test_labels, ds.test_labels)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_saved_dataset(tmp_path / "nope.npz")
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_saved_dataset(path)
+
+
+class TestCachedLoad:
+    def test_populates_and_reuses(self, tmp_path):
+        a = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
+                                cache_dir=tmp_path)
+        files = list(tmp_path.glob("mnist-*.npz"))
+        assert len(files) == 1
+        b = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
+                                cache_dir=tmp_path)
+        assert np.array_equal(a.train_images, b.train_images)
+        assert len(list(tmp_path.glob("mnist-*.npz"))) == 1
+
+    def test_different_params_different_entries(self, tmp_path):
+        cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
+                            cache_dir=tmp_path)
+        cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=4,
+                            cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("mnist-*.npz"))) == 2
+
+    def test_corrupt_entry_regenerated(self, tmp_path):
+        ds = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
+                                 cache_dir=tmp_path)
+        entry = next(tmp_path.glob("mnist-*.npz"))
+        entry.write_bytes(b"garbage")
+        again = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
+                                    cache_dir=tmp_path)
+        assert np.array_equal(ds.train_images, again.train_images)
+
+    def test_no_cache_dir_falls_back(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        ds = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3)
+        assert ds.train_images.shape == (6, 8, 8)
+
+    def test_env_var_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cached_load_dataset("fashion", n_train=5, n_test=3, size=8, seed=0)
+        assert len(list(tmp_path.glob("fashion-*.npz"))) == 1

@@ -1,0 +1,93 @@
+"""Tests for the deterministic (baseline) STDP rule."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import DeterministicSTDPParameters
+from repro.learning.deterministic import DeterministicSTDP
+from repro.quantization.quantizer import Quantizer
+from repro.quantization.qformat import parse_qformat
+from repro.config.parameters import RoundingMode
+from repro.synapses.conductance import ConductanceMatrix
+from repro.synapses.traces import SpikeTimers
+
+
+def setup(n_pre=4, n_post=3, g0=0.5, quantizer=None, rng=None):
+    rng = rng if rng is not None else np.random.default_rng(0)
+    g = ConductanceMatrix(n_pre, n_post, quantizer=quantizer, g_init_low=g0, g_init_high=g0, rng=rng)
+    timers = SpikeTimers(n_pre, n_post)
+    return g, timers, rng
+
+
+class TestUpdateSchedule:
+    def test_no_post_spike_no_update(self):
+        g, timers, rng = setup()
+        rule = DeterministicSTDP()
+        before = g.g.copy()
+        timers.record_pre(np.array([True, True, False, False]), 10.0)
+        rule.step(g, timers, np.zeros(4, bool), np.zeros(3, bool), 10.0, rng)
+        assert np.array_equal(g.g, before)
+
+    def test_recent_pre_potentiates_others_depress(self):
+        g, timers, rng = setup()
+        rule = DeterministicSTDP(DeterministicSTDPParameters(window_ms=30.0))
+        timers.record_pre(np.array([True, False, False, False]), 100.0)
+        post = np.array([True, False, False])
+        before = g.g.copy()
+        rule.step(g, timers, np.zeros(4, bool), post, 110.0, rng)
+        assert g.g[0, 0] > before[0, 0]           # within window -> LTP
+        assert (g.g[1:, 0] < before[1:, 0]).all()  # outside window -> LTD
+        assert np.array_equal(g.g[:, 1:], before[:, 1:])  # silent posts untouched
+
+    def test_window_boundary(self):
+        g, timers, rng = setup()
+        rule = DeterministicSTDP(DeterministicSTDPParameters(window_ms=30.0))
+        timers.record_pre(np.array([True, True, False, False]), 100.0)
+        before = g.g.copy()
+        # Channel 0 pre at t=100, post at t=131 -> elapsed 31 > window.
+        rule.step(g, timers, np.zeros(4, bool), np.array([True, False, False]), 131.0, rng)
+        assert g.g[0, 0] < before[0, 0]
+
+    def test_simultaneous_pre_counts_as_causal(self):
+        g, timers, rng = setup()
+        rule = DeterministicSTDP()
+        timers.record_pre(np.array([True, False, False, False]), 50.0)
+        before = g.g.copy()
+        rule.step(g, timers, np.array([True, False, False, False]), np.array([True, False, False]), 50.0, rng)
+        assert g.g[0, 0] > before[0, 0]
+
+    def test_never_spiked_channels_depress(self):
+        g, timers, rng = setup()
+        rule = DeterministicSTDP()
+        before = g.g.copy()
+        rule.step(g, timers, np.zeros(4, bool), np.array([True, True, True]), 10.0, rng)
+        assert (g.g < before).all()
+
+    def test_updates_follow_eq4_magnitude(self):
+        g, timers, rng = setup(g0=0.0)  # at G_min potentiation is exactly alpha_p
+        params = DeterministicSTDPParameters()
+        rule = DeterministicSTDP(params)
+        timers.record_pre(np.array([True, False, False, False]), 10.0)
+        rule.step(g, timers, np.zeros(4, bool), np.array([True, False, False]), 10.0, rng)
+        assert g.g[0, 0] == pytest.approx(params.alpha_p)
+
+
+class TestLowPrecisionBehaviour:
+    def test_fixed_lsb_full_step_every_event(self):
+        q = Quantizer(parse_qformat("Q0.2"), RoundingMode.NEAREST)
+        g, timers, rng = setup(g0=0.5, quantizer=q)
+        rule = DeterministicSTDP()
+        timers.record_pre(np.array([True, False, False, False]), 10.0)
+        rule.step(g, timers, np.zeros(4, bool), np.array([True, False, False]), 10.0, rng)
+        # Every affected synapse moved exactly one LSB (0.25 at 2 bits).
+        assert g.g[0, 0] == pytest.approx(0.75)
+        assert g.g[1, 0] == pytest.approx(0.25)
+
+    def test_repeated_depression_rails_to_minimum(self):
+        """The Section IV-D failure: synapses pile up at G_min."""
+        q = Quantizer(parse_qformat("Q0.2"), RoundingMode.NEAREST)
+        g, timers, rng = setup(g0=0.5, quantizer=q)
+        rule = DeterministicSTDP()
+        for t in range(10):
+            rule.step(g, timers, np.zeros(4, bool), np.ones(3, bool), float(t), rng)
+        assert (g.g == 0.0).all()

@@ -1,0 +1,86 @@
+"""Edge cases across modules that the per-module files do not cover."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.rasters import ascii_raster
+from repro.config.parameters import EncodingParameters
+from repro.encoding.poisson import PoissonEncoder
+from repro.engine.monitors import SpikeMonitor
+from repro.engine.simulator import Simulator, StepResult
+from repro.quantization.rounding import stochastic_round_up_probability
+
+
+class TestSimulatorDispatchEdges:
+    class _PartialModel:
+        """Reports only an 'output' layer; monitors on other layers idle."""
+
+        def advance(self, t_ms, dt_ms):
+            return StepResult(t_ms=t_ms, spikes={"output": np.array([True])})
+
+    def test_monitor_on_absent_layer_is_noop(self):
+        sim = Simulator(self._PartialModel(), dt_ms=1.0)
+        absent = sim.add_spike_monitor(SpikeMonitor("hidden"))
+        present = sim.add_spike_monitor(SpikeMonitor("output"))
+        sim.run_steps(5)
+        assert absent.count == 0
+        assert present.count == 5
+
+    def test_zero_steps(self):
+        sim = Simulator(self._PartialModel(), dt_ms=1.0)
+        stats = sim.run_steps(0)
+        assert stats.steps == 0
+        assert stats.simulated_ms == 0.0
+
+
+class TestAsciiRasterSubsampling:
+    def test_large_raster_bounded(self):
+        raster = np.zeros((1000, 300), dtype=bool)
+        raster[500, 150] = True
+        art = ascii_raster(raster, max_channels=40, max_steps=120)
+        lines = art.split("\n")
+        assert len(lines) <= 43
+        assert all(len(line) <= 125 for line in lines)
+        assert "|" in art  # the lone spike survives block-OR subsampling
+
+    def test_tiny_raster_unchanged(self):
+        raster = np.zeros((5, 3), dtype=bool)
+        raster[1, 2] = True
+        art = ascii_raster(raster)
+        assert art.split("\n")[2][1] == "|"
+
+
+class TestEncoderEdges:
+    def test_poisson_probability_capped_effect(self, rng):
+        """Even at f*dt near 1 the encoder emits at most one spike per step."""
+        enc = PoissonEncoder(4, EncodingParameters(f_min_hz=0.0, f_max_hz=900.0))
+        enc.set_image(np.full((2, 2), 255, dtype=np.uint8))
+        spikes = enc.step(1.0, rng)
+        assert spikes.dtype == bool
+        assert spikes.shape == (4,)
+
+    def test_all_black_image_spikes_at_f_min(self, rng):
+        enc = PoissonEncoder(100, EncodingParameters(f_min_hz=10.0, f_max_hz=100.0))
+        raster = enc.generate(np.zeros((10, 10), dtype=np.uint8), 5000.0, 1.0, rng)
+        rate = raster.sum() / 100 / 5.0
+        assert rate == pytest.approx(10.0, rel=0.2)
+
+
+@given(
+    value=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    frac_bits=st.integers(min_value=1, max_value=12),
+)
+def test_round_up_probability_is_a_probability(value, frac_bits):
+    p = float(stochastic_round_up_probability(np.array([value]), 2.0**-frac_bits)[0])
+    assert 0.0 <= p < 1.0
+
+
+@given(st.integers(min_value=1, max_value=50))
+def test_spike_monitor_counts_match_events(n_spikes):
+    monitor = SpikeMonitor()
+    for i in range(n_spikes):
+        monitor.record(float(i), np.array([True, False]))
+    assert monitor.count == n_spikes
+    counts = monitor.counts_per_neuron(2)
+    assert counts[0] == n_spikes and counts[1] == 0

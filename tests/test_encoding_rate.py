@@ -1,0 +1,75 @@
+"""Tests for the intensity-to-frequency map (Fig. 1d)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.parameters import EncodingParameters
+from repro.encoding.periodic import PeriodicEncoder
+from repro.encoding.poisson import PoissonEncoder
+from repro.encoding.rate import expected_spike_count, intensity_to_frequency, make_encoder
+from repro.errors import DatasetError
+
+
+class TestIntensityToFrequency:
+    def test_endpoints(self):
+        params = EncodingParameters(f_min_hz=1.0, f_max_hz=22.0)
+        freqs = intensity_to_frequency(np.array([0, 255]), params)
+        assert freqs[0] == pytest.approx(1.0)
+        assert freqs[1] == pytest.approx(22.0)
+
+    def test_linear_midpoint(self):
+        params = EncodingParameters(f_min_hz=0.0, f_max_hz=100.0)
+        assert intensity_to_frequency(np.array([127.5]), params)[0] == pytest.approx(50.0)
+
+    def test_invert_flips(self):
+        params = EncodingParameters(invert=True)
+        freqs = intensity_to_frequency(np.array([0, 255]), params)
+        assert freqs[0] == pytest.approx(22.0)
+        assert freqs[1] == pytest.approx(1.0)
+
+    def test_shape_preserved(self):
+        params = EncodingParameters()
+        img = np.zeros((4, 5))
+        assert intensity_to_frequency(img, params).shape == (4, 5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(DatasetError):
+            intensity_to_frequency(np.array([300]), EncodingParameters())
+        with pytest.raises(DatasetError):
+            intensity_to_frequency(np.array([-2]), EncodingParameters())
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_always_within_band(self, intensity):
+        params = EncodingParameters(f_min_hz=5.0, f_max_hz=78.0)
+        f = float(intensity_to_frequency(np.array([intensity]), params)[0])
+        assert 5.0 <= f <= 78.0
+
+    @given(st.integers(min_value=0, max_value=254))
+    def test_monotone(self, intensity):
+        params = EncodingParameters()
+        f1 = float(intensity_to_frequency(np.array([intensity]), params)[0])
+        f2 = float(intensity_to_frequency(np.array([intensity + 1]), params)[0])
+        assert f2 >= f1
+
+
+class TestExpectedSpikeCount:
+    def test_scales_with_duration(self):
+        params = EncodingParameters(f_min_hz=10.0, f_max_hz=20.0)
+        img = np.array([255])
+        assert expected_spike_count(img, params, 1000.0)[0] == pytest.approx(20.0)
+        assert expected_spike_count(img, params, 500.0)[0] == pytest.approx(10.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(DatasetError):
+            expected_spike_count(np.array([0]), EncodingParameters(), -1.0)
+
+
+class TestMakeEncoder:
+    def test_poisson_selected(self):
+        enc = make_encoder(EncodingParameters(kind="poisson"), 10)
+        assert isinstance(enc, PoissonEncoder)
+
+    def test_periodic_selected(self):
+        enc = make_encoder(EncodingParameters(kind="periodic"), 10)
+        assert isinstance(enc, PeriodicEncoder)

@@ -1,0 +1,31 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    LabelingError,
+    QuantizationError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ConfigurationError, DatasetError, LabelingError, QuantizationError,
+     SimulationError, TopologyError],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_catchable_as_single_base():
+    try:
+        raise QuantizationError("bad format")
+    except ReproError as err:
+        assert "bad format" in str(err)

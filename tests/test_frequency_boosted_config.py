@@ -1,0 +1,47 @@
+"""Tests for the config-level frequency boost used by the Fig. 7 sweep."""
+
+import pytest
+
+from repro.config.parameters import EncodingParameters, SimulationParameters
+from repro.config.presets import get_preset
+from repro.encoding.frequency_control import FrequencyControl
+
+
+@pytest.fixture
+def control():
+    cfg = get_preset("float32", n_neurons=10)
+    return FrequencyControl(base_encoding=cfg.encoding, base_simulation=cfg.simulation), cfg
+
+
+class TestBoostedConfig:
+    def test_identity(self, control):
+        fc, cfg = control
+        boosted = fc.boosted_config(cfg, 1.0)
+        assert boosted.encoding == cfg.encoding
+        assert boosted.simulation.t_learn_ms == cfg.simulation.t_learn_ms
+        assert boosted.wta.t_inh_ms == cfg.wta.t_inh_ms
+
+    def test_dynamics_scale_with_presentation(self, control):
+        fc, cfg = control
+        boosted = fc.boosted_config(cfg, 5.0)
+        assert boosted.encoding.f_max_hz == pytest.approx(110.0)
+        assert boosted.simulation.t_learn_ms == pytest.approx(100.0)
+        assert boosted.wta.t_inh_ms == pytest.approx(cfg.wta.t_inh_ms / 5.0)
+        assert boosted.wta.current_tau_ms == pytest.approx(cfg.wta.current_tau_ms / 5.0)
+        theta = boosted.wta.adaptive_threshold
+        assert theta.theta_plus == pytest.approx(cfg.wta.adaptive_threshold.theta_plus / 5.0)
+
+    def test_floors_respected(self, control):
+        fc, cfg = control
+        boosted = fc.boosted_config(cfg, 1000.0)
+        assert boosted.wta.t_inh_ms >= 2.0
+        assert boosted.wta.current_tau_ms >= 5.0
+        assert boosted.simulation.t_learn_ms >= fc.min_t_learn_ms
+
+    def test_seed_preserved(self, control):
+        fc, cfg = control
+        assert fc.boosted_config(cfg, 3.0).simulation.seed == cfg.simulation.seed
+
+    def test_name_tagged(self, control):
+        fc, cfg = control
+        assert "x3" in fc.boosted_config(cfg, 3.0).name

@@ -1,0 +1,72 @@
+"""Tests for the frequency-control module (Section III-A)."""
+
+import pytest
+
+from repro.config.parameters import EncodingParameters, SimulationParameters
+from repro.encoding.frequency_control import FrequencyControl
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def control():
+    return FrequencyControl(
+        base_encoding=EncodingParameters(f_min_hz=1.0, f_max_hz=22.0),
+        base_simulation=SimulationParameters(t_learn_ms=500.0, t_rest_ms=20.0),
+    )
+
+
+class TestBoost:
+    def test_identity_boost(self, control):
+        enc, sim = control.boost(1.0)
+        assert enc.f_max_hz == 22.0
+        assert sim.t_learn_ms == 500.0
+
+    def test_frequency_scales_up_time_scales_down(self, control):
+        enc, sim = control.boost(5.0)
+        assert enc.f_max_hz == pytest.approx(110.0)
+        assert enc.f_min_hz == pytest.approx(5.0)
+        assert sim.t_learn_ms == pytest.approx(100.0)
+
+    def test_spikes_per_image_preserved(self, control):
+        base_enc, base_sim = control.boost(1.0)
+        enc, sim = control.boost(4.0)
+        assert enc.f_max_hz * sim.t_learn_ms == pytest.approx(
+            base_enc.f_max_hz * base_sim.t_learn_ms
+        )
+
+    def test_t_learn_floor(self, control):
+        _, sim = control.boost(100.0)
+        assert sim.t_learn_ms == control.min_t_learn_ms
+
+    def test_below_one_rejected(self, control):
+        with pytest.raises(ConfigurationError):
+            control.boost(0.5)
+
+
+class TestPaperNumbers:
+    def test_high_frequency_row(self, control):
+        enc, sim = control.paper_high_frequency()
+        assert (enc.f_min_hz, enc.f_max_hz) == (5.0, 78.0)
+        assert sim.t_learn_ms == 100.0
+
+    def test_simulated_learning_time_ratio(self, control):
+        """500 ms -> 100 ms per image is the paper's ~3-5x reduction."""
+        base = control.simulated_learning_time_ms(60_000, 1.0)
+        fast = control.simulated_learning_time_ms(60_000, 5.0)
+        assert base / fast == pytest.approx(520.0 / 120.0, rel=0.01)
+
+    def test_paper_baseline_total_in_minutes(self, control):
+        # 60k images at 500 ms/image = 500 simulated minutes (+ rest).
+        total_min = control.simulated_learning_time_ms(60_000, 1.0) / 60_000.0
+        assert total_min == pytest.approx(520.0, rel=0.01)
+
+
+class TestSweep:
+    def test_sweep_returns_all_factors(self, control):
+        grid = control.sweep([1.0, 2.0, 3.0])
+        assert [f for f, _, _ in grid] == [1.0, 2.0, 3.0]
+        assert grid[1][1].f_max_hz == pytest.approx(44.0)
+
+    def test_negative_images_rejected(self, control):
+        with pytest.raises(ConfigurationError):
+            control.simulated_learning_time_ms(-1)

@@ -1,0 +1,72 @@
+"""Tests for divisive weight normalisation scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import RoundingMode
+from repro.errors import ConfigurationError
+from repro.learning.homeostasis import WeightNormalizer
+from repro.quantization.qformat import parse_qformat
+from repro.quantization.quantizer import Quantizer
+from repro.synapses.conductance import ConductanceMatrix
+
+
+class TestSchedule:
+    def test_normalises_every_image_by_default(self, rng):
+        g = ConductanceMatrix(8, 4, rng=rng)
+        norm = WeightNormalizer()
+        assert norm.after_image(g, rng)
+        assert np.allclose(g.g.sum(axis=0), norm.target_sum(g))
+
+    def test_period_respected(self, rng):
+        g = ConductanceMatrix(8, 4, rng=rng)
+        norm = WeightNormalizer(period_images=3)
+        assert not norm.after_image(g, rng)
+        assert not norm.after_image(g, rng)
+        assert norm.after_image(g, rng)
+
+    def test_disabled(self, rng):
+        g = ConductanceMatrix(8, 4, rng=rng)
+        before = g.g.copy()
+        norm = WeightNormalizer(enabled=False)
+        assert not norm.after_image(g, rng)
+        assert np.array_equal(g.g, before)
+
+    def test_skips_fixed_lsb_quantisers(self, rng):
+        q = Quantizer(parse_qformat("Q0.2"), RoundingMode.NEAREST)
+        g = ConductanceMatrix(8, 4, quantizer=q, g_init_low=0.25, g_init_high=0.5, rng=rng)
+        before = g.g.copy()
+        norm = WeightNormalizer(skip_fixed_lsb=True)
+        assert not norm.after_image(g, rng)
+        assert np.array_equal(g.g, before)
+
+    def test_fixed_lsb_opt_in(self, rng):
+        q = Quantizer(parse_qformat("Q0.2"), RoundingMode.NEAREST)
+        g = ConductanceMatrix(8, 4, quantizer=q, g_init_low=0.25, g_init_high=0.5, rng=rng)
+        norm = WeightNormalizer(skip_fixed_lsb=False)
+        assert norm.after_image(g, rng)
+
+    def test_reset_restarts_schedule(self, rng):
+        g = ConductanceMatrix(8, 4, rng=rng)
+        norm = WeightNormalizer(period_images=2)
+        norm.after_image(g, rng)
+        norm.reset()
+        assert not norm.after_image(g, rng)  # counts restart at 1
+
+
+class TestValidation:
+    def test_target_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WeightNormalizer(target_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            WeightNormalizer(target_fraction=1.5)
+
+    def test_period_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WeightNormalizer(period_images=0)
+
+    def test_target_sum_scales_with_fan_in(self, rng):
+        g_small = ConductanceMatrix(10, 2, rng=rng)
+        g_large = ConductanceMatrix(100, 2, rng=rng)
+        norm = WeightNormalizer(target_fraction=0.35)
+        assert norm.target_sum(g_large) == pytest.approx(10 * norm.target_sum(g_small))

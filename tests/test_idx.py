@@ -1,0 +1,86 @@
+"""Tests for the IDX reader/writer."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.datasets.idx import load_mnist_pair, read_idx, write_idx
+from repro.errors import DatasetError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "array",
+        [
+            np.arange(24, dtype=np.uint8).reshape(2, 3, 4),
+            np.arange(10, dtype=np.uint8),
+            (np.arange(6).reshape(2, 3) - 3).astype(np.int8),
+            np.arange(6, dtype=np.int32).reshape(3, 2),
+            np.linspace(0, 1, 8, dtype=np.float32),
+            np.linspace(0, 1, 8, dtype=np.float64),
+        ],
+    )
+    def test_write_read(self, tmp_path, array):
+        path = tmp_path / "data.idx"
+        write_idx(path, array)
+        out = read_idx(path)
+        assert out.shape == array.shape
+        assert np.allclose(out.astype(np.float64), array.astype(np.float64))
+
+    def test_uint8_payload_layout(self, tmp_path):
+        """Byte-level check against the documented MNIST format."""
+        path = tmp_path / "img.idx"
+        arr = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        write_idx(path, arr)
+        raw = path.read_bytes()
+        assert raw[:4] == bytes([0, 0, 0x08, 2])
+        assert struct.unpack(">II", raw[4:12]) == (2, 3)
+        assert raw[12:] == bytes(range(6))
+
+
+class TestErrorHandling:
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x00\x00")
+        with pytest.raises(DatasetError):
+            read_idx(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(b"\x01\x00\x08\x01" + b"\x00" * 8)
+        with pytest.raises(DatasetError):
+            read_idx(path)
+
+    def test_unknown_type_code(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(bytes([0, 0, 0x42, 1]) + struct.pack(">I", 1) + b"\x00")
+        with pytest.raises(DatasetError):
+            read_idx(path)
+
+    def test_payload_size_mismatch(self, tmp_path):
+        path = tmp_path / "bad.idx"
+        path.write_bytes(bytes([0, 0, 0x08, 1]) + struct.pack(">I", 10) + b"\x00" * 3)
+        with pytest.raises(DatasetError):
+            read_idx(path)
+
+    def test_unsupported_dtype_write(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_idx(tmp_path / "x.idx", np.array([1 + 2j]))
+
+
+class TestMnistPair:
+    def test_consistent_pair(self, tmp_path):
+        images = np.zeros((5, 4, 4), dtype=np.uint8)
+        labels = np.arange(5, dtype=np.uint8)
+        write_idx(tmp_path / "img.idx", images)
+        write_idx(tmp_path / "lbl.idx", labels)
+        out_images, out_labels = load_mnist_pair(tmp_path / "img.idx", tmp_path / "lbl.idx")
+        assert out_images.shape == (5, 4, 4)
+        assert list(out_labels) == list(range(5))
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        write_idx(tmp_path / "img.idx", np.zeros((5, 4, 4), dtype=np.uint8))
+        write_idx(tmp_path / "lbl.idx", np.zeros(3, dtype=np.uint8))
+        with pytest.raises(DatasetError):
+            load_mnist_pair(tmp_path / "img.idx", tmp_path / "lbl.idx")

@@ -1,0 +1,88 @@
+"""Tests for labeled-neuron vote inference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LabelingError
+from repro.network.inference import classify_batch, predict_label, vote_scores
+from repro.network.labeling import UNLABELED
+
+
+class TestVoteScores:
+    def test_mean_per_group(self):
+        counts = np.array([4.0, 2.0, 9.0])
+        labels = np.array([0, 0, 1])
+        scores = vote_scores(counts, labels, 3)
+        assert scores[0] == pytest.approx(3.0)
+        assert scores[1] == pytest.approx(9.0)
+        assert scores[2] == -np.inf
+
+    def test_mean_not_sum(self):
+        # Class 0 owns three weak neurons, class 1 one strong neuron.
+        counts = np.array([2.0, 2.0, 2.0, 5.0])
+        labels = np.array([0, 0, 0, 1])
+        scores = vote_scores(counts, labels, 2)
+        assert scores[1] > scores[0]
+
+    def test_unlabeled_neurons_ignored(self):
+        counts = np.array([100.0, 1.0])
+        labels = np.array([UNLABELED, 0])
+        scores = vote_scores(counts, labels, 1)
+        assert scores[0] == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(LabelingError):
+            vote_scores(np.zeros(3), np.zeros(2, dtype=int), 2)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(LabelingError):
+            vote_scores(np.zeros(2), np.array([0, 7]), 2)
+
+
+class TestPredictLabel:
+    def test_clear_winner(self):
+        counts = np.array([1.0, 8.0])
+        labels = np.array([0, 1])
+        assert predict_label(counts, labels, 2) == 1
+
+    def test_tie_breaks_randomly_with_rng(self):
+        counts = np.array([3.0, 3.0])
+        labels = np.array([0, 1])
+        rng = np.random.default_rng(0)
+        outcomes = {predict_label(counts, labels, 2, rng) for _ in range(50)}
+        assert outcomes == {0, 1}
+
+    def test_tie_without_rng_lowest_class(self):
+        counts = np.array([3.0, 3.0])
+        labels = np.array([1, 0])
+        assert predict_label(counts, labels, 2) == 0
+
+    def test_all_unlabeled_guesses(self):
+        counts = np.array([1.0, 2.0])
+        labels = np.array([UNLABELED, UNLABELED])
+        rng = np.random.default_rng(0)
+        preds = {predict_label(counts, labels, 4, rng) for _ in range(100)}
+        assert len(preds) > 1  # spread across classes, not pinned to 0
+
+
+class TestClassifyBatch:
+    def test_batch_shapes(self):
+        responses = np.array([[5.0, 0.0], [0.0, 5.0]])
+        labels = np.array([0, 1])
+        preds = classify_batch(responses, labels, 2)
+        assert list(preds) == [0, 1]
+
+    def test_degenerate_network_random_guessing(self):
+        responses = np.zeros((20, 3))
+        labels = np.full(3, UNLABELED)
+        rng = np.random.default_rng(1)
+        preds = classify_batch(responses, labels, 10, rng)
+        assert len(set(preds.tolist())) > 1
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(LabelingError):
+            classify_batch(np.zeros(4), np.zeros(4, dtype=int), 2)
+
+    def test_label_shape_mismatch_rejected(self):
+        with pytest.raises(LabelingError):
+            classify_batch(np.zeros((2, 3)), np.zeros(2, dtype=int), 2)

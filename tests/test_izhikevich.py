@@ -1,0 +1,56 @@
+"""Tests for the Izhikevich alternative neuron model."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import IzhikevichParameters
+from repro.neurons.izhikevich import IzhikevichPopulation
+
+
+def drive(pop, current, steps, dt=1.0):
+    counts = np.zeros(pop.n, dtype=int)
+    for _ in range(steps):
+        counts += pop.step(np.full(pop.n, current), dt)
+    return counts
+
+
+class TestDynamics:
+    def test_silent_without_input(self):
+        pop = IzhikevichPopulation(3)
+        assert drive(pop, 0.0, 500).sum() == 0
+
+    def test_spikes_with_strong_input(self):
+        pop = IzhikevichPopulation(3)
+        assert (drive(pop, 10.0, 1000) > 0).all()
+
+    def test_monotone_fi(self):
+        pop = IzhikevichPopulation(1)
+        low = drive(pop, 6.0, 1000)[0]
+        pop.reset_state()
+        high = drive(pop, 20.0, 1000)[0]
+        assert high > low > 0
+
+    def test_reset_updates_both_variables(self):
+        pop = IzhikevichPopulation(1)
+        u_before = pop.u[0]
+        fired = False
+        for _ in range(1000):
+            if pop.step(np.array([15.0]), 1.0)[0]:
+                fired = True
+                break
+        assert fired
+        assert pop.v[0] == pop.params.c_reset
+        assert pop.u[0] > u_before  # u jumped by d
+
+    def test_reset_state(self):
+        pop = IzhikevichPopulation(2)
+        drive(pop, 15.0, 200)
+        pop.reset_state()
+        assert np.allclose(pop.v, pop.params.v_init)
+        assert np.allclose(pop.u, pop.params.b * pop.params.v_init)
+
+    def test_regular_spiking_rate_reasonable(self):
+        # RS cell at I=10 fires in the tens of Hz, not hundreds.
+        pop = IzhikevichPopulation(1)
+        count = drive(pop, 10.0, 1000)[0]  # 1 second
+        assert 5 <= count <= 100

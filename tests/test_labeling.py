@@ -1,0 +1,75 @@
+"""Tests for neuron labeling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LabelingError
+from repro.network.labeling import UNLABELED, NeuronLabeler, assign_labels
+
+
+class TestAssignLabels:
+    def test_argmax_per_neuron(self):
+        counts = np.array([[5.0, 0.0, 1.0], [1.0, 7.0, 1.0]])
+        labels = assign_labels(counts, np.array([1, 1]))
+        assert list(labels) == [0, 1, 0]
+
+    def test_silent_neurons_unlabeled(self):
+        counts = np.array([[0.0, 3.0], [0.0, 1.0]])
+        labels = assign_labels(counts, np.array([1, 1]))
+        assert labels[0] == UNLABELED
+        assert labels[1] == 0
+
+    def test_presentation_normalisation(self):
+        # Class 0 presented 10x as often; raw counts favour it, rates do not.
+        counts = np.array([[10.0], [2.0]])
+        labels = assign_labels(counts, np.array([10, 1]))
+        assert labels[0] == 1
+
+    def test_never_presented_class_cannot_win(self):
+        counts = np.array([[5.0], [0.0]])
+        labels = assign_labels(counts, np.array([0, 1]))
+        assert labels[0] != 0
+
+    def test_shape_validation(self):
+        with pytest.raises(LabelingError):
+            assign_labels(np.zeros(3), np.array([1]))
+        with pytest.raises(LabelingError):
+            assign_labels(np.zeros((2, 3)), np.array([1, 1, 1]))
+
+    def test_negative_presentations_rejected(self):
+        with pytest.raises(LabelingError):
+            assign_labels(np.zeros((2, 2)), np.array([-1, 1]))
+
+
+class TestNeuronLabeler:
+    def test_accumulates_and_labels(self):
+        labeler = NeuronLabeler(n_classes=3, n_neurons=2)
+        labeler.add(0, np.array([4, 0]))
+        labeler.add(1, np.array([0, 6]))
+        labeler.add(0, np.array([2, 0]))
+        labels = labeler.labels()
+        assert list(labels) == [0, 1]
+
+    def test_coverage(self):
+        labeler = NeuronLabeler(2, 4)
+        labeler.add(0, np.array([1, 0, 0, 2]))
+        assert labeler.coverage() == pytest.approx(0.5)
+
+    def test_no_presentations_rejected(self):
+        with pytest.raises(LabelingError):
+            NeuronLabeler(2, 2).labels()
+
+    def test_label_out_of_range_rejected(self):
+        labeler = NeuronLabeler(2, 2)
+        with pytest.raises(LabelingError):
+            labeler.add(5, np.array([1, 1]))
+
+    def test_negative_counts_rejected(self):
+        labeler = NeuronLabeler(2, 2)
+        with pytest.raises(LabelingError):
+            labeler.add(0, np.array([-1, 1]))
+
+    def test_wrong_count_shape_rejected(self):
+        labeler = NeuronLabeler(2, 2)
+        with pytest.raises(LabelingError):
+            labeler.add(0, np.array([1, 2, 3]))

@@ -1,0 +1,53 @@
+"""Tests for the remaining monitors (ConductanceMonitor) and RunStats."""
+
+import numpy as np
+import pytest
+
+from repro.engine.monitors import ConductanceMonitor
+from repro.engine.simulator import RunStats
+from repro.errors import SimulationError
+
+
+class TestConductanceMonitor:
+    def test_snapshots_on_schedule(self):
+        state = np.zeros((2, 2))
+        mon = ConductanceMonitor(lambda: state, period_ms=10.0)
+        for t in range(25):
+            mon.record(float(t))
+            state += 1.0
+        times, snapshots = mon.snapshots()
+        assert list(times) == [0.0, 10.0, 20.0]
+        assert len(snapshots) == 3
+
+    def test_snapshots_are_copies(self):
+        state = np.zeros((2, 2))
+        mon = ConductanceMonitor(lambda: state, period_ms=5.0)
+        mon.record(0.0)
+        state += 9.0
+        _, snapshots = mon.snapshots()
+        assert snapshots[0][0, 0] == 0.0
+
+    def test_clear(self):
+        mon = ConductanceMonitor(lambda: np.zeros(2), period_ms=1.0)
+        mon.record(0.0)
+        mon.clear()
+        times, snapshots = mon.snapshots()
+        assert times.size == 0 and snapshots == []
+        mon.record(0.0)  # schedule restarted
+        assert len(mon.snapshots()[1]) == 1
+
+    def test_invalid_period(self):
+        with pytest.raises(SimulationError):
+            ConductanceMonitor(lambda: np.zeros(2), period_ms=0.0)
+
+
+class TestRunStats:
+    def test_rates(self):
+        stats = RunStats(steps=100, simulated_ms=100.0, wall_seconds=0.5)
+        assert stats.steps_per_second == pytest.approx(200.0)
+        assert stats.realtime_factor == pytest.approx(0.2)
+
+    def test_zero_wall_time(self):
+        stats = RunStats(steps=10, simulated_ms=10.0, wall_seconds=0.0)
+        assert stats.steps_per_second == float("inf")
+        assert stats.realtime_factor == float("inf")

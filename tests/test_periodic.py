@@ -1,0 +1,47 @@
+"""Tests for the deterministic periodic encoder."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import EncodingParameters
+from repro.encoding.periodic import PeriodicEncoder
+from repro.errors import DatasetError
+
+
+class TestExactCounts:
+    def test_spike_count_matches_frequency_exactly(self):
+        params = EncodingParameters(f_min_hz=0.0, f_max_hz=50.0)
+        enc = PeriodicEncoder(1, params, random_phase=False)
+        raster = enc.generate(np.array([[255]]), duration_ms=1000.0, dt_ms=1.0)
+        # Exactly 50 cycles; float phase accumulation may lose the last one.
+        assert raster.sum() in (49, 50)
+
+    def test_intervals_are_regular(self):
+        params = EncodingParameters(f_min_hz=0.0, f_max_hz=40.0)
+        enc = PeriodicEncoder(1, params, random_phase=False)
+        raster = enc.generate(np.array([[255]]), duration_ms=1000.0, dt_ms=1.0)
+        times = np.flatnonzero(raster[:, 0])
+        gaps = np.diff(times)
+        assert set(gaps) <= {25, 26}  # 25 ms nominal period with rounding
+
+    def test_zero_frequency_never_spikes(self):
+        params = EncodingParameters(f_min_hz=0.0, f_max_hz=10.0)
+        enc = PeriodicEncoder(1, params, random_phase=False)
+        raster = enc.generate(np.array([[0]]), duration_ms=2000.0, dt_ms=1.0)
+        assert raster.sum() == 0
+
+    def test_random_phase_desynchronises(self, rng):
+        params = EncodingParameters(f_min_hz=0.0, f_max_hz=20.0)
+        enc = PeriodicEncoder(8, params, random_phase=True)
+        raster = enc.generate(np.full((2, 4), 255, dtype=np.uint8), 1000.0, 1.0, rng)
+        first_spikes = raster.argmax(axis=0)
+        assert len(set(first_spikes.tolist())) > 1
+
+    def test_no_image_no_spikes(self):
+        enc = PeriodicEncoder(4, EncodingParameters())
+        assert not enc.step(1.0).any()
+
+    def test_wrong_shape_rejected(self):
+        enc = PeriodicEncoder(4, EncodingParameters())
+        with pytest.raises(DatasetError):
+            enc.set_image(np.zeros(5))

@@ -1,0 +1,49 @@
+"""Additional pipeline behaviours: batched experiment path, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LabelingError
+from repro.network.wta import WTANetwork
+from repro.pipeline.evaluator import Evaluator
+from repro.pipeline.experiment import moving_error_from_predictions, run_experiment
+
+
+class TestBatchedExperiment:
+    def test_run_experiment_batched(self, tiny_config, tiny_dataset):
+        result = run_experiment(tiny_config, tiny_dataset, n_labeling=10, batched_eval=True)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.evaluation.predictions.shape == (10,)
+
+    def test_batched_and_sequential_agree_on_plumbing(self, tiny_config, tiny_dataset):
+        seq = run_experiment(tiny_config, tiny_dataset, n_labeling=10, batched_eval=False)
+        bat = run_experiment(tiny_config, tiny_dataset, n_labeling=10, batched_eval=True)
+        # Same training trajectory (same seeds) -> identical conductances.
+        assert np.array_equal(seq.conductances, bat.conductances)
+        # Evaluation differs only stochastically.
+        assert abs(seq.accuracy - bat.accuracy) <= 0.6
+
+
+class TestEvaluatorEdgeCases:
+    def test_label_count_mismatch_rejected(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, 64)
+        ev = Evaluator(net, t_present_ms=20.0)
+        with pytest.raises(LabelingError):
+            ev.label_neurons(tiny_dataset.test_images[:4], tiny_dataset.test_labels[:3])
+
+    def test_single_image_input(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, 64)
+        ev = Evaluator(net, t_present_ms=20.0)
+        counts = ev.collect_responses(tiny_dataset.test_images[0])
+        assert counts.shape == (1, 8)
+
+
+class TestMovingErrorHelper:
+    def test_from_predictions(self):
+        true = np.array([0, 1, 2, 3, 4])
+        pred = np.array([0, 1, 9, 9, 4])
+        positions, errors = moving_error_from_predictions(true, pred, window=2)
+        assert errors[0] == 0.0
+        assert errors[2] == 0.5
+        assert errors[3] == 1.0
+        assert errors[4] == 0.5

@@ -1,0 +1,64 @@
+"""Tests for the Poisson spike-train encoder."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import EncodingParameters
+from repro.encoding.poisson import PoissonEncoder
+from repro.errors import DatasetError, SimulationError
+
+
+@pytest.fixture
+def encoder():
+    return PoissonEncoder(16, EncodingParameters(f_min_hz=1.0, f_max_hz=100.0))
+
+
+class TestLifecycle:
+    def test_no_spikes_before_image(self, encoder, rng):
+        assert not encoder.step(1.0, rng).any()
+
+    def test_no_spikes_after_clear(self, encoder, rng):
+        encoder.set_image(np.full((4, 4), 255, dtype=np.uint8))
+        encoder.clear()
+        assert not encoder.step(1.0, rng).any()
+        assert encoder.frequencies_hz is None
+
+    def test_wrong_pixel_count_rejected(self, encoder):
+        with pytest.raises(DatasetError):
+            encoder.set_image(np.zeros((3, 3)))
+
+    def test_nonpositive_dt_rejected(self, encoder, rng):
+        encoder.set_image(np.zeros((4, 4)))
+        with pytest.raises(SimulationError):
+            encoder.step(0.0, rng)
+
+    def test_zero_pixels_rejected(self):
+        with pytest.raises(DatasetError):
+            PoissonEncoder(0, EncodingParameters())
+
+
+class TestStatistics:
+    def test_rate_matches_frequency(self, rng):
+        params = EncodingParameters(f_min_hz=0.0, f_max_hz=100.0)
+        enc = PoissonEncoder(1, params)
+        raster = enc.generate(np.array([[255]]), duration_ms=20_000.0, dt_ms=1.0, rng=rng)
+        rate_hz = raster.sum() / 20.0
+        assert rate_hz == pytest.approx(100.0, rel=0.15)
+
+    def test_brighter_pixels_spike_more(self, rng):
+        enc = PoissonEncoder(2, EncodingParameters(f_min_hz=1.0, f_max_hz=50.0))
+        raster = enc.generate(np.array([0, 255]), duration_ms=10_000.0, dt_ms=1.0, rng=rng)
+        counts = raster.sum(axis=0)
+        assert counts[1] > 3 * counts[0]
+
+    def test_raster_shape(self, encoder, rng):
+        raster = encoder.generate(np.zeros((4, 4)), duration_ms=50.0, dt_ms=1.0, rng=rng)
+        assert raster.shape == (50, 16)
+        assert raster.dtype == bool
+
+    def test_seeded_reproducibility(self):
+        enc = PoissonEncoder(8, EncodingParameters())
+        img = np.full((2, 4), 200, dtype=np.uint8)
+        r1 = enc.generate(img, 100.0, 1.0, np.random.default_rng(5))
+        r2 = enc.generate(img, 100.0, 1.0, np.random.default_rng(5))
+        assert np.array_equal(r1, r2)

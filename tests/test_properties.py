@@ -1,0 +1,143 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These pin system-level invariants that unit tests only sample:
+
+- quantisation is idempotent for the deterministic rounding modes;
+- serialisation round-trips arbitrary valid parameter values;
+- the WTA network never emits more than one winner per step and keeps all
+  learned state inside the storage range, whatever image it sees;
+- labeling + voting never crash on arbitrary response matrices and always
+  produce in-range class predictions.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config.parameters import (
+    DeterministicSTDPParameters,
+    LIFParameters,
+    RoundingMode,
+    StochasticSTDPParameters,
+)
+from repro.config.serialize import config_from_dict, config_to_dict
+from repro.network.inference import classify_batch
+from repro.network.labeling import assign_labels
+from repro.network.wta import WTANetwork
+from repro.quantization.qformat import parse_qformat
+from repro.quantization.quantizer import Quantizer
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=50)
+@given(
+    values=st.lists(st.floats(min_value=-2.0, max_value=3.0, allow_nan=False),
+                    min_size=1, max_size=16),
+    frac_bits=st.integers(min_value=1, max_value=10),
+    mode=st.sampled_from([RoundingMode.TRUNCATE, RoundingMode.NEAREST]),
+)
+def test_quantize_idempotent(values, frac_bits, mode):
+    q = Quantizer(parse_qformat(f"Q0.{frac_bits}"), mode)
+    once = q.quantize(np.array(values))
+    twice = q.quantize(once)
+    assert np.array_equal(once, twice)
+
+
+@settings(max_examples=50)
+@given(
+    a=st.floats(min_value=-20.0, max_value=-0.1),
+    b=st.floats(min_value=-1.0, max_value=-0.001),
+    c=st.floats(min_value=0.01, max_value=2.0),
+    refractory=st.floats(min_value=0.0, max_value=10.0),
+)
+def test_lif_parameters_round_trip(a, b, c, refractory):
+    params = LIFParameters(a=a, b=b, c=c, refractory_ms=refractory)
+    assert config_from_dict(config_to_dict(params)) == params
+
+
+@settings(max_examples=30)
+@given(
+    alpha_p=st.floats(min_value=1e-4, max_value=0.5),
+    alpha_d=st.floats(min_value=1e-4, max_value=0.5),
+    beta=st.floats(min_value=0.0, max_value=10.0),
+    gamma=st.floats(min_value=0.01, max_value=1.0),
+    tau=st.floats(min_value=0.1, max_value=1e4),
+)
+def test_stdp_parameter_round_trips(alpha_p, alpha_d, beta, gamma, tau):
+    det = DeterministicSTDPParameters(alpha_p=alpha_p, alpha_d=alpha_d,
+                                      beta_p=beta, beta_d=beta)
+    sto = StochasticSTDPParameters(gamma_pot=gamma, tau_pot_ms=tau,
+                                   gamma_dep=gamma, tau_dep_ms=tau)
+    assert config_from_dict(config_to_dict(det)) == det
+    assert config_from_dict(config_to_dict(sto)) == sto
+
+
+def _tiny_config():
+    from dataclasses import replace
+
+    from repro.config.parameters import SimulationParameters, STDPKind
+    from repro.config.presets import get_preset
+
+    cfg = get_preset("float32", stdp_kind=STDPKind.STOCHASTIC, n_neurons=8, seed=0)
+    return replace(
+        cfg,
+        simulation=SimulationParameters(dt_ms=1.0, t_learn_ms=50.0, t_rest_ms=5.0, seed=0),
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    image_seed=st.integers(min_value=0, max_value=2**16),
+    brightness=st.integers(min_value=0, max_value=255),
+)
+def test_wta_invariants_hold_for_arbitrary_images(image_seed, brightness):
+    """Single winner per step; conductances stay in [0, 1]; no NaNs."""
+    tiny_config = _tiny_config()
+    rng = np.random.default_rng(image_seed)
+    image = np.minimum(
+        rng.integers(0, brightness + 1, size=(8, 8)), 255
+    ).astype(np.uint8)
+    net = WTANetwork(tiny_config, 64)
+    net.present_image(image)
+    for t in range(40):
+        result = net.advance(float(t), 1.0)
+        assert result.spikes["output"].sum() <= 1
+    g = net.conductances
+    assert np.isfinite(g).all()
+    assert (g >= 0.0).all() and (g <= 1.0).all()
+    assert np.isfinite(net.neurons.v).all()
+
+
+@settings(max_examples=40)
+@given(
+    counts=st.lists(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=4, max_size=4),
+        min_size=2, max_size=8,
+    ),
+    labels=st.lists(st.integers(min_value=-1, max_value=2), min_size=4, max_size=4),
+)
+def test_inference_total_on_arbitrary_responses(counts, labels):
+    responses = np.array(counts, dtype=float)
+    neuron_labels = np.array(labels, dtype=np.int64)
+    rng = np.random.default_rng(0)
+    predictions = classify_batch(responses, neuron_labels, n_classes=3, rng=rng)
+    assert predictions.shape == (responses.shape[0],)
+    assert ((predictions >= 0) & (predictions < 3)).all()
+
+
+@settings(max_examples=40)
+@given(
+    counts=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                 min_size=3, max_size=3),
+        min_size=2, max_size=5,
+    ),
+)
+def test_labeling_total_on_arbitrary_counts(counts):
+    matrix = np.array(counts)
+    presentations = np.ones(matrix.shape[0])
+    labels = assign_labels(matrix, presentations)
+    assert labels.shape == (matrix.shape[1],)
+    assert ((labels >= -1) & (labels < matrix.shape[0])).all()
+    silent = matrix.sum(axis=0) == 0
+    assert (labels[silent] == -1).all()

@@ -1,0 +1,96 @@
+"""Tests for Q-format descriptors, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantizationError
+from repro.quantization.qformat import QFormat, parse_qformat
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text, int_bits, frac_bits",
+        [("Q0.2", 0, 2), ("Q0.4", 0, 4), ("Q1.7", 1, 7), ("Q1.15", 1, 15), ("q2.6", 2, 6)],
+    )
+    def test_valid_formats(self, text, int_bits, frac_bits):
+        fmt = parse_qformat(text)
+        assert (fmt.int_bits, fmt.frac_bits) == (int_bits, frac_bits)
+
+    @pytest.mark.parametrize("text", ["", "1.7", "Q1", "Q1,7", "Qx.y", "Q-1.7"])
+    def test_malformed_rejected(self, text):
+        with pytest.raises(QuantizationError):
+            parse_qformat(text)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(QuantizationError):
+            parse_qformat(8)
+
+
+class TestProperties:
+    def test_paper_formats(self):
+        q02 = QFormat(0, 2)
+        assert q02.total_bits == 2
+        assert q02.resolution == 0.25
+        assert q02.max_value == 0.75
+        assert q02.num_levels == 4
+
+        q17 = QFormat(1, 7)
+        assert q17.total_bits == 8
+        assert q17.resolution == pytest.approx(1 / 128)
+        assert q17.max_value == pytest.approx(2.0 - 1 / 128)
+
+    def test_zero_frac_bits_rejected(self):
+        with pytest.raises(QuantizationError):
+            QFormat(1, 0)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(QuantizationError):
+            QFormat(17, 16)
+
+    def test_str_round_trips(self):
+        fmt = QFormat(1, 15)
+        assert parse_qformat(str(fmt)) == fmt
+
+    def test_grid_spans_range(self):
+        grid = QFormat(0, 4).grid()
+        assert grid[0] == 0.0
+        assert grid[-1] == pytest.approx(1.0 - 1 / 16)
+        assert len(grid) == 16
+        assert np.all(np.diff(grid) > 0)
+
+    def test_grid_refuses_wide_formats(self):
+        with pytest.raises(QuantizationError):
+            QFormat(10, 10).grid()
+
+    def test_clamp(self):
+        fmt = QFormat(0, 2)
+        out = fmt.clamp(np.array([-1.0, 0.3, 2.0]))
+        assert out[0] == 0.0
+        assert out[2] == 0.75
+
+    def test_is_representable(self):
+        fmt = QFormat(0, 2)
+        mask = fmt.is_representable(np.array([0.0, 0.25, 0.3, 0.75, 1.0]))
+        assert list(mask) == [True, True, False, True, False]
+
+
+@given(
+    int_bits=st.integers(min_value=0, max_value=4),
+    frac_bits=st.integers(min_value=1, max_value=12),
+)
+def test_grid_values_all_representable(int_bits, frac_bits):
+    fmt = QFormat(int_bits, frac_bits)
+    grid = fmt.grid()
+    assert fmt.is_representable(grid).all()
+    assert len(grid) == fmt.num_levels
+
+
+@given(
+    frac_bits=st.integers(min_value=1, max_value=12),
+    value=st.floats(min_value=0.0, max_value=0.999999, allow_nan=False),
+)
+def test_resolution_separates_adjacent_levels(frac_bits, value):
+    fmt = QFormat(0, frac_bits)
+    snapped = np.floor(value / fmt.resolution) * fmt.resolution
+    assert fmt.is_representable(np.array([snapped])).all()

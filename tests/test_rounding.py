@@ -1,0 +1,85 @@
+"""Tests for the three rounding options, including eq. (8) statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantizationError
+from repro.quantization.rounding import (
+    round_nearest,
+    round_stochastic,
+    round_truncate,
+    stochastic_round_up_probability,
+)
+
+RES = 0.125
+
+
+class TestTruncate:
+    def test_truncates_down(self):
+        out = round_truncate(np.array([0.0, 0.1, 0.1249, 0.125, 0.2499]), RES)
+        assert list(out) == [0.0, 0.0, 0.0, 0.125, 0.125]
+
+    def test_idempotent_on_grid(self):
+        grid = np.arange(8) * RES
+        assert np.allclose(round_truncate(grid, RES), grid)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(QuantizationError):
+            round_truncate(np.array([0.5]), 0.0)
+
+
+class TestNearest:
+    def test_rounds_to_closest(self):
+        out = round_nearest(np.array([0.05, 0.07, 0.0624, 0.0626]), RES)
+        assert list(out) == [0.0, 0.125, 0.0, 0.125]
+
+    def test_half_rounds_up(self):
+        assert round_nearest(np.array([0.0625]), RES)[0] == 0.125
+
+    def test_scalar_input(self):
+        assert float(round_nearest(0.13, RES)) == pytest.approx(0.125)
+
+
+class TestStochasticRounding:
+    def test_probability_formula(self):
+        # Eq. (8): P_up = (x - trunc(x)) * 2^n
+        p = stochastic_round_up_probability(np.array([0.0, 0.03125, 0.0625, 0.125]), RES)
+        assert np.allclose(p, [0.0, 0.25, 0.5, 0.0])
+
+    def test_only_adjacent_grid_points(self, rng):
+        values = np.full(1000, 0.3)
+        out = round_stochastic(values, RES, rng)
+        assert set(np.round(out, 6)) <= {0.25, 0.375}
+
+    def test_unbiased_in_expectation(self, rng):
+        values = np.full(20_000, 0.3)
+        out = round_stochastic(values, RES, rng)
+        assert out.mean() == pytest.approx(0.3, abs=0.002)
+
+    def test_grid_values_unchanged(self, rng):
+        grid = np.arange(8) * RES
+        assert np.allclose(round_stochastic(grid, RES, rng), grid)
+
+
+@given(
+    value=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    frac_bits=st.integers(min_value=1, max_value=10),
+)
+def test_ordering_truncate_le_value(value, frac_bits):
+    res = 2.0**-frac_bits
+    trunc = float(round_truncate(value, res))
+    nearest = float(round_nearest(value, res))
+    assert trunc <= value + 1e-12
+    assert abs(nearest - value) <= res / 2 + 1e-9
+    assert value - trunc < res + 1e-9
+
+
+@settings(max_examples=30)
+@given(value=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_stochastic_lands_on_neighbours(value):
+    rng = np.random.default_rng(0)
+    res = 0.25
+    out = round_stochastic(np.full(64, value), res, rng)
+    lo = np.floor(value / res) * res
+    assert np.all((np.isclose(out, lo)) | (np.isclose(out, lo + res)))

@@ -1,0 +1,81 @@
+"""Tests for spike-train statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spiketrains import (
+    fano_factor,
+    interspike_intervals,
+    isi_cv,
+    raster_train_statistics,
+    synchrony_index,
+)
+from repro.config.parameters import EncodingParameters
+from repro.encoding.periodic import PeriodicEncoder
+from repro.encoding.poisson import PoissonEncoder
+from repro.errors import SimulationError
+
+
+class TestBasics:
+    def test_isi(self):
+        assert list(interspike_intervals([0.0, 10.0, 25.0])) == [10.0, 15.0]
+        assert interspike_intervals([5.0]).size == 0
+
+    def test_isi_unsorted_input(self):
+        assert list(interspike_intervals([25.0, 0.0, 10.0])) == [10.0, 15.0]
+
+    def test_cv_periodic_is_zero(self):
+        assert isi_cv(np.arange(0, 1000, 25.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cv_needs_enough_spikes(self):
+        assert np.isnan(isi_cv([1.0, 2.0]))
+
+    def test_fano_constant_counts_zero(self):
+        times = np.arange(0, 1000, 10.0)  # 10 per 100 ms window, exactly
+        assert fano_factor(times, 1000.0, window_ms=100.0) == pytest.approx(0.0)
+
+    def test_fano_validation(self):
+        with pytest.raises(SimulationError):
+            fano_factor([1.0], 0.0)
+
+
+class TestAgainstEncoders:
+    def test_poisson_cv_near_one(self, rng):
+        enc = PoissonEncoder(1, EncodingParameters(f_min_hz=0.0, f_max_hz=80.0))
+        raster = enc.generate(np.array([[255]]), duration_ms=60_000.0, dt_ms=1.0, rng=rng)
+        times = np.flatnonzero(raster[:, 0]).astype(float)
+        assert isi_cv(times) == pytest.approx(1.0, abs=0.15)
+        assert fano_factor(times, 60_000.0) == pytest.approx(1.0, abs=0.3)
+
+    def test_periodic_cv_near_zero(self):
+        enc = PeriodicEncoder(1, EncodingParameters(f_min_hz=0.0, f_max_hz=40.0),
+                              random_phase=False)
+        raster = enc.generate(np.array([[255]]), duration_ms=10_000.0, dt_ms=1.0)
+        times = np.flatnonzero(raster[:, 0]).astype(float)
+        assert isi_cv(times) < 0.1
+
+    def test_raster_statistics_shape(self, rng):
+        enc = PoissonEncoder(4, EncodingParameters(f_min_hz=0.0, f_max_hz=50.0))
+        raster = enc.generate(np.full((2, 2), 255, np.uint8), 5000.0, 1.0, rng)
+        stats = raster_train_statistics(raster)
+        assert stats["mean_rate_hz"] == pytest.approx(50.0, rel=0.2)
+        assert stats["mean_isi_cv"] == pytest.approx(1.0, abs=0.3)
+        assert stats["n_channels_measured"] == 4
+
+
+class TestSynchrony:
+    def test_independent_channels_low(self, rng):
+        raster = rng.random((5000, 20)) < 0.05
+        assert synchrony_index(raster) < 1.5
+
+    def test_co_firing_channels_high(self):
+        raster = np.zeros((1000, 20), dtype=bool)
+        raster[::50, :] = True  # all channels fire together
+        assert synchrony_index(raster) > 10.0
+
+    def test_silent_raster_zero(self):
+        assert synchrony_index(np.zeros((100, 4), dtype=bool)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            synchrony_index(np.zeros((1, 4)))

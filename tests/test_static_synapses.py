@@ -1,0 +1,57 @@
+"""Tests for static (non-plastic) synapses."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.synapses.static import StaticSynapses
+
+
+class TestConstruction:
+    def test_weights_frozen(self):
+        s = StaticSynapses(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            s.weights[0, 0] = 5.0
+
+    def test_copy_decouples_from_input(self):
+        w = np.ones((2, 2))
+        s = StaticSynapses(w)
+        w[0, 0] = 99.0
+        assert s.weights[0, 0] == 1.0
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(TopologyError):
+            StaticSynapses(np.ones(3))
+
+
+class TestFactories:
+    def test_one_to_one(self):
+        s = StaticSynapses.one_to_one(3, weight=2.0)
+        assert np.array_equal(s.weights, np.eye(3) * 2.0)
+
+    def test_all_to_all(self):
+        s = StaticSynapses.all_to_all(2, 3, weight=-1.5)
+        assert s.weights.shape == (2, 3)
+        assert (s.weights == -1.5).all()
+
+    def test_lateral_inhibition_zero_diagonal(self):
+        s = StaticSynapses.lateral_inhibition(4, weight=-3.0)
+        assert np.all(np.diag(s.weights) == 0.0)
+        off = s.weights[~np.eye(4, dtype=bool)]
+        assert (off == -3.0).all()
+
+
+class TestPropagate:
+    def test_weighted_sum(self):
+        s = StaticSynapses(np.array([[1.0, 0.0], [0.5, 2.0]]))
+        current = s.propagate(np.array([True, True]), amplitude=2.0)
+        assert np.allclose(current, [3.0, 4.0])
+
+    def test_no_spikes_zero_current(self):
+        s = StaticSynapses.all_to_all(3, 2, 1.0)
+        assert np.allclose(s.propagate(np.zeros(3, dtype=bool)), 0.0)
+
+    def test_shape_checked(self):
+        s = StaticSynapses.all_to_all(3, 2, 1.0)
+        with pytest.raises(TopologyError):
+            s.propagate(np.zeros(2, dtype=bool))

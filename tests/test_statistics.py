@@ -1,0 +1,81 @@
+"""Tests for multi-seed statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import SeedStudy, Summary, bootstrap_ci, summarize
+from repro.errors import ReproError
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert (s.minimum, s.maximum, s.n) == (1.0, 3.0, 3)
+
+    def test_single_value_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_str(self):
+        assert "n=2" in str(summarize([0.0, 1.0]))
+
+
+class TestBootstrap:
+    def test_contains_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0.5, 0.1, size=30)
+        lo, hi = bootstrap_ci(data)
+        assert lo < data.mean() < hi
+
+    def test_narrows_with_more_data(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_ci(rng.normal(0, 1, 10))
+        large = bootstrap_ci(rng.normal(0, 1, 1000))
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_deterministic_given_seed(self):
+        data = [0.1, 0.5, 0.9, 0.3]
+        assert bootstrap_ci(data, seed=1) == bootstrap_ci(data, seed=1)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestSeedStudy:
+    def test_runs_each_seed(self):
+        study = SeedStudy([1, 2, 3])
+        seen = []
+        study.run("v", lambda seed: seen.append(seed) or float(seed))
+        assert seen == [1, 2, 3]
+        assert study.scores("v") == [1.0, 2.0, 3.0]
+
+    def test_summary_rows(self):
+        study = SeedStudy([0, 1])
+        study.run("a", lambda s: 0.5)
+        study.run("b", lambda s: float(s))
+        rows = study.summary_rows()
+        assert rows[0][0] == "a"
+        assert rows[0][1] == pytest.approx(0.5)
+
+    def test_paired_difference(self):
+        study = SeedStudy([0, 1])
+        study.run("a", lambda s: s + 1.0)
+        study.run("b", lambda s: float(s))
+        diff = study.difference("a", "b")
+        assert diff.mean == pytest.approx(1.0)
+        assert diff.std == 0.0
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ReproError):
+            SeedStudy([0]).scores("nope")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ReproError):
+            SeedStudy([])

@@ -1,0 +1,59 @@
+"""Tests for the seed-averaged parameter sweep."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config.parameters import SimulationParameters, STDPKind
+from repro.config.presets import get_preset
+from repro.errors import ReproError
+from repro.pipeline.sweep import ParameterSweep
+
+
+def tiny_factory(kind=STDPKind.STOCHASTIC):
+    def factory(seed):
+        cfg = get_preset("float32", stdp_kind=kind, n_neurons=6, seed=seed)
+        return replace(
+            cfg,
+            simulation=SimulationParameters(t_learn_ms=30.0, t_rest_ms=5.0, seed=seed),
+        )
+    return factory
+
+
+class TestSweep:
+    def test_runs_all_seeds_and_tabulates(self, tiny_dataset):
+        sweep = ParameterSweep(tiny_dataset, seeds=(0, 1), n_labeling=6, epochs=1)
+        summary = sweep.add("stochastic", tiny_factory())
+        assert summary.n == 2
+        assert len(sweep.scores("stochastic")) == 2
+        table = sweep.table(title="demo")
+        assert "stochastic" in table
+        assert "mean accuracy" in table
+
+    def test_paired_gap(self, tiny_dataset):
+        sweep = ParameterSweep(tiny_dataset, seeds=(0, 1), n_labeling=6, epochs=1)
+        sweep.add("a", tiny_factory())
+        sweep.add("b", tiny_factory(STDPKind.DETERMINISTIC))
+        gap = sweep.gap("a", "b")
+        assert gap.n == 2
+
+    def test_duplicate_variant_rejected(self, tiny_dataset):
+        sweep = ParameterSweep(tiny_dataset, seeds=(0,), n_labeling=6)
+        sweep.add("x", tiny_factory())
+        with pytest.raises(ReproError):
+            sweep.add("x", tiny_factory())
+
+    def test_table_requires_variants(self, tiny_dataset):
+        with pytest.raises(ReproError):
+            ParameterSweep(tiny_dataset).table()
+
+    def test_per_variant_epochs(self, tiny_dataset):
+        seen = []
+
+        def factory(seed):
+            seen.append(seed)
+            return tiny_factory()(seed)
+
+        sweep = ParameterSweep(tiny_dataset, seeds=(0,), n_labeling=6, epochs=1)
+        sweep.add("more", factory, epochs=2)
+        assert seen == [0]

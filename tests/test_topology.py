@@ -1,0 +1,98 @@
+"""Tests for the declarative network graph."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.topology import INPUT_LAYER, ConnectionSpec, LayerSpec, NetworkGraph
+
+
+class TestLayerSpec:
+    def test_valid(self):
+        spec = LayerSpec("exc", 10, kind="adaptive_lif")
+        assert spec.n == 10
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(TopologyError):
+            LayerSpec(INPUT_LAYER, 10)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TopologyError):
+            LayerSpec("", 10)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TopologyError):
+            LayerSpec("exc", 10, kind="hodgkin_huxley")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(TopologyError):
+            LayerSpec("exc", 0)
+
+
+class TestConnectionSpec:
+    def test_valid_static(self):
+        c = ConnectionSpec("a", "b", amplitude=2.0)
+        assert c.weight_kind == "static"
+
+    def test_cannot_target_input(self):
+        with pytest.raises(TopologyError):
+            ConnectionSpec("a", INPUT_LAYER)
+
+    def test_plastic_must_come_from_input(self):
+        with pytest.raises(TopologyError):
+            ConnectionSpec("a", "b", weight_kind="plastic")
+        ConnectionSpec(INPUT_LAYER, "b", weight_kind="plastic")  # ok
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TopologyError):
+            ConnectionSpec("a", "b", weight_kind="magic")
+
+
+class TestNetworkGraph:
+    def build(self):
+        graph = NetworkGraph(n_inputs=16)
+        graph.layers.append(LayerSpec("exc", 4))
+        graph.layers.append(LayerSpec("inh", 4))
+        graph.connections.append(ConnectionSpec(INPUT_LAYER, "exc", weight_kind="plastic"))
+        graph.connections.append(ConnectionSpec("exc", "inh"))
+        graph.connections.append(ConnectionSpec("inh", "exc"))
+        return graph
+
+    def test_validate_passes(self):
+        self.build().validate()
+
+    def test_size_of(self):
+        graph = self.build()
+        assert graph.size_of(INPUT_LAYER) == 16
+        assert graph.size_of("exc") == 4
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(TopologyError):
+            self.build().layer("nope")
+
+    def test_duplicate_names_rejected(self):
+        graph = self.build()
+        graph.layers.append(LayerSpec("exc", 2))
+        with pytest.raises(TopologyError):
+            graph.validate()
+
+    def test_dangling_connection_rejected(self):
+        graph = self.build()
+        graph.connections.append(ConnectionSpec("ghost", "exc"))
+        with pytest.raises(TopologyError):
+            graph.validate()
+
+    def test_incoming(self):
+        graph = self.build()
+        incoming = graph.incoming("exc")
+        assert {c.source for c in incoming} == {INPUT_LAYER, "inh"}
+
+    def test_summary_counts_synapses(self):
+        summary = self.build().summary()
+        assert summary["total_synapses"] == 16 * 4 + 4 * 4 + 4 * 4
+        assert summary["layers"] == {"exc": 4, "inh": 4}
+
+    def test_input_layer_without_inputs_rejected(self):
+        graph = NetworkGraph(n_inputs=0)
+        graph.layers.append(LayerSpec("exc", 2))
+        with pytest.raises(TopologyError):
+            graph.size_of(INPUT_LAYER)

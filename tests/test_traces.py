@@ -1,0 +1,55 @@
+"""Tests for spike timers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.synapses.traces import NEVER, SpikeTimers
+
+
+class TestRecording:
+    def test_initially_never(self):
+        t = SpikeTimers(3, 2)
+        assert np.all(t.last_pre == NEVER)
+        assert np.all(t.last_post == NEVER)
+        assert np.all(np.isinf(t.elapsed_pre(100.0)))
+
+    def test_record_and_elapsed(self):
+        t = SpikeTimers(3, 2)
+        t.record_pre(np.array([True, False, True]), 10.0)
+        elapsed = t.elapsed_pre(15.0)
+        assert elapsed[0] == 5.0
+        assert np.isinf(elapsed[1])
+        assert elapsed[2] == 5.0
+
+    def test_latest_spike_wins(self):
+        t = SpikeTimers(1, 1)
+        t.record_pre(np.array([True]), 5.0)
+        t.record_pre(np.array([True]), 9.0)
+        assert t.elapsed_pre(10.0)[0] == 1.0
+
+    def test_post_side(self):
+        t = SpikeTimers(2, 3)
+        t.record_post(np.array([False, True, False]), 7.0)
+        elapsed = t.elapsed_post(10.0)
+        assert np.isinf(elapsed[0])
+        assert elapsed[1] == 3.0
+
+    def test_reset_forgets_everything(self):
+        t = SpikeTimers(2, 2)
+        t.record_pre(np.array([True, True]), 3.0)
+        t.record_post(np.array([True, True]), 4.0)
+        t.reset()
+        assert np.all(t.last_pre == NEVER)
+        assert np.all(t.last_post == NEVER)
+
+    def test_shape_validation(self):
+        t = SpikeTimers(2, 3)
+        with pytest.raises(SimulationError):
+            t.record_pre(np.array([True]), 1.0)
+        with pytest.raises(SimulationError):
+            t.record_post(np.array([True, False]), 1.0)
+
+    def test_size_validation(self):
+        with pytest.raises(SimulationError):
+            SpikeTimers(0, 1)

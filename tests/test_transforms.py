@@ -1,0 +1,67 @@
+"""Tests for image transforms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.transforms import binarize, downsample, normalize_intensity
+from repro.errors import DatasetError
+
+
+class TestDownsample:
+    def test_block_mean(self):
+        img = np.array([[0, 0, 255, 255], [0, 0, 255, 255],
+                        [255, 255, 0, 0], [255, 255, 0, 0]], dtype=np.uint8)
+        out = downsample(img, 2)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == 0 and out[0, 1] == 255
+
+    def test_batch(self):
+        batch = np.zeros((3, 8, 8), dtype=np.uint8)
+        assert downsample(batch, 2).shape == (3, 4, 4)
+
+    def test_factor_one_identity(self):
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        assert np.array_equal(downsample(img, 1), img)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(DatasetError):
+            downsample(np.zeros((5, 5)), 2)
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(DatasetError):
+            downsample(np.zeros((4, 4)), 0)
+
+    def test_float_input_stays_float(self):
+        out = downsample(np.ones((4, 4)) * 0.5, 2)
+        assert out.dtype == np.float64
+
+
+class TestNormalize:
+    def test_peak_hit(self):
+        img = np.array([[10, 20], [30, 40]], dtype=np.uint8)
+        out = normalize_intensity(img, peak=200)
+        assert out.max() == 200
+
+    def test_blank_unchanged(self):
+        img = np.zeros((4, 4), dtype=np.uint8)
+        assert normalize_intensity(img).max() == 0
+
+    def test_batch_per_image(self):
+        batch = np.stack([np.full((2, 2), 50, np.uint8), np.full((2, 2), 200, np.uint8)])
+        out = normalize_intensity(batch, peak=255)
+        assert out[0].max() == 255 and out[1].max() == 255
+
+    def test_peak_bounds(self):
+        with pytest.raises(DatasetError):
+            normalize_intensity(np.zeros((2, 2)), peak=0)
+
+
+class TestBinarize:
+    def test_threshold(self):
+        img = np.array([[100, 200]], dtype=np.uint8)
+        out = binarize(img, threshold=128)
+        assert list(out[0]) == [0, 255]
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(DatasetError):
+            binarize(np.zeros((2, 2)), threshold=300)

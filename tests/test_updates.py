@@ -1,0 +1,112 @@
+"""Tests for the STDP kernels (eqs. 4-7), incl. hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config.parameters import DeterministicSTDPParameters, StochasticSTDPParameters
+from repro.learning.updates import (
+    depression_magnitude,
+    depression_probability,
+    pair_depression_probability,
+    potentiation_magnitude,
+    potentiation_probability,
+)
+
+DET = DeterministicSTDPParameters()
+STO = StochasticSTDPParameters()
+
+
+class TestMagnitudes:
+    def test_eq4_at_gmin_equals_alpha(self):
+        assert potentiation_magnitude(np.array([0.0]), DET)[0] == pytest.approx(DET.alpha_p)
+
+    def test_eq4_at_gmax_fully_damped(self):
+        out = potentiation_magnitude(np.array([1.0]), DET)[0]
+        assert out == pytest.approx(DET.alpha_p * np.exp(-DET.beta_p))
+
+    def test_eq5_at_gmax_equals_alpha(self):
+        assert depression_magnitude(np.array([1.0]), DET)[0] == pytest.approx(DET.alpha_d)
+
+    def test_eq5_at_gmin_fully_damped(self):
+        out = depression_magnitude(np.array([0.0]), DET)[0]
+        assert out == pytest.approx(DET.alpha_d * np.exp(-DET.beta_d))
+
+    @given(g=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_soft_bounds(self, g):
+        pot = float(potentiation_magnitude(np.array([g]), DET)[0])
+        dep = float(depression_magnitude(np.array([g]), DET)[0])
+        assert 0.0 < pot <= DET.alpha_p
+        assert 0.0 < dep <= DET.alpha_d
+
+    @given(
+        g1=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+        delta=st.floats(min_value=0.001, max_value=0.5, allow_nan=False),
+    )
+    def test_monotone_in_g(self, g1, delta):
+        g2 = min(g1 + delta, 1.0)
+        assert potentiation_magnitude(np.array([g2]), DET)[0] <= potentiation_magnitude(
+            np.array([g1]), DET
+        )[0]
+        assert depression_magnitude(np.array([g2]), DET)[0] >= depression_magnitude(
+            np.array([g1]), DET
+        )[0]
+
+
+class TestPotentiationProbability:
+    def test_eq6_at_zero_equals_gamma(self):
+        assert potentiation_probability(np.array([0.0]), STO)[0] == pytest.approx(STO.gamma_pot)
+
+    def test_eq6_decay(self):
+        p = potentiation_probability(np.array([STO.tau_pot_ms]), STO)[0]
+        assert p == pytest.approx(STO.gamma_pot / np.e)
+
+    def test_never_spiked_is_zero(self):
+        assert potentiation_probability(np.array([np.inf]), STO)[0] == 0.0
+
+    @given(dt=st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    def test_valid_probability(self, dt):
+        p = float(potentiation_probability(np.array([dt]), STO)[0])
+        assert 0.0 <= p <= STO.gamma_pot
+
+
+class TestDepressionProbability:
+    def test_zero_at_coincidence(self):
+        assert depression_probability(np.array([0.0]), STO)[0] == 0.0
+
+    def test_saturates_for_silent_channels(self):
+        assert depression_probability(np.array([np.inf]), STO)[0] == pytest.approx(STO.gamma_dep)
+
+    def test_uses_post_event_timescale(self):
+        p = depression_probability(np.array([STO.tau_dep_post_ms]), STO)[0]
+        assert p == pytest.approx(STO.gamma_dep * (1 - 1 / np.e))
+
+    @given(
+        dt1=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        extra=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    )
+    def test_monotone_increasing(self, dt1, extra):
+        p1 = float(depression_probability(np.array([dt1]), STO)[0])
+        p2 = float(depression_probability(np.array([dt1 + extra]), STO)[0])
+        assert p2 >= p1 - 1e-12
+
+
+class TestPairDepressionProbability:
+    def test_eq7_at_zero_equals_gamma(self):
+        assert pair_depression_probability(np.array([0.0]), STO)[0] == pytest.approx(STO.gamma_dep)
+
+    def test_eq7_decay_with_negative_dt(self):
+        p = pair_depression_probability(np.array([-STO.tau_dep_ms]), STO)[0]
+        assert p == pytest.approx(STO.gamma_dep / np.e)
+
+    def test_post_never_fired_is_zero(self):
+        assert pair_depression_probability(np.array([-np.inf]), STO)[0] == 0.0
+
+    def test_positive_dt_clamped(self):
+        assert pair_depression_probability(np.array([5.0]), STO)[0] == pytest.approx(STO.gamma_dep)
+
+    @given(dt=st.floats(min_value=-1e4, max_value=0.0, allow_nan=False))
+    def test_closer_to_zero_is_larger(self, dt):
+        p_here = float(pair_depression_probability(np.array([dt]), STO)[0])
+        p_further = float(pair_depression_probability(np.array([dt - 10.0]), STO)[0])
+        assert p_here >= p_further

@@ -1,0 +1,78 @@
+"""Tests for PGM image export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualization import (
+    read_pgm,
+    save_conductance_grid,
+    save_raster_image,
+    write_pgm,
+)
+from repro.errors import ReproError
+
+
+class TestPgmRoundTrip:
+    def test_uint8_round_trip(self, tmp_path):
+        img = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        path = tmp_path / "img.pgm"
+        write_pgm(path, img)
+        assert np.array_equal(read_pgm(path), img)
+
+    def test_float_scaled(self, tmp_path):
+        img = np.array([[0.0, 0.5], [1.0, 0.25]])
+        path = tmp_path / "img.pgm"
+        write_pgm(path, img)
+        out = read_pgm(path)
+        assert out[0, 0] == 0
+        assert out[1, 0] == 255
+        assert out[0, 1] == 127
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "img.pgm"
+        write_pgm(path, np.zeros((2, 5)))
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n5 2\n255\n")
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            write_pgm(tmp_path / "x.pgm", np.zeros(3))
+
+    def test_read_rejects_non_pgm(self, tmp_path):
+        path = tmp_path / "x.pgm"
+        path.write_bytes(b"not a pgm")
+        with pytest.raises(ReproError):
+            read_pgm(path)
+
+
+class TestConductanceGrid:
+    def test_tiling_shape(self, tmp_path, rng):
+        g = rng.random((16, 10))  # 10 neurons with 4x4 maps
+        canvas = save_conductance_grid(tmp_path / "grid.pgm", g, columns=4, padding=1)
+        # 3 rows x 4 cols of 4x4 tiles with 1px padding.
+        assert canvas.shape == (3 * 5 + 1, 4 * 5 + 1)
+        assert (tmp_path / "grid.pgm").exists()
+
+    def test_per_tile_normalisation(self, tmp_path):
+        g = np.zeros((4, 2))
+        g[:, 0] = [0.0, 0.1, 0.1, 0.2]   # faint map
+        g[:, 1] = [0.0, 0.5, 0.5, 1.0]   # strong map
+        canvas = save_conductance_grid(tmp_path / "grid.pgm", g, columns=2, padding=0)
+        # Both tiles hit full scale despite different absolute ranges.
+        assert canvas[:2, :2].max() == pytest.approx(1.0)
+        assert canvas[:2, 2:].max() == pytest.approx(1.0)
+
+    def test_invalid_columns(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_conductance_grid(tmp_path / "x.pgm", np.zeros((4, 2)), columns=0)
+
+
+class TestRasterImage:
+    def test_transposed_layout(self, tmp_path):
+        raster = np.zeros((10, 3), dtype=bool)
+        raster[7, 2] = True
+        image = save_raster_image(tmp_path / "raster.pgm", raster)
+        assert image.shape == (3, 10)  # channels x time
+        assert image[2, 7] == 1.0
+        out = read_pgm(tmp_path / "raster.pgm")
+        assert out[2, 7] == 255

@@ -1,0 +1,107 @@
+"""Additional WTA-network behaviours: overrides, cycling, encoder polarity."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import EncodingParameters
+from repro.network.wta import WTANetwork
+from repro.pipeline.evaluator import Evaluator
+from repro.pipeline.trainer import UnsupervisedTrainer
+
+
+class TestOverrides:
+    def test_explicit_amplitude_override(self, tiny_config):
+        net = WTANetwork(tiny_config, 64, input_spike_amplitude=9.5)
+        assert net.amplitude == 9.5
+
+    def test_amplitude_scales_with_pixels(self, tiny_config):
+        small = WTANetwork(tiny_config, 64)
+        large = WTANetwork(tiny_config, 256)
+        assert small.amplitude == pytest.approx(4 * large.amplitude)
+
+    def test_evaluator_t_present_override(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, 64)
+        short = Evaluator(net, t_present_ms=10.0)
+        long = Evaluator(net, t_present_ms=200.0)
+        a = short.collect_responses(tiny_dataset.test_images[:2])
+        b = long.collect_responses(tiny_dataset.test_images[:2])
+        assert b.sum() >= a.sum()
+
+    def test_evaluator_default_t_present_is_t_learn(self, tiny_config):
+        net = WTANetwork(tiny_config, 64)
+        ev = Evaluator(net)
+        assert ev.t_present_ms == tiny_config.simulation.t_learn_ms
+
+
+class TestImageCycling:
+    def test_many_present_rest_cycles_stable(self, tiny_config, tiny_dataset):
+        """Repeated presentations never corrupt state (NaNs, stuck timers)."""
+        net = WTANetwork(tiny_config, 64)
+        t = 0.0
+        for image in tiny_dataset.train_images[:8]:
+            net.present_image(image)
+            for _ in range(30):
+                net.advance(t, 1.0)
+                t += 1.0
+            net.rest()
+        assert np.isfinite(net.neurons.v).all()
+        assert np.isfinite(net.conductances).all()
+        assert not net.neurons.inhibited.any()
+
+    def test_flat_image_to_flat_image(self, tiny_config):
+        net = WTANetwork(tiny_config, 64)
+        for value in (0, 255, 0, 128):
+            net.present_image(np.full((8, 8), value, dtype=np.uint8))
+            for t in range(20):
+                net.advance(float(t), 1.0)
+            net.rest()
+        assert np.isfinite(net.conductances).all()
+
+    def test_training_twice_continues_not_restarts(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, 64)
+        trainer = UnsupervisedTrainer(net)
+        trainer.train(tiny_dataset.train_images[:3])
+        theta_after_first = net.neurons.theta.copy()
+        trainer.train(tiny_dataset.train_images[:3])
+        # Adaptive thresholds keep accumulating across train() calls.
+        assert net.neurons.theta.sum() >= theta_after_first.sum() * 0.5
+
+
+class TestEncoderPolarity:
+    def test_inverted_encoding_flips_drive(self, tiny_config):
+        inverted = replace(
+            tiny_config,
+            encoding=EncodingParameters(
+                f_min_hz=tiny_config.encoding.f_min_hz,
+                f_max_hz=tiny_config.encoding.f_max_hz,
+                invert=True,
+            ),
+        )
+        normal = WTANetwork(tiny_config, 64)
+        flipped = WTANetwork(inverted, 64)
+        dark = np.zeros((8, 8), dtype=np.uint8)
+
+        def input_count(net):
+            net.present_image(dark)
+            total = 0
+            for t in range(100):
+                total += net.advance(float(t), 1.0).spikes["input"].sum()
+            net.rest()
+            return total
+
+        # A dark image drives many spikes only under inverted polarity.
+        assert input_count(flipped) > 3 * input_count(normal)
+
+    def test_periodic_encoder_through_network(self, tiny_config):
+        cfg = replace(
+            tiny_config,
+            encoding=EncodingParameters(f_min_hz=1.0, f_max_hz=60.0, kind="periodic"),
+        )
+        net = WTANetwork(cfg, 64)
+        net.present_image(np.full((8, 8), 255, dtype=np.uint8))
+        total = 0
+        for t in range(200):
+            total += net.advance(float(t), 1.0).spikes["output"].sum()
+        assert total > 0
