@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Benchmark the fused training fast path and the batched inference engine.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_training.py            # full workload
+    PYTHONPATH=src python scripts/bench_training.py --quick    # CI smoke run
+
+Times two comparisons and writes the numbers to ``BENCH_train.json`` at the
+repository root:
+
+- **training** — the reference step loop (``UnsupervisedTrainer.train``)
+  against the fused kernel (``fast=True``), trained from identical seeds so
+  the run also re-checks the bit-identity contract (learned conductances and
+  per-image spike counts must match exactly);
+- **inference** — the sequential :class:`~repro.pipeline.evaluator.Evaluator`
+  against the image-parallel :class:`~repro.engine.batched.BatchedInference`.
+
+The default workload mirrors the Fig. 4 comparison scale: the paper's 1000
+output neurons on 16x16 inputs with the 500 ms presentation schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _build(n_neurons: int, n_pixels: int, seed: int):
+    from repro.config.presets import get_preset
+    from repro.network.wta import WTANetwork
+
+    config = get_preset("float32", n_neurons=n_neurons, seed=seed)
+    return WTANetwork(config, n_pixels=n_pixels)
+
+
+def bench_training(args, images) -> dict:
+    from repro.pipeline.trainer import UnsupervisedTrainer
+
+    results = {}
+    state = {}
+    for label, fast in (("reference", False), ("fused", True)):
+        net = _build(args.neurons, images[0].size, args.seed)
+        trainer = UnsupervisedTrainer(net)
+        t0 = time.perf_counter()
+        log = trainer.train(images, fast=fast)
+        elapsed = time.perf_counter() - t0
+        results[label] = {
+            "seconds": elapsed,
+            "images": log.images_seen,
+            "steps": log.total_steps,
+            "total_spikes": int(sum(log.spikes_per_image)),
+        }
+        state[label] = (net.conductances.copy(), list(log.spikes_per_image))
+
+    identical = bool(
+        np.array_equal(state["reference"][0], state["fused"][0])
+        and state["reference"][1] == state["fused"][1]
+    )
+    results["speedup"] = results["reference"]["seconds"] / results["fused"]["seconds"]
+    results["bit_identical"] = identical
+    return results
+
+
+def bench_inference(args, net, images) -> dict:
+    from repro.engine.batched import BatchedInference
+    from repro.pipeline.evaluator import Evaluator
+
+    t_present = 100.0
+    t0 = time.perf_counter()
+    Evaluator(net, t_present_ms=t_present).collect_responses(images)
+    sequential = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    BatchedInference(net).collect_responses(
+        images, t_present_ms=t_present, rng=np.random.default_rng(args.seed)
+    )
+    batched = time.perf_counter() - t0
+    return {
+        "sequential_seconds": sequential,
+        "batched_seconds": batched,
+        "speedup": sequential / batched,
+        "images": int(images.shape[0]),
+        "t_present_ms": t_present,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke workload (CI); overrides the scale flags")
+    parser.add_argument("--images", type=int, default=10, help="training images")
+    parser.add_argument("--neurons", type=int, default=1000,
+                        help="output-layer size (paper scale: 1000)")
+    parser.add_argument("--size", type=int, default=16, help="image side length")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_train.json")
+    args = parser.parse_args()
+
+    if args.quick:
+        args.images, args.neurons, args.size = 5, 100, 8
+
+    from repro.backend import backend_name
+    from repro.datasets.dataset import load_dataset
+
+    data = load_dataset("mnist", n_train=args.images, n_test=args.images,
+                        size=args.size, seed=args.seed)
+
+    # Warm up BLAS/allocator so first-call overhead doesn't skew the ratio.
+    warm = _build(args.neurons, data.train_images[0].size, args.seed)
+    from repro.pipeline.trainer import UnsupervisedTrainer
+    UnsupervisedTrainer(warm).train(data.train_images[:1], fast=True)
+
+    training = bench_training(args, data.train_images)
+    trained_net = _build(args.neurons, data.train_images[0].size, args.seed)
+    UnsupervisedTrainer(trained_net).train(data.train_images, fast=True)
+    inference = bench_inference(args, trained_net, data.test_images)
+
+    payload = {
+        "workload": {
+            "images": args.images,
+            "n_neurons": args.neurons,
+            "image_side": args.size,
+            "seed": args.seed,
+            "quick": args.quick,
+        },
+        "training": training,
+        "inference": inference,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "backend": backend_name(),
+        },
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(f"training : reference {training['reference']['seconds']:.3f}s  "
+          f"fused {training['fused']['seconds']:.3f}s  "
+          f"speedup {training['speedup']:.2f}x  "
+          f"bit_identical={training['bit_identical']}")
+    print(f"inference: sequential {inference['sequential_seconds']:.3f}s  "
+          f"batched {inference['batched_seconds']:.3f}s  "
+          f"speedup {inference['speedup']:.2f}x")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

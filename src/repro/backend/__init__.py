@@ -1,0 +1,130 @@
+"""Array-module selection: the multi-backend axis of the roadmap.
+
+The paper's implementation targets CUDA directly; this reproduction keeps
+every kernel expressed as array operations so the *same code* can execute on
+any module exposing the NumPy API.  :func:`get_array_module` is the single
+switch the data-parallel engines (:mod:`repro.engine.fused`,
+:mod:`repro.engine.batched`) route their allocations and bulk operations
+through:
+
+- ``"numpy"`` (default) — always available, runs everywhere;
+- ``"cupy"`` — used when CuPy is importable and a CUDA device is present,
+  giving the batched/fused kernels a GPU execution path without code
+  changes.
+
+Selection order: an explicit :func:`set_backend` call wins, then the
+``REPRO_BACKEND`` environment variable, then the numpy default.  Unknown or
+unavailable backends raise :class:`~repro.errors.ConfigurationError` rather
+than silently falling back, so a run that *believes* it is on the GPU
+actually is.
+
+Helpers:
+
+- :func:`asnumpy` — move an array back to host memory regardless of origin
+  (the identity for numpy arrays);
+- :func:`backend_name` — the name of the module :func:`get_array_module`
+  currently resolves to (for logs and benchmark metadata).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "available_backends",
+    "asnumpy",
+    "backend_name",
+    "get_array_module",
+    "set_backend",
+]
+
+#: Environment variable consulted when no backend was set programmatically.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Explicit programmatic selection (None = fall through to env / default).
+_selected: Optional[str] = None
+
+#: Cache of successfully imported backend modules, keyed by name.
+_modules = {"numpy": numpy}
+
+
+def _import_cupy():
+    """Import CuPy and verify a CUDA device answers; cache on success."""
+    if "cupy" in _modules:
+        return _modules["cupy"]
+    try:
+        import cupy  # noqa: F401 — optional dependency, never installed here
+
+        cupy.cuda.runtime.getDeviceCount()
+    except Exception as exc:  # pragma: no cover - exercised only with CuPy
+        raise ConfigurationError(
+            f"backend 'cupy' requested but unavailable: {exc!r}"
+        ) from exc
+    _modules["cupy"] = cupy
+    return cupy
+
+
+def _resolve(name: str):
+    name = name.strip().lower()
+    if name == "numpy":
+        return _modules["numpy"]
+    if name == "cupy":
+        return _import_cupy()
+    raise ConfigurationError(
+        f"unknown array backend {name!r}; choose from ('numpy', 'cupy')"
+    )
+
+
+def available_backends() -> tuple:
+    """Backends that can actually be activated in this process."""
+    names = ["numpy"]
+    try:
+        _import_cupy()
+        names.append("cupy")
+    except ConfigurationError:
+        pass
+    return tuple(names)
+
+
+def set_backend(name: Optional[str]):
+    """Select the array backend programmatically (``None`` clears the choice).
+
+    Returns the resolved module so callers can do
+    ``xp = set_backend("numpy")``.
+    """
+    global _selected
+    if name is None:
+        _selected = None
+        return get_array_module()
+    module = _resolve(name)  # validate before committing
+    _selected = name.strip().lower()
+    return module
+
+
+def get_array_module():
+    """The active array module: explicit choice > ``REPRO_BACKEND`` > numpy."""
+    if _selected is not None:
+        return _resolve(_selected)
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _resolve(env)
+    return _modules["numpy"]
+
+
+def backend_name() -> str:
+    """Name of the module :func:`get_array_module` currently resolves to."""
+    module = get_array_module()
+    return "cupy" if module is not numpy else "numpy"
+
+
+def asnumpy(array):
+    """Return *array* as a host :class:`numpy.ndarray` (identity for numpy)."""
+    module = type(array).__module__
+    if module.startswith("cupy"):  # pragma: no cover - exercised only with CuPy
+        return _modules["cupy"].asnumpy(array)
+    return numpy.asarray(array)

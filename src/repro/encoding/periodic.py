@@ -64,6 +64,33 @@ class PeriodicEncoder:
         self._phase = self._phase + self._freq_hz * (dt_ms / 1000.0)
         return np.floor(self._phase) > before
 
+    def generate_train(
+        self, n_steps: int, dt_ms: float, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Pre-compute *n_steps* of spikes from the current phases at once.
+
+        Bit-identical to *n_steps* sequential :meth:`step` calls: the phase
+        trajectory is built with a sequential cumulative sum of the per-step
+        increment (the same floating-point additions the step loop performs),
+        and ``self._phase`` is advanced to the final row so interleaving
+        :meth:`generate_train` with :meth:`step` stays exact.  *rng* is
+        accepted for signature parity with the Poisson encoder; periodic
+        trains consume no randomness after :meth:`set_image`.
+        """
+        if n_steps < 0:
+            raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
+        if dt_ms <= 0.0:
+            raise SimulationError(f"dt_ms must be positive, got {dt_ms}")
+        if self._freq_hz is None or n_steps == 0:
+            return np.zeros((n_steps, self.n_pixels), dtype=bool)
+        increments = np.empty((n_steps + 1, self.n_pixels), dtype=np.float64)
+        increments[0] = self._phase
+        increments[1:] = self._freq_hz * (dt_ms / 1000.0)
+        phases = np.cumsum(increments, axis=0)
+        floors = np.floor(phases)
+        self._phase = phases[-1]
+        return floors[1:] > floors[:-1]
+
     def generate(
         self,
         image: np.ndarray,

@@ -56,6 +56,26 @@ class PoissonEncoder:
         p = self._freq_hz * (dt_ms / 1000.0)
         return rng.random(self.n_pixels) < p
 
+    def generate_train(
+        self, n_steps: int, dt_ms: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pre-draw *n_steps* of spikes for the loaded image in one RNG call.
+
+        Row ``i`` is bit-identical to the ``i``-th sequential :meth:`step`
+        draw (``Generator.random`` fills a 2-D array from the same underlying
+        stream in C order), and the generator is left in the same state —
+        which is what lets the fused training kernel swap per-step draws for
+        one vectorised draw without perturbing reproducibility.
+        """
+        if n_steps < 0:
+            raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
+        if dt_ms <= 0.0:
+            raise SimulationError(f"dt_ms must be positive, got {dt_ms}")
+        if self._freq_hz is None:
+            return np.zeros((n_steps, self.n_pixels), dtype=bool)
+        p = self._freq_hz * (dt_ms / 1000.0)
+        return rng.random((n_steps, self.n_pixels)) < p
+
     def generate(
         self, image: np.ndarray, duration_ms: float, dt_ms: float, rng: np.random.Generator
     ) -> np.ndarray:

@@ -10,10 +10,15 @@
   implementation used to cross-validate spiking activity and to measure the
   vectorised engine's speedup (the Fig. 4 comparison role CARLsim plays in
   the paper).
+- :mod:`repro.engine.fused` — the fused training fast path: one image
+  presentation per kernel call, pre-generated spike trains and
+  allocation-free in-place stepping, bit-identical to the reference loop
+  (``UnsupervisedTrainer(..).train(images, fast=True)``).
 - :mod:`repro.engine.monitors` — spike/state/conductance recording.
 """
 
 from repro.engine.batched import BatchedInference
+from repro.engine.fused import FusedPresentation
 from repro.engine.clock import SimulationClock
 from repro.engine.event_driven import CurrentStep, EventDrivenLIF, poisson_like_schedule
 from repro.engine.monitors import ConductanceMonitor, RateMonitor, SpikeMonitor, StateMonitor
@@ -23,6 +28,7 @@ from repro.engine.simulator import Simulator, StepResult
 
 __all__ = [
     "BatchedInference",
+    "FusedPresentation",
     "SimulationClock",
     "CurrentStep",
     "EventDrivenLIF",

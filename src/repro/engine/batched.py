@@ -17,6 +17,17 @@ arbitration, WTA inhibition of the losers).  Spike-train randomness is
 drawn from a batch-shaped stream, so results are statistically equivalent
 to — though not bit-identical with — the sequential evaluator; the test
 suite pins the agreement.
+
+Array operations route through :func:`repro.backend.get_array_module`, so
+selecting the CuPy backend moves the whole lock-step batch onto the GPU
+without code changes; results always come back as host numpy arrays.
+
+The learned state (conductances and thresholds) is re-read from the network
+at :meth:`BatchedInference.collect_responses` time.  An earlier revision
+captured the arrays at construction, which silently served *stale* weights
+whenever further training or normalisation replaced the network's buffers —
+an inference engine built once and reused across training checkpoints must
+always see the current weights.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import asnumpy, get_array_module
 from repro.config.parameters import ExperimentConfig
 from repro.encoding.rate import intensity_to_frequency
 from repro.errors import SimulationError
@@ -35,12 +47,10 @@ class BatchedInference:
     """Frozen-network inference over many images simultaneously."""
 
     def __init__(self, network: WTANetwork) -> None:
+        self.network = network
         self.config: ExperimentConfig = network.config
         self.n_pixels = network.n_pixels
         self.amplitude = network.amplitude
-        # Learned state, captured by reference (read-only here).
-        self._g = network.conductances
-        self._theta = network.neurons.theta
 
     def collect_responses(
         self,
@@ -61,7 +71,14 @@ class BatchedInference:
             )
 
         cfg = self.config
+        xp = get_array_module()
         rng = rng if rng is not None else np.random.default_rng(cfg.simulation.seed)
+        if xp is np:
+            def draw(shape):
+                return rng.random(shape)
+        else:  # pragma: no cover - exercised only with CuPy installed
+            def draw(shape):
+                return xp.random.random(shape)
         dt = cfg.simulation.dt_ms
         duration = t_present_ms if t_present_ms is not None else cfg.simulation.t_learn_ms
         n_steps = int(round(duration / dt))
@@ -71,22 +88,29 @@ class BatchedInference:
         lif = cfg.lif
         wta = cfg.wta
 
-        spike_prob = intensity_to_frequency(flat, cfg.encoding) * (dt / 1000.0)
+        # Learned state, read fresh from the network for every call.
+        g = xp.asarray(self.network.conductances)
+        theta = xp.asarray(self.network.neurons.theta)
 
-        v = np.full((n_images, n_neurons), lif.v_init)
-        current = np.zeros((n_images, n_neurons))
-        refractory = np.zeros((n_images, n_neurons))
-        inhibited_left = np.zeros((n_images, n_neurons))
-        counts = np.zeros((n_images, n_neurons), dtype=np.int64)
-        threshold = lif.v_threshold + self._theta[None, :]
-        decay = np.exp(-dt / wta.current_tau_ms) if wta.current_tau_ms > 0 else 0.0
+        spike_prob = xp.asarray(
+            intensity_to_frequency(flat, cfg.encoding) * (dt / 1000.0)
+        )
+
+        v = xp.full((n_images, n_neurons), lif.v_init)
+        current = xp.zeros((n_images, n_neurons))
+        refractory = xp.zeros((n_images, n_neurons))
+        inhibited_left = xp.zeros((n_images, n_neurons))
+        counts = xp.zeros((n_images, n_neurons), dtype=xp.int64)
+        threshold = lif.v_threshold + theta[None, :]
+        decay = float(np.exp(-dt / wta.current_tau_ms)) if wta.current_tau_ms > 0 else 0.0
+        row_index = xp.arange(n_images)
 
         for _ in range(n_steps):
-            input_spikes = rng.random(spike_prob.shape) < spike_prob
-            injected = (input_spikes @ self._g) * self.amplitude
+            input_spikes = draw(spike_prob.shape) < spike_prob
+            injected = (input_spikes @ g) * self.amplitude
             if wta.synapse_model == "conductance":
                 scale = (wta.e_excitatory - v) / (wta.e_excitatory - lif.v_reset)
-                injected = injected * np.maximum(scale, 0.0)
+                injected = injected * xp.maximum(scale, 0.0)
             if wta.current_tau_ms > 0:
                 current = current * decay + injected
             else:
@@ -95,26 +119,26 @@ class BatchedInference:
             inhibited = inhibited_left > 0.0
             if wta.inhibition_strength > 0.0:
                 blocked = refractory > 0.0
-                effective = np.where(blocked, 0.0, current)
-                effective = effective - np.where(inhibited, wta.inhibition_strength, 0.0)
+                effective = xp.where(blocked, 0.0, current)
+                effective = effective - xp.where(inhibited, wta.inhibition_strength, 0.0)
             else:
                 blocked = (refractory > 0.0) | inhibited
-                effective = np.where(blocked, 0.0, current)
+                effective = xp.where(blocked, 0.0, current)
 
             v = v + (lif.a + lif.b * v + lif.c * effective) * dt
-            v = np.where(blocked, lif.v_reset, v)
-            np.maximum(v, lif.v_reset, out=v)
+            v = xp.where(blocked, lif.v_reset, v)
+            xp.maximum(v, lif.v_reset, out=v)
 
             crossers = (v >= threshold) & ~blocked
-            v = np.where(crossers, lif.v_reset, v)
-            refractory = np.where(crossers, lif.refractory_ms, refractory)
+            v = xp.where(crossers, lif.v_reset, v)
+            refractory = xp.where(crossers, lif.refractory_ms, refractory)
 
             if wta.single_winner:
-                masked = np.where(crossers, current, -np.inf)
-                winner_idx = np.argmax(masked, axis=1)
+                masked = xp.where(crossers, current, -xp.inf)
+                winner_idx = xp.argmax(masked, axis=1)
                 any_cross = crossers.any(axis=1)
-                winners = np.zeros_like(crossers)
-                winners[np.arange(n_images), winner_idx] = True
+                winners = xp.zeros_like(crossers)
+                winners[row_index, winner_idx] = True
                 winners &= any_cross[:, None]
             else:
                 winners = crossers
@@ -124,11 +148,11 @@ class BatchedInference:
             if wta.t_inh_ms > 0.0:
                 fired_rows = winners.any(axis=1)
                 losers = ~winners & fired_rows[:, None]
-                inhibited_left = np.maximum(
-                    inhibited_left, np.where(losers, wta.t_inh_ms, 0.0)
+                inhibited_left = xp.maximum(
+                    inhibited_left, xp.where(losers, wta.t_inh_ms, 0.0)
                 )
 
-            refractory = np.maximum(refractory - dt, 0.0)
-            inhibited_left = np.maximum(inhibited_left - dt, 0.0)
+            refractory = xp.maximum(refractory - dt, 0.0)
+            inhibited_left = xp.maximum(inhibited_left - dt, 0.0)
 
-        return counts
+        return asnumpy(counts)

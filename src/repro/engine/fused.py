@@ -1,0 +1,328 @@
+"""Fused training fast path: one image presentation as a single kernel.
+
+The reference training loop (``UnsupervisedTrainer.train`` →
+``WTANetwork.advance``) is semantically clean but allocation-heavy: every
+step draws input spikes with its own RNG call, casts them to float, and
+builds ~15 temporary arrays across the encoder, synapse, neuron and timer
+sub-objects.  At the paper's network sizes the arrays are small, so Python
+call overhead and allocator traffic — not arithmetic — dominate the step
+cost, which is exactly the observation behind ParallelSpikeSim's fused GPU
+kernels (one launch per step instead of one per neuron/synapse).
+
+:class:`FusedPresentation` is the CPU analogue of that fusion.  For one
+whole image presentation it:
+
+- pre-generates the full input spike raster in **one** vectorised RNG draw
+  (``generate_train`` on the encoders), consuming the ``encoding`` stream in
+  the same order as per-step draws, and pre-casts it to float once;
+- caches every loop-invariant constant (current/theta decay factors, the
+  conductance-model driving-force denominator, adaptation increment);
+- advances membranes, currents, refractory/inhibition timers and thresholds
+  with **in-place** array operations against preallocated buffers, mutating
+  the network's own state arrays so the fused and reference paths are
+  freely interchangeable mid-run;
+- reuses the network's learning rule and spike timers unchanged, so STDP
+  consumes the ``learning`` stream identically, and conductance updates land
+  through :meth:`~repro.synapses.conductance.ConductanceMatrix.apply_delta_inplace`
+  without reallocating the weight matrix.
+
+The result is **bit-identical** to the reference loop under identical
+:class:`~repro.engine.rng.RngStreams` seeds (the equivalence tests pin
+conductances, thetas and spike counts for float and Q1.7 storage), at a
+multiple of its throughput — the factor ``scripts/bench_training.py``
+records in ``BENCH_train.json``.
+
+The kernel checks :func:`repro.backend.get_array_module` at construction:
+training is currently numpy-only (the STDP rules and quantisers draw from
+numpy RNG streams); the CuPy backend accelerates the image-parallel
+:class:`~repro.engine.batched.BatchedInference` engine instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import backend_name, get_array_module
+from repro.config.parameters import RoundingMode
+from repro.errors import ConfigurationError, SimulationError
+from repro.learning.deterministic import DeterministicSTDP
+from repro.learning.stochastic import LTDMode, StochasticSTDP
+from repro.learning.updates import (
+    depression_magnitude,
+    depression_probability,
+    potentiation_magnitude,
+    potentiation_probability,
+)
+from repro.network.wta import WTANetwork
+from repro.quantization.quantizer import FloatQuantizer
+
+
+class FusedPresentation:
+    """Runs whole image presentations against preallocated, reused buffers.
+
+    Construct once per training run and call :meth:`run` once per image;
+    the kernel reads and mutates the live state of *network* (conductances,
+    thetas, membranes, timers), so everything the reference loop would have
+    produced — learned state, spike counts, RNG stream positions — is
+    produced here too, bit for bit.
+    """
+
+    def __init__(self, network: WTANetwork) -> None:
+        if get_array_module() is not np:
+            raise ConfigurationError(
+                f"the fused training kernel requires the numpy backend (STDP "
+                f"rules and quantisers draw from numpy RNG streams); active "
+                f"backend is {backend_name()!r}.  Use BatchedInference for "
+                f"GPU-backed evaluation."
+            )
+        self.net = network
+        cfg = network.config
+        self._wta = cfg.wta
+        self._lif = cfg.lif
+        n = cfg.wta.n_neurons
+
+        # Loop-invariant constants.
+        self._amplitude = network.amplitude
+        self._conductance_model = cfg.wta.synapse_model == "conductance"
+        self._scale_denom = cfg.wta.e_excitatory - cfg.lif.v_reset
+        self._subtractive = network.neurons.inhibition_strength > 0.0
+
+        # Column-restricted STDP dispatch.  The learned values are identical
+        # either way; the restriction is only valid when the quantiser draws
+        # no RNG inside quantize()/quantize_delta() (otherwise the skipped
+        # columns would have consumed draws in the full-matrix path and the
+        # ``learning`` stream would diverge).  Stochastic *rounding* and the
+        # pair-LTD modes therefore fall back to the reference rule object.
+        quantizer = network.synapses.quantizer
+        rng_free_quantizer = isinstance(quantizer, FloatQuantizer) or (
+            quantizer.rounding is not RoundingMode.STOCHASTIC
+        )
+        self._fast_rule = None
+        if rng_free_quantizer:
+            rule = network.rule
+            if isinstance(rule, DeterministicSTDP):
+                self._fast_rule = "deterministic"
+            elif isinstance(rule, StochasticSTDP) and rule.ltd_mode is LTDMode.POST_EVENT:
+                self._fast_rule = "stochastic"
+
+        # Preallocated per-step work buffers.
+        self._scale = np.empty(n, dtype=np.float64)
+        self._eff = np.empty(n, dtype=np.float64)
+        self._dv = np.empty(n, dtype=np.float64)
+        self._tmp = np.empty(n, dtype=np.float64)
+        self._thr = np.empty(n, dtype=np.float64)
+        self._blocked = np.empty(n, dtype=bool)
+        self._inhibited = np.empty(n, dtype=bool)
+        self._not_blocked = np.empty(n, dtype=bool)
+        self._spikes = np.empty(n, dtype=bool)
+        self._losers = np.empty(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # kernel
+    # ------------------------------------------------------------------
+
+    def run(self, image: np.ndarray, t_ms: float, n_steps: int, dt_ms: float):
+        """Present *image* for *n_steps* steps of *dt_ms*, starting at *t_ms*.
+
+        Returns ``(total_output_spikes, t_ms_after)``.  ``t_ms`` advances by
+        repeated addition of ``dt_ms`` — the same floating-point
+        accumulation the reference trainer performs — so the spike times fed
+        to the STDP timers match exactly.
+        """
+        if n_steps < 0:
+            raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
+        net = self.net
+        neurons = net.neurons
+        timers = net.timers
+        rule = net.rule
+        rng_learning = net.rngs.learning
+        lif = self._lif
+        wta = self._wta
+
+        # One vectorised draw for the whole presentation (same stream order
+        # as per-step draws), cast to float once for the per-step matmuls.
+        net.present_image(image)
+        raster = net.encoder.generate_train(n_steps, dt_ms, net.rngs.encoding)
+        raster_f = raster.astype(np.float64)
+        # Steps with no input spikes inject exactly 0.0 (conductances and the
+        # drive amplitude are non-negative), so their matmul can be skipped.
+        row_any = raster.any(axis=1)
+
+        has_decay = wta.current_tau_ms > 0.0
+        decay = net.current_decay(dt_ms) if has_decay else 0.0
+        theta_decay = neurons.theta_decay(dt_ms)
+        adapting = neurons.adaptation.enabled
+        theta_plus = neurons.adaptation.theta_plus
+        learning = net.learning_enabled
+        inh_strength = neurons.inhibition_strength
+        t_inh = wta.t_inh_ms
+        single_winner = wta.single_winner
+
+        # Live state arrays, mutated in place (never rebound) so the
+        # network object stays authoritative throughout.
+        current = net._current
+        v = neurons._v
+        theta = neurons._theta
+        refractory = neurons._refractory_left
+        inhibited_left = neurons._inhibited_left
+        g = net.synapses.g  # buffer-stable: updates run through
+        #                     ConductanceMatrix.apply_delta_inplace
+
+        scale = self._scale
+        eff = self._eff
+        dv = self._dv
+        tmp = self._tmp
+        thr = self._thr
+        blocked = self._blocked
+        inhibited = self._inhibited
+        not_blocked = self._not_blocked
+        spikes = self._spikes
+        losers = self._losers
+
+        fast_rule = self._fast_rule
+        total_spikes = 0
+        for i in range(n_steps):
+            input_spikes = raster[i]
+            any_input = row_any[i]
+            if any_input:
+                timers._last_pre[input_spikes] = t_ms
+
+                # --- synaptic drive (eq. 3) ------------------------------
+                # The matmul stays `vec @ matrix` (not a preallocated-out
+                # dot) so it takes the same BLAS path as the reference
+                # engine — bit-identity is part of the contract.
+                injected = raster_f[i] @ g
+                injected *= self._amplitude
+                if self._conductance_model:
+                    np.subtract(wta.e_excitatory, v, out=scale)
+                    scale /= self._scale_denom
+                    np.maximum(scale, 0.0, out=scale)
+                    injected *= scale
+                if has_decay:
+                    current *= decay
+                    current += injected
+                else:
+                    np.copyto(current, injected)
+            elif has_decay:
+                # `current` is non-negative, so decaying in place matches
+                # `current * decay + 0.0` bit for bit.
+                current *= decay
+            else:
+                current.fill(0.0)
+
+            # --- membrane update (inlined AdaptiveLIFPopulation.step) ----
+            np.greater(inhibited_left, 0.0, out=inhibited)
+            np.greater(refractory, 0.0, out=blocked)
+            if not self._subtractive:
+                np.logical_or(blocked, inhibited, out=blocked)
+            np.copyto(eff, current)
+            eff[blocked] = 0.0
+            if self._subtractive:
+                eff[inhibited] -= inh_strength
+
+            np.multiply(v, lif.b, out=dv)
+            dv += lif.a
+            np.multiply(eff, lif.c, out=tmp)
+            dv += tmp
+            dv *= dt_ms
+            v += dv
+            v[blocked] = lif.v_reset
+            np.maximum(v, lif.v_reset, out=v)
+
+            np.add(theta, lif.v_threshold, out=thr)
+            np.greater_equal(v, thr, out=spikes)
+            np.logical_not(blocked, out=not_blocked)
+            np.logical_and(spikes, not_blocked, out=spikes)
+            # Masked writes with an all-False mask are value no-ops, so they
+            # are gated on the spike count (computed once, reused below).
+            n_fired = int(np.count_nonzero(spikes))
+            if n_fired:
+                v[spikes] = lif.v_reset
+                refractory[spikes] = lif.refractory_ms
+
+            if adapting:
+                theta *= theta_decay
+                if n_fired:
+                    theta[spikes] += theta_plus
+
+            refractory -= dt_ms
+            np.maximum(refractory, 0.0, out=refractory)
+            inhibited_left -= dt_ms
+            np.maximum(inhibited_left, 0.0, out=inhibited_left)
+
+            # --- winner-take-all arbitration -----------------------------
+            if single_winner and n_fired > 1:
+                contenders = np.flatnonzero(spikes)
+                winner = contenders[np.argmax(current[contenders])]
+                spikes.fill(False)
+                spikes[winner] = True
+                n_fired = 1
+
+            # --- plasticity and timers -----------------------------------
+            # The column-restricted rule paths reproduce the reference
+            # rules' values and RNG draws exactly (see __init__); configs
+            # they cannot serve keep calling the reference rule object.
+            if learning:
+                if fast_rule is None:
+                    rule.step(
+                        net.synapses, timers, input_spikes, spikes, t_ms, rng_learning
+                    )
+                elif n_fired:
+                    if fast_rule == "stochastic":
+                        self._stochastic_rule_columns(rule, timers, spikes, t_ms, rng_learning)
+                    else:
+                        self._deterministic_rule_columns(rule, timers, spikes, t_ms, rng_learning)
+            if n_fired:
+                timers._last_post[spikes] = t_ms
+
+            if n_fired and t_inh > 0.0:
+                np.logical_not(spikes, out=losers)
+                neurons.inhibit(losers, t_inh)
+
+            total_spikes += n_fired
+            t_ms += dt_ms
+
+        return total_spikes, t_ms
+
+    # ------------------------------------------------------------------
+    # column-restricted STDP (bit-identical to the reference rules)
+    # ------------------------------------------------------------------
+
+    def _stochastic_rule_columns(self, rule, timers, post, t_ms, rng) -> None:
+        """``StochasticSTDP._post_spike_updates`` on the spiking columns only.
+
+        The Bernoulli draw shapes are ``(n_pre, k)`` in the reference rule
+        already, so consuming the ``learning`` stream identically is free;
+        the saving is the full-matrix delta/quantise in ``apply_delta``,
+        replaced by :meth:`ConductanceMatrix.apply_delta_columns`.
+        """
+        elapsed = timers.elapsed_pre(t_ms)
+        p_pot = potentiation_probability(elapsed, rule.params)
+        cols = np.flatnonzero(post)
+        draws = rng.random(size=(elapsed.shape[0], cols.size))
+        pot_mask = draws < p_pot[:, None]
+
+        p_dep = depression_probability(elapsed, rule.params)
+        dep_draws = rng.random(size=pot_mask.shape)
+        dep_mask = ~pot_mask & (dep_draws < p_dep[:, None])
+        if not pot_mask.any() and not dep_mask.any():
+            return
+
+        synapses = self.net.synapses
+        g_cols = synapses.g[:, cols]
+        dg_pot = potentiation_magnitude(g_cols, rule.magnitudes)
+        dg_dep = depression_magnitude(g_cols, rule.magnitudes)
+        delta_cols = np.where(pot_mask, dg_pot, 0.0) - np.where(dep_mask, dg_dep, 0.0)
+        synapses.apply_delta_columns(cols, delta_cols, rng)
+
+    def _deterministic_rule_columns(self, rule, timers, post, t_ms, rng) -> None:
+        """``DeterministicSTDP.step`` on the spiking columns only."""
+        elapsed = timers.elapsed_pre(t_ms)
+        recent = elapsed <= rule.params.window_ms
+        cols = np.flatnonzero(post)
+        synapses = self.net.synapses
+        g_cols = synapses.g[:, cols]
+        dg_pot = potentiation_magnitude(g_cols, rule.params)
+        dg_dep = depression_magnitude(g_cols, rule.params)
+        delta_cols = np.where(recent[:, None], dg_pot, -dg_dep)
+        synapses.apply_delta_columns(cols, delta_cols, rng)

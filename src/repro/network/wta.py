@@ -105,6 +105,25 @@ class WTANetwork:
         )
         self.learning_enabled = True
         self._current = np.zeros(config.wta.n_neurons, dtype=np.float64)
+        # Loop-invariant constants, hoisted out of the per-step hot path:
+        # the conductance-model driving-force denominator is fixed by the
+        # config, and the current-decay factor exp(-dt/tau) only depends on
+        # the step size, which is constant within a run.
+        self._cond_scale_denom = config.wta.e_excitatory - config.lif.v_reset
+        self._decay_cache: dict = {}
+
+    def current_decay(self, dt_ms: float) -> float:
+        """The synaptic-current low-pass factor ``exp(-dt/tau)``, cached.
+
+        Computing this scalar ``np.exp`` anew every step costs about as much
+        as a whole-population array op at small network sizes; the cache is
+        keyed by ``dt_ms`` so variable-step callers stay correct.
+        """
+        decay = self._decay_cache.get(dt_ms)
+        if decay is None:
+            decay = float(np.exp(-dt_ms / self.config.wta.current_tau_ms))
+            self._decay_cache[dt_ms] = decay
+        return decay
 
     # ------------------------------------------------------------------
     # image presentation
@@ -143,11 +162,10 @@ class WTANetwork:
             # Voltage-dependent driving force, normalised to match the
             # current model at the reset potential.
             e_exc = self.config.wta.e_excitatory
-            scale = (e_exc - self.neurons.v) / (e_exc - self.config.lif.v_reset)
+            scale = (e_exc - self.neurons.v) / self._cond_scale_denom
             injected = injected * np.maximum(scale, 0.0)
-        tau = self.config.wta.current_tau_ms
-        if tau > 0.0:
-            self._current = self._current * np.exp(-dt_ms / tau) + injected
+        if self.config.wta.current_tau_ms > 0.0:
+            self._current = self._current * self.current_decay(dt_ms) + injected
         else:
             self._current = injected
 

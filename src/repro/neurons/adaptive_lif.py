@@ -32,6 +32,19 @@ class AdaptiveLIFPopulation(LIFPopulation):
         super().__init__(n, params, inhibition_strength)
         self.adaptation = adaptation
         self._theta = np.zeros(n, dtype=np.float64)
+        # exp(-dt/tau) cache: a scalar np.exp per step is measurable overhead
+        # at small population sizes.  Keyed by (dt, tau) because
+        # freeze_adaptation/evaluation_mode swap the adaptation parameters.
+        self._theta_decay_cache: dict = {}
+
+    def theta_decay(self, dt_ms: float) -> float:
+        """The cached homeostatic-threshold decay factor ``exp(-dt/tau)``."""
+        key = (dt_ms, self.adaptation.tau_ms)
+        decay = self._theta_decay_cache.get(key)
+        if decay is None:
+            decay = float(np.exp(-dt_ms / self.adaptation.tau_ms))
+            self._theta_decay_cache[key] = decay
+        return decay
 
     @property
     def theta(self) -> np.ndarray:
@@ -65,7 +78,7 @@ class AdaptiveLIFPopulation(LIFPopulation):
         self._refractory_left[spikes] = p.refractory_ms
 
         if self.adaptation.enabled:
-            self._theta *= np.exp(-dt_ms / self.adaptation.tau_ms)
+            self._theta *= self.theta_decay(dt_ms)
             self._theta[spikes] += self.adaptation.theta_plus
 
         self._refractory_left = np.maximum(self._refractory_left - dt_ms, 0.0)

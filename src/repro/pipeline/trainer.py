@@ -65,11 +65,19 @@ class UnsupervisedTrainer:
         images: np.ndarray,
         epochs: int = 1,
         on_image_end: Optional[Callable[[int, TrainingLog], None]] = None,
+        fast: bool = False,
     ) -> TrainingLog:
         """Learn from *images* (``(n, h, w)`` or ``(n, pixels)``).
 
         ``on_image_end(image_index, log)`` fires after each presentation —
         the hook the moving-error-rate probe (Fig. 8c) uses.
+
+        ``fast=True`` routes each presentation through the
+        :class:`~repro.engine.fused.FusedPresentation` kernel: pre-generated
+        spike trains and allocation-free stepping, bit-identical to the
+        reference step loop under the same seeds but several times faster
+        (see ``scripts/bench_training.py``).  The reference loop remains the
+        correctness oracle the fused path is tested against.
         """
         batch = np.asarray(images)
         if batch.ndim == 2:
@@ -82,18 +90,27 @@ class UnsupervisedTrainer:
         dt = sim.dt_ms
         log = TrainingLog()
 
+        kernel = None
+        if fast:
+            from repro.engine.fused import FusedPresentation
+
+            kernel = FusedPresentation(self.network)
+
         self.progress.start(batch.shape[0] * epochs, "train")
         start = time.perf_counter()
         t_ms = 0.0
         seen = 0
         for _ in range(epochs):
             for image in batch:
-                spikes_this_image = 0
-                self.network.present_image(image)
-                for _ in range(steps_per_image):
-                    result = self.network.advance(t_ms, dt)
-                    spikes_this_image += int(np.count_nonzero(result.spikes["output"]))
-                    t_ms += dt
+                if kernel is not None:
+                    spikes_this_image, t_ms = kernel.run(image, t_ms, steps_per_image, dt)
+                else:
+                    spikes_this_image = 0
+                    self.network.present_image(image)
+                    for _ in range(steps_per_image):
+                        result = self.network.advance(t_ms, dt)
+                        spikes_this_image += int(np.count_nonzero(result.spikes["output"]))
+                        t_ms += dt
                 self.network.rest()
                 t_ms += sim.t_rest_ms
 

@@ -95,6 +95,24 @@ class ConductanceMatrix(SynapseGroup):
         low precision learning is performed before the LTP/LTD phase") and
         the result is re-quantised to guarantee the storage grid invariant
         even after floating-point accumulation.
+
+        Delegates to :meth:`apply_delta_inplace`: the update mutates the
+        stored array rather than rebinding it, so views handed out earlier
+        (the fused kernel's matmul operand, monitors) keep observing the
+        live conductances.
+        """
+        self.apply_delta_inplace(delta, rng)
+
+    def apply_delta_inplace(
+        self, delta: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        """:meth:`apply_delta` semantics without reallocating ``_g``.
+
+        Produces values bit-identical to the historical
+        ``quantize(_g + quantize_delta(delta))`` expression while preserving
+        the identity of the storage buffer — the invariant the fused
+        training kernel and the batched-inference engine rely on to avoid
+        re-fetching the matrix every step.
         """
         delta = np.asarray(delta, dtype=np.float64)
         try:
@@ -106,9 +124,50 @@ class ConductanceMatrix(SynapseGroup):
         quantized_delta = np.where(
             delta != 0.0, self.quantizer.quantize_delta(delta, rng), 0.0
         )
-        self._g = self.quantizer.quantize(self._g + quantized_delta, rng)
+        np.add(self._g, quantized_delta, out=self._g)
+        if isinstance(self.quantizer, FloatQuantizer):
+            # Float storage: quantize == clip, which runs fully in place.
+            np.clip(self._g, self.quantizer.g_min, self.quantizer.g_max, out=self._g)
+        else:
+            np.copyto(self._g, self.quantizer.quantize(self._g, rng))
         if self._mask is not None:
-            self._g = np.where(self._mask, self._g, 0.0)
+            self._g[~self._mask] = 0.0
+
+    def apply_delta_columns(
+        self,
+        cols: np.ndarray,
+        delta_cols: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Apply a delta restricted to the *cols* post-neuron columns.
+
+        Value-equivalent to :meth:`apply_delta` with a full matrix that is
+        zero outside *cols*: stored conductances are already on the storage
+        grid and inside ``[g_min, g_max]``, so re-quantising the untouched
+        columns is the identity and can be skipped.  The fused training
+        kernel uses this to make each STDP event cost ``O(n_pre * k)``
+        instead of ``O(n_pre * n_post)``, ``k`` being the number of neurons
+        that spiked (usually 1 under winner-take-all).
+
+        With *stochastic rounding* the skipped columns would have consumed
+        RNG draws in the full-matrix path, so callers needing bit-identical
+        streams must not use this method then (the fused kernel falls back
+        to :meth:`apply_delta` in that case).
+        """
+        cols = np.asarray(cols)
+        delta_cols = np.asarray(delta_cols, dtype=np.float64)
+        expected = (self.n_pre, cols.shape[0]) if cols.ndim else (self.n_pre,)
+        if delta_cols.shape != expected:
+            raise TopologyError(
+                f"delta_cols must have shape {expected}, got {delta_cols.shape}"
+            )
+        quantized_delta = np.where(
+            delta_cols != 0.0, self.quantizer.quantize_delta(delta_cols, rng), 0.0
+        )
+        updated = self.quantizer.quantize(self._g[:, cols] + quantized_delta, rng)
+        if self._mask is not None:
+            updated = np.where(self._mask[:, cols], updated, 0.0)
+        self._g[:, cols] = updated
 
     def set_conductances(
         self, values: np.ndarray, rng: Optional[np.random.Generator] = None
@@ -119,9 +178,9 @@ class ConductanceMatrix(SynapseGroup):
             raise TopologyError(
                 f"values must have shape {self._g.shape}, got {values.shape}"
             )
-        self._g = self.quantizer.quantize(values, rng)
+        np.copyto(self._g, self.quantizer.quantize(values, rng))
         if self._mask is not None:
-            self._g = np.where(self._mask, self._g, 0.0)
+            self._g[~self._mask] = 0.0
 
     def per_neuron_maps(self, side: Optional[int] = None) -> np.ndarray:
         """Reshape to per-post-neuron square maps for visualisation (Fig. 5).
@@ -148,9 +207,9 @@ class ConductanceMatrix(SynapseGroup):
             raise TopologyError(f"target_sum must be positive, got {target_sum}")
         sums = self._g.sum(axis=0)
         scale = np.where(sums > 0.0, target_sum / np.maximum(sums, 1e-12), 1.0)
-        self._g = self.quantizer.quantize(self._g * scale, rng)
+        np.copyto(self._g, self.quantizer.quantize(self._g * scale, rng))
         if self._mask is not None:
-            self._g = np.where(self._mask, self._g, 0.0)
+            self._g[~self._mask] = 0.0
 
     @property
     def connectivity(self) -> Optional[np.ndarray]:

@@ -1,0 +1,80 @@
+"""Tests for the array-backend selection shim (:mod:`repro.backend`)."""
+
+import numpy as np
+import pytest
+
+import repro.backend as backend
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Each test starts from the default state: no explicit choice, no env."""
+    monkeypatch.delenv(backend.ENV_VAR, raising=False)
+    backend.set_backend(None)
+    yield
+    monkeypatch.delenv(backend.ENV_VAR, raising=False)
+    backend.set_backend(None)
+
+
+class TestSelection:
+    def test_default_is_numpy(self):
+        assert backend.get_array_module() is np
+        assert backend.backend_name() == "numpy"
+
+    def test_set_backend_roundtrip(self):
+        module = backend.set_backend("numpy")
+        assert module is np
+        assert backend.get_array_module() is np
+        backend.set_backend(None)
+        assert backend.get_array_module() is np
+
+    def test_name_is_normalised(self):
+        assert backend.set_backend("  NumPy ") is np
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            backend.set_backend("tensorflow")
+
+    def test_unknown_backend_not_committed(self):
+        with pytest.raises(ConfigurationError):
+            backend.set_backend("nonsense")
+        assert backend.backend_name() == "numpy"
+
+    def test_env_variable_consulted(self, monkeypatch):
+        monkeypatch.setenv(backend.ENV_VAR, "numpy")
+        assert backend.get_array_module() is np
+
+    def test_env_variable_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv(backend.ENV_VAR, "cuda11")
+        with pytest.raises(ConfigurationError):
+            backend.get_array_module()
+
+    def test_explicit_choice_beats_env(self, monkeypatch):
+        monkeypatch.setenv(backend.ENV_VAR, "definitely-not-a-backend")
+        backend.set_backend("numpy")
+        # The env var would raise if consulted; the explicit choice wins.
+        assert backend.get_array_module() is np
+
+    def test_cupy_unavailable_raises_not_falls_back(self):
+        """Without CuPy installed, asking for it must fail loudly."""
+        if "cupy" in backend.available_backends():  # pragma: no cover
+            pytest.skip("CuPy actually available in this environment")
+        with pytest.raises(ConfigurationError):
+            backend.set_backend("cupy")
+
+
+class TestHelpers:
+    def test_available_backends_contains_numpy(self):
+        names = backend.available_backends()
+        assert "numpy" in names
+
+    def test_asnumpy_identity_for_numpy(self):
+        arr = np.arange(6.0)
+        out = backend.asnumpy(arr)
+        assert out is arr
+
+    def test_asnumpy_converts_sequences(self):
+        out = backend.asnumpy([1.0, 2.0])
+        assert isinstance(out, np.ndarray)
+        assert np.array_equal(out, np.array([1.0, 2.0]))

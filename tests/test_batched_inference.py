@@ -106,6 +106,49 @@ class TestPerformance:
         assert batched_s < sequential_s
 
 
+class TestFreshWeights:
+    """Regression: the engine must serve the network's *current* learned state.
+
+    An earlier revision captured ``network.conductances`` and ``theta`` at
+    construction time; any later training or weight overwrite that replaced
+    the underlying buffers left the engine silently answering from stale
+    weights.  ``collect_responses`` now re-reads both at call time.
+    """
+
+    def test_engine_sees_weights_changed_after_construction(
+        self, trained, tiny_dataset
+    ):
+        engine = BatchedInference(trained)  # built *before* the change
+        images = tiny_dataset.test_images[:5]
+        before = engine.collect_responses(images, rng=np.random.default_rng(5))
+
+        # Overwrite the learned weights through the public API.
+        trained.synapses.set_conductances(
+            np.full((trained.n_pixels, trained.config.wta.n_neurons), trained.synapses.g_max)
+        )
+
+        after = engine.collect_responses(images, rng=np.random.default_rng(5))
+        fresh = BatchedInference(trained).collect_responses(
+            images, rng=np.random.default_rng(5)
+        )
+        assert np.array_equal(after, fresh)
+        # Saturated weights drive far more strongly than the learned ones.
+        assert not np.array_equal(before, after)
+
+    def test_engine_sees_continued_training(self, trained, tiny_dataset):
+        engine = BatchedInference(trained)
+        images = tiny_dataset.test_images[:5]
+        engine.collect_responses(images, rng=np.random.default_rng(5))
+
+        UnsupervisedTrainer(trained).train(tiny_dataset.train_images[10:20])
+
+        after = engine.collect_responses(images, rng=np.random.default_rng(5))
+        fresh = BatchedInference(trained).collect_responses(
+            images, rng=np.random.default_rng(5)
+        )
+        assert np.array_equal(after, fresh)
+
+
 class TestEvaluatorIntegration:
     def test_batched_flag(self, trained, tiny_dataset):
         ev = Evaluator(trained, t_present_ms=100.0, batched=True)
