@@ -1,23 +1,41 @@
 #!/usr/bin/env python
-"""Benchmark the fused training fast path and the batched inference engine.
+"""Benchmark the training fast paths and the batched inference engine.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_training.py            # full workload
     PYTHONPATH=src python scripts/bench_training.py --quick    # CI smoke run
+    PYTHONPATH=src python scripts/bench_training.py --quick --check
 
-Times two comparisons and writes the numbers to ``BENCH_train.json`` at the
-repository root:
+Times the training engine trajectory and writes the numbers to
+``BENCH_train.json`` at the repository root:
 
-- **training** — the reference step loop (``UnsupervisedTrainer.train``)
-  against the fused kernel (``fast=True``), trained from identical seeds so
-  the run also re-checks the bit-identity contract (learned conductances and
-  per-image spike counts must match exactly);
+- **training** — a three-row trajectory over the same images and seeds:
+
+  * ``reference`` — the per-step loop (``UnsupervisedTrainer.train``);
+  * ``fused`` — the dense fused kernel (``fast=True``), re-checking the
+    **bit-identity** contract against the reference row (conductances and
+    per-image spike counts must match exactly);
+  * ``event`` — the event-accelerated kernel (``fast="event"``),
+    re-checking the **spike-trajectory equivalence** contract against the
+    fused row (identical per-image spike counts; conductances within
+    ``CONDUCTANCE_ATOL``), plus the measured raster sparsity and
+    steps-skipped occupancy the engine exploited;
+
 - **inference** — the sequential :class:`~repro.pipeline.evaluator.Evaluator`
   against the image-parallel :class:`~repro.engine.batched.BatchedInference`.
 
-The default workload mirrors the Fig. 4 comparison scale: the paper's 1000
-output neurons on 16x16 inputs with the 500 ms presentation schedule.
+The default workload mirrors the Fig. 4 comparison scale at the Table I
+high-frequency rates: 1000 output neurons on 16x16 inputs with 5-78 Hz
+input trains over the 100 ms presentation schedule — the regime the event
+engine's acceptance floor (>= 1.5x over fused) is defined at.
+
+``--check`` compares a fresh run against the committed baseline: the
+equivalence re-checks are **blocking** (exit 1 on any violation — a
+correctness regression), while speedup floors derived from the baseline
+(``CHECK_FLOOR_FRACTION`` of the committed ratios) only emit warnings by
+default (timing on shared CI runners is noisy); ``--strict-speed`` makes
+them blocking too.
 """
 
 from __future__ import annotations
@@ -25,6 +43,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -32,21 +51,27 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Fraction of a committed speedup a fresh measurement must reach before
+#: ``--check`` flags a speed regression.  Generous because CI runners are
+#: noisy; the equivalence checks are exact and carry the blocking weight.
+CHECK_FLOOR_FRACTION = 0.5
+
 
 def _build(n_neurons: int, n_pixels: int, seed: int):
     from repro.config.presets import get_preset
     from repro.network.wta import WTANetwork
 
-    config = get_preset("float32", n_neurons=n_neurons, seed=seed)
+    config = get_preset("high_frequency", n_neurons=n_neurons, seed=seed)
     return WTANetwork(config, n_pixels=n_pixels)
 
 
 def bench_training(args, images) -> dict:
+    from repro.engine.event_train import CONDUCTANCE_ATOL
     from repro.pipeline.trainer import UnsupervisedTrainer
 
     results = {}
     state = {}
-    for label, fast in (("reference", False), ("fused", True)):
+    for label, fast in (("reference", False), ("fused", True), ("event", "event")):
         net = _build(args.neurons, images[0].size, args.seed)
         trainer = UnsupervisedTrainer(net)
         t0 = time.perf_counter()
@@ -59,13 +84,26 @@ def bench_training(args, images) -> dict:
             "total_spikes": int(sum(log.spikes_per_image)),
         }
         state[label] = (net.conductances.copy(), list(log.spikes_per_image))
+        if fast == "event":
+            results[label]["steps_skipped"] = log.steps_skipped
+            results[label]["skipped_fraction"] = log.skipped_fraction
+            results[label]["raster_cell_occupancy"] = log.raster_occupancy
 
-    identical = bool(
+    bit_identical = bool(
         np.array_equal(state["reference"][0], state["fused"][0])
         and state["reference"][1] == state["fused"][1]
     )
+    g_dev = float(np.max(np.abs(state["fused"][0] - state["event"][0])))
+    spike_equivalent = bool(
+        state["fused"][1] == state["event"][1] and g_dev <= CONDUCTANCE_ATOL
+    )
     results["speedup"] = results["reference"]["seconds"] / results["fused"]["seconds"]
-    results["bit_identical"] = identical
+    results["event_speedup"] = results["reference"]["seconds"] / results["event"]["seconds"]
+    results["event_over_fused"] = results["fused"]["seconds"] / results["event"]["seconds"]
+    results["bit_identical"] = bit_identical
+    results["spike_equivalent"] = spike_equivalent
+    results["conductance_max_abs_dev"] = g_dev
+    results["conductance_atol"] = CONDUCTANCE_ATOL
     return results
 
 
@@ -92,7 +130,72 @@ def bench_inference(args, net, images) -> dict:
     }
 
 
-def main() -> None:
+def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: bool) -> int:
+    """Compare a fresh run to the committed baseline; return an exit code.
+
+    Equivalence contracts are blocking: the fresh run must itself be
+    bit-identical (reference vs fused) and spike-equivalent (fused vs
+    event).  Speedups must reach ``CHECK_FLOOR_FRACTION`` of the committed
+    ratios — warnings unless *strict_speed*.
+    """
+    training = payload["training"]
+    failures = []
+    if not training["bit_identical"]:
+        failures.append("fused kernel is no longer bit-identical to the reference loop")
+    if not training["spike_equivalent"]:
+        failures.append(
+            f"event kernel broke spike-trajectory equivalence "
+            f"(conductance max dev {training['conductance_max_abs_dev']:.3e}, "
+            f"atol {training['conductance_atol']:.1e})"
+        )
+
+    warnings = []
+    if baseline_path.exists():
+        baseline_payload = json.loads(baseline_path.read_text())
+        baseline = baseline_payload["training"]
+        scale_keys = ("images", "n_neurons", "image_side")
+        same_scale = all(
+            baseline_payload.get("workload", {}).get(k) == payload["workload"][k]
+            for k in scale_keys
+        )
+        if not same_scale:
+            # Ratios measured at a different scale (e.g. --quick vs the
+            # committed full run) are not comparable; only the equivalence
+            # contracts carry over.
+            print("bench --check: workload differs from baseline; "
+                  "speed floors skipped, equivalence contracts still enforced")
+        else:
+            for key, label in (
+                ("speedup", "fused-over-reference"),
+                ("event_over_fused", "event-over-fused"),
+            ):
+                committed = baseline.get(key)
+                if committed is None:
+                    continue
+                floor = committed * CHECK_FLOOR_FRACTION
+                measured = training[key]
+                if measured < floor:
+                    warnings.append(
+                        f"{label} speedup {measured:.2f}x fell below the floor "
+                        f"{floor:.2f}x ({CHECK_FLOOR_FRACTION:.0%} of committed {committed:.2f}x)"
+                    )
+    else:
+        warnings.append(f"no baseline at {baseline_path}; speed floors not checked")
+
+    for message in warnings:
+        print(f"::warning::bench --check: {message}")
+    for message in failures:
+        print(f"::error::bench --check: {message}")
+    if failures:
+        return 1
+    if warnings and strict_speed:
+        return 2
+    print("bench --check: equivalence contracts hold"
+          + ("" if warnings else "; speedups above floors"))
+    return 0
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help="small smoke workload (CI); overrides the scale flags")
@@ -102,6 +205,14 @@ def main() -> None:
     parser.add_argument("--size", type=int, default=16, help="image side length")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_train.json")
+    parser.add_argument("--check", action="store_true",
+                        help="regression mode: verify equivalence contracts (blocking) "
+                             "and speedup floors vs --baseline (warning); "
+                             "does not overwrite --out")
+    parser.add_argument("--baseline", type=Path, default=REPO_ROOT / "BENCH_train.json",
+                        help="committed results used to derive --check floors")
+    parser.add_argument("--strict-speed", action="store_true",
+                        help="with --check: speed-floor violations also exit non-zero")
     args = parser.parse_args()
 
     if args.quick:
@@ -113,10 +224,12 @@ def main() -> None:
     data = load_dataset("mnist", n_train=args.images, n_test=args.images,
                         size=args.size, seed=args.seed)
 
-    # Warm up BLAS/allocator so first-call overhead doesn't skew the ratio.
+    # Warm up BLAS/allocator so first-call overhead doesn't skew the ratios.
     warm = _build(args.neurons, data.train_images[0].size, args.seed)
     from repro.pipeline.trainer import UnsupervisedTrainer
     UnsupervisedTrainer(warm).train(data.train_images[:1], fast=True)
+    warm = _build(args.neurons, data.train_images[0].size, args.seed)
+    UnsupervisedTrainer(warm).train(data.train_images[:1], fast="event")
 
     training = bench_training(args, data.train_images)
     trained_net = _build(args.neurons, data.train_images[0].size, args.seed)
@@ -130,6 +243,7 @@ def main() -> None:
             "image_side": args.size,
             "seed": args.seed,
             "quick": args.quick,
+            "preset": "high_frequency",
         },
         "training": training,
         "inference": inference,
@@ -140,17 +254,30 @@ def main() -> None:
             "backend": backend_name(),
         },
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(f"training : reference {training['reference']['seconds']:.3f}s  "
           f"fused {training['fused']['seconds']:.3f}s  "
-          f"speedup {training['speedup']:.2f}x  "
-          f"bit_identical={training['bit_identical']}")
+          f"event {training['event']['seconds']:.3f}s")
+    print(f"           fused {training['speedup']:.2f}x  "
+          f"event {training['event_speedup']:.2f}x  "
+          f"event/fused {training['event_over_fused']:.2f}x  "
+          f"bit_identical={training['bit_identical']}  "
+          f"spike_equivalent={training['spike_equivalent']}")
+    print(f"           raster occupancy {training['event']['raster_cell_occupancy']:.4f}  "
+          f"steps skipped {training['event']['steps_skipped']}/"
+          f"{training['event']['steps']} "
+          f"({training['event']['skipped_fraction']:.1%})")
     print(f"inference: sequential {inference['sequential_seconds']:.3f}s  "
           f"batched {inference['batched_seconds']:.3f}s  "
           f"speedup {inference['speedup']:.2f}x")
+
+    if args.check:
+        return check_against_baseline(payload, args.baseline, args.strict_speed)
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -85,6 +85,21 @@ class SeedStudy:
         self._scores[name] = scores
         return summarize(scores)
 
+    def record(self, name: str, scores: Sequence[float]) -> Summary:
+        """Register externally-computed per-seed *scores* for *name*.
+
+        The entry point for parallel runners (e.g. ``ParameterSweep`` with
+        ``n_workers``) that evaluate the seeds elsewhere but want the same
+        aggregation/reporting; *scores* must be ordered like :attr:`seeds`.
+        """
+        scores = [float(s) for s in scores]
+        if len(scores) != len(self.seeds):
+            raise ReproError(
+                f"expected {len(self.seeds)} scores (one per seed), got {len(scores)}"
+            )
+        self._scores[name] = scores
+        return summarize(scores)
+
     def scores(self, name: str) -> List[float]:
         if name not in self._scores:
             raise ReproError(f"no variant named {name!r}; ran {sorted(self._scores)}")

@@ -14,10 +14,18 @@
   presentation per kernel call, pre-generated spike trains and
   allocation-free in-place stepping, bit-identical to the reference loop
   (``UnsupervisedTrainer(..).train(images, fast=True)``).
+- :mod:`repro.engine.event_train` — the event-accelerated training tier:
+  sparse input events, closed-form jumps across quiescent spans bounded by
+  a threshold-crossing predictor, lazy plasticity/timer state;
+  spike-trajectory equivalent to the fused oracle
+  (``UnsupervisedTrainer(..).train(images, fast="event")``).
+- :mod:`repro.engine.plasticity` — the column-restricted STDP application
+  shared by both fast kernels.
 - :mod:`repro.engine.monitors` — spike/state/conductance recording.
 """
 
 from repro.engine.batched import BatchedInference
+from repro.engine.event_train import CONDUCTANCE_ATOL, EventPresentation, EventTrainStats
 from repro.engine.fused import FusedPresentation
 from repro.engine.clock import SimulationClock
 from repro.engine.event_driven import CurrentStep, EventDrivenLIF, poisson_like_schedule
@@ -28,6 +36,9 @@ from repro.engine.simulator import Simulator, StepResult
 
 __all__ = [
     "BatchedInference",
+    "CONDUCTANCE_ATOL",
+    "EventPresentation",
+    "EventTrainStats",
     "FusedPresentation",
     "SimulationClock",
     "CurrentStep",

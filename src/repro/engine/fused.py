@@ -40,21 +40,18 @@ numpy RNG streams); the CuPy backend accelerates the image-parallel
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.backend import backend_name, get_array_module
-from repro.config.parameters import RoundingMode
-from repro.errors import ConfigurationError, SimulationError
-from repro.learning.deterministic import DeterministicSTDP
-from repro.learning.stochastic import LTDMode, StochasticSTDP
-from repro.learning.updates import (
-    depression_magnitude,
-    depression_probability,
-    potentiation_magnitude,
-    potentiation_probability,
+from repro.engine.plasticity import (
+    deterministic_rule_columns,
+    resolve_fast_rule,
+    stochastic_rule_columns,
 )
+from repro.errors import ConfigurationError, SimulationError
 from repro.network.wta import WTANetwork
-from repro.quantization.quantizer import FloatQuantizer
 
 
 class FusedPresentation:
@@ -87,23 +84,10 @@ class FusedPresentation:
         self._scale_denom = cfg.wta.e_excitatory - cfg.lif.v_reset
         self._subtractive = network.neurons.inhibition_strength > 0.0
 
-        # Column-restricted STDP dispatch.  The learned values are identical
-        # either way; the restriction is only valid when the quantiser draws
-        # no RNG inside quantize()/quantize_delta() (otherwise the skipped
-        # columns would have consumed draws in the full-matrix path and the
-        # ``learning`` stream would diverge).  Stochastic *rounding* and the
-        # pair-LTD modes therefore fall back to the reference rule object.
-        quantizer = network.synapses.quantizer
-        rng_free_quantizer = isinstance(quantizer, FloatQuantizer) or (
-            quantizer.rounding is not RoundingMode.STOCHASTIC
-        )
-        self._fast_rule = None
-        if rng_free_quantizer:
-            rule = network.rule
-            if isinstance(rule, DeterministicSTDP):
-                self._fast_rule = "deterministic"
-            elif isinstance(rule, StochasticSTDP) and rule.ltd_mode is LTDMode.POST_EVENT:
-                self._fast_rule = "stochastic"
+        # Column-restricted STDP dispatch (shared with the event kernel; see
+        # repro.engine.plasticity for the validity argument).  Configs the
+        # restriction cannot serve fall back to the reference rule object.
+        self._fast_rule = resolve_fast_rule(network)
 
         # Preallocated per-step work buffers.
         self._scale = np.empty(n, dtype=np.float64)
@@ -121,17 +105,30 @@ class FusedPresentation:
     # kernel
     # ------------------------------------------------------------------
 
-    def run(self, image: np.ndarray, t_ms: float, n_steps: int, dt_ms: float):
+    def run(
+        self,
+        image: np.ndarray,
+        t_ms: float,
+        n_steps: int,
+        dt_ms: float,
+        profiler=None,
+    ):
         """Present *image* for *n_steps* steps of *dt_ms*, starting at *t_ms*.
 
         Returns ``(total_output_spikes, t_ms_after)``.  ``t_ms`` advances by
         repeated addition of ``dt_ms`` — the same floating-point
         accumulation the reference trainer performs — so the spike times fed
         to the STDP timers match exactly.
+
+        *profiler* (a :class:`~repro.engine.profiler.StepProfiler`) splits
+        the presentation into encode / integrate / stdp / wta sections for
+        the Fig. 4 breakdown; instrumentation adds a few percent overhead
+        and changes no results.
         """
         if n_steps < 0:
             raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
         net = self.net
+        clock = time.perf_counter if profiler is not None else None
         neurons = net.neurons
         timers = net.timers
         rule = net.rule
@@ -141,9 +138,13 @@ class FusedPresentation:
 
         # One vectorised draw for the whole presentation (same stream order
         # as per-step draws), cast to float once for the per-step matmuls.
+        if clock is not None:
+            _t0 = clock()
         net.present_image(image)
         raster = net.encoder.generate_train(n_steps, dt_ms, net.rngs.encoding)
         raster_f = raster.astype(np.float64)
+        if clock is not None:
+            profiler.add("encode", clock() - _t0)
         # Steps with no input spikes inject exactly 0.0 (conductances and the
         # drive amplitude are non-negative), so their matmul can be skipped.
         row_any = raster.any(axis=1)
@@ -182,6 +183,8 @@ class FusedPresentation:
         fast_rule = self._fast_rule
         total_spikes = 0
         for i in range(n_steps):
+            if clock is not None:
+                _t0 = clock()
             input_spikes = raster[i]
             any_input = row_any[i]
             if any_input:
@@ -249,6 +252,9 @@ class FusedPresentation:
             np.maximum(refractory, 0.0, out=refractory)
             inhibited_left -= dt_ms
             np.maximum(inhibited_left, 0.0, out=inhibited_left)
+            if clock is not None:
+                _t1 = clock()
+                profiler.add("integrate", _t1 - _t0)
 
             # --- winner-take-all arbitration -----------------------------
             if single_winner and n_fired > 1:
@@ -257,6 +263,9 @@ class FusedPresentation:
                 spikes.fill(False)
                 spikes[winner] = True
                 n_fired = 1
+            if clock is not None:
+                _t2 = clock()
+                profiler.add("wta", _t2 - _t1, calls=0)
 
             # --- plasticity and timers -----------------------------------
             # The column-restricted rule paths reproduce the reference
@@ -269,60 +278,26 @@ class FusedPresentation:
                     )
                 elif n_fired:
                     if fast_rule == "stochastic":
-                        self._stochastic_rule_columns(rule, timers, spikes, t_ms, rng_learning)
+                        stochastic_rule_columns(
+                            rule, net.synapses, timers, spikes, t_ms, rng_learning
+                        )
                     else:
-                        self._deterministic_rule_columns(rule, timers, spikes, t_ms, rng_learning)
+                        deterministic_rule_columns(
+                            rule, net.synapses, timers, spikes, t_ms, rng_learning
+                        )
             if n_fired:
                 timers._last_post[spikes] = t_ms
+            if clock is not None:
+                _t3 = clock()
+                profiler.add("stdp", _t3 - _t2)
 
             if n_fired and t_inh > 0.0:
                 np.logical_not(spikes, out=losers)
                 neurons.inhibit(losers, t_inh)
+            if clock is not None:
+                profiler.add("wta", clock() - _t3)
 
             total_spikes += n_fired
             t_ms += dt_ms
 
         return total_spikes, t_ms
-
-    # ------------------------------------------------------------------
-    # column-restricted STDP (bit-identical to the reference rules)
-    # ------------------------------------------------------------------
-
-    def _stochastic_rule_columns(self, rule, timers, post, t_ms, rng) -> None:
-        """``StochasticSTDP._post_spike_updates`` on the spiking columns only.
-
-        The Bernoulli draw shapes are ``(n_pre, k)`` in the reference rule
-        already, so consuming the ``learning`` stream identically is free;
-        the saving is the full-matrix delta/quantise in ``apply_delta``,
-        replaced by :meth:`ConductanceMatrix.apply_delta_columns`.
-        """
-        elapsed = timers.elapsed_pre(t_ms)
-        p_pot = potentiation_probability(elapsed, rule.params)
-        cols = np.flatnonzero(post)
-        draws = rng.random(size=(elapsed.shape[0], cols.size))
-        pot_mask = draws < p_pot[:, None]
-
-        p_dep = depression_probability(elapsed, rule.params)
-        dep_draws = rng.random(size=pot_mask.shape)
-        dep_mask = ~pot_mask & (dep_draws < p_dep[:, None])
-        if not pot_mask.any() and not dep_mask.any():
-            return
-
-        synapses = self.net.synapses
-        g_cols = synapses.g[:, cols]
-        dg_pot = potentiation_magnitude(g_cols, rule.magnitudes)
-        dg_dep = depression_magnitude(g_cols, rule.magnitudes)
-        delta_cols = np.where(pot_mask, dg_pot, 0.0) - np.where(dep_mask, dg_dep, 0.0)
-        synapses.apply_delta_columns(cols, delta_cols, rng)
-
-    def _deterministic_rule_columns(self, rule, timers, post, t_ms, rng) -> None:
-        """``DeterministicSTDP.step`` on the spiking columns only."""
-        elapsed = timers.elapsed_pre(t_ms)
-        recent = elapsed <= rule.params.window_ms
-        cols = np.flatnonzero(post)
-        synapses = self.net.synapses
-        g_cols = synapses.g[:, cols]
-        dg_pot = potentiation_magnitude(g_cols, rule.params)
-        dg_dep = depression_magnitude(g_cols, rule.params)
-        delta_cols = np.where(recent[:, None], dg_pot, -dg_dep)
-        synapses.apply_delta_columns(cols, delta_cols, rng)

@@ -1,0 +1,101 @@
+"""Column-restricted STDP application shared by the fast training kernels.
+
+Both the fused clock-driven kernel (:mod:`repro.engine.fused`) and the
+event-accelerated kernel (:mod:`repro.engine.event_train`) exploit the same
+observation: at a post-synaptic spike the STDP rules only change the
+*spiking columns* of the conductance matrix, so the full-matrix
+delta/quantise round trip in ``ConductanceMatrix.apply_delta`` can be
+replaced by :meth:`~repro.synapses.conductance.ConductanceMatrix.apply_delta_columns`
+over those columns.
+
+The learned values are identical either way; the restriction is only valid
+when the quantiser draws no RNG inside ``quantize()``/``quantize_delta()``
+(otherwise the skipped columns would have consumed draws in the full-matrix
+path and the ``learning`` stream would diverge).  Stochastic *rounding* and
+the pair-LTD modes therefore report ``None`` from :func:`resolve_fast_rule`
+and the kernels fall back to the reference rule object.
+
+The Bernoulli draw shapes in the stochastic rule are ``(n_pre, k)`` in the
+reference implementation already, so consuming the ``learning`` stream
+identically is free; bit-identity of both the conductances and the RNG
+stream position is part of the fused kernel's contract and covered by
+``tests/test_fused.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config.parameters import RoundingMode
+from repro.learning.deterministic import DeterministicSTDP
+from repro.learning.stochastic import LTDMode, StochasticSTDP
+from repro.learning.updates import (
+    depression_magnitude,
+    depression_probability,
+    potentiation_magnitude,
+    potentiation_probability,
+)
+from repro.quantization.quantizer import FloatQuantizer
+
+
+def resolve_fast_rule(network) -> Optional[str]:
+    """Which column-restricted path serves *network*, or ``None``.
+
+    Returns ``"deterministic"`` / ``"stochastic"`` when the rule/quantiser
+    combination admits the column restriction, else ``None`` (kernels then
+    call the reference ``rule.step`` full-matrix path, which remains
+    bit-identical by construction).
+    """
+    quantizer = network.synapses.quantizer
+    rng_free_quantizer = isinstance(quantizer, FloatQuantizer) or (
+        quantizer.rounding is not RoundingMode.STOCHASTIC
+    )
+    if not rng_free_quantizer:
+        return None
+    rule = network.rule
+    if isinstance(rule, DeterministicSTDP):
+        return "deterministic"
+    if isinstance(rule, StochasticSTDP) and rule.ltd_mode is LTDMode.POST_EVENT:
+        return "stochastic"
+    return None
+
+
+def stochastic_rule_columns(rule, synapses, timers, post, t_ms, rng) -> None:
+    """``StochasticSTDP._post_spike_updates`` on the spiking columns only.
+
+    The Bernoulli draw shapes are ``(n_pre, k)`` in the reference rule
+    already, so consuming the ``learning`` stream identically is free; the
+    saving is the full-matrix delta/quantise in ``apply_delta``, replaced by
+    :meth:`ConductanceMatrix.apply_delta_columns`.
+    """
+    elapsed = timers.elapsed_pre(t_ms)
+    p_pot = potentiation_probability(elapsed, rule.params)
+    cols = np.flatnonzero(post)
+    draws = rng.random(size=(elapsed.shape[0], cols.size))
+    pot_mask = draws < p_pot[:, None]
+
+    p_dep = depression_probability(elapsed, rule.params)
+    dep_draws = rng.random(size=pot_mask.shape)
+    dep_mask = ~pot_mask & (dep_draws < p_dep[:, None])
+    if not pot_mask.any() and not dep_mask.any():
+        return
+
+    g_cols = synapses.g[:, cols]
+    dg_pot = potentiation_magnitude(g_cols, rule.magnitudes)
+    dg_dep = depression_magnitude(g_cols, rule.magnitudes)
+    delta_cols = np.where(pot_mask, dg_pot, 0.0) - np.where(dep_mask, dg_dep, 0.0)
+    synapses.apply_delta_columns(cols, delta_cols, rng)
+
+
+def deterministic_rule_columns(rule, synapses, timers, post, t_ms, rng) -> None:
+    """``DeterministicSTDP.step`` on the spiking columns only."""
+    elapsed = timers.elapsed_pre(t_ms)
+    recent = elapsed <= rule.params.window_ms
+    cols = np.flatnonzero(post)
+    g_cols = synapses.g[:, cols]
+    dg_pot = potentiation_magnitude(g_cols, rule.params)
+    dg_dep = depression_magnitude(g_cols, rule.params)
+    delta_cols = np.where(recent[:, None], dg_pot, -dg_dep)
+    synapses.apply_delta_columns(cols, delta_cols, rng)

@@ -1,4 +1,4 @@
-"""Seed-averaged parameter sweeps.
+"""Seed-averaged parameter sweeps, sequential or process-parallel.
 
 The reduced-scale runs are noisy (WTA winner races), so trend studies need
 the same experiment repeated over seeds and variants compared on aggregate.
@@ -6,9 +6,18 @@ the same experiment repeated over seeds and variants compared on aggregate.
 ``seed -> ExperimentConfig``) over a seed list against one dataset, records
 per-seed accuracies and produces a report table.
 
+Per-seed runs are independent (each builds its network from its own
+``config.seed``-derived :class:`~repro.engine.rng.RngStreams`), so a sweep
+is embarrassingly parallel: pass ``n_workers > 1`` to fan the seeds out
+over a ``ProcessPoolExecutor``.  Determinism is preserved — the factory is
+evaluated *in the parent* (factories are often lambdas/closures, which do
+not pickle) and only the resulting config dataclass, the dataset and the
+run options travel to the workers, so a parallel sweep produces exactly
+the score table the sequential default would.
+
 Example::
 
-    sweep = ParameterSweep(dataset, seeds=(3, 5, 7), epochs=2)
+    sweep = ParameterSweep(dataset, seeds=(3, 5, 7), epochs=2, n_workers=3)
     sweep.add("stochastic", lambda s: get_preset("float32", seed=s))
     sweep.add("baseline", lambda s: baseline_preset(seed=s))
     print(sweep.table(title="float32: stochastic vs baseline"))
@@ -16,7 +25,10 @@ Example::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+import multiprocessing
 
 from repro.analysis.report import format_table
 from repro.analysis.statistics import SeedStudy, Summary
@@ -29,8 +41,32 @@ from repro.pipeline.experiment import run_experiment
 ConfigFactory = Callable[[int], ExperimentConfig]
 
 
+def _run_one(payload) -> float:
+    """Module-level worker: one ``run_experiment`` call, returns accuracy.
+
+    Must stay a top-level function (and take one picklable tuple) so the
+    spawn-based process pool can import and call it.
+    """
+    config, dataset, n_labeling, epochs, ltd_mode, batched_eval = payload
+    result = run_experiment(
+        config,
+        dataset,
+        n_labeling=n_labeling,
+        epochs=epochs,
+        ltd_mode=ltd_mode,
+        batched_eval=batched_eval,
+    )
+    return result.accuracy
+
+
 class ParameterSweep:
-    """Run config variants across seeds; aggregate accuracy per variant."""
+    """Run config variants across seeds; aggregate accuracy per variant.
+
+    ``n_workers=None`` (or 1) keeps the sequential in-process default;
+    ``n_workers > 1`` evaluates each variant's seeds concurrently in
+    ``spawn``-context worker processes (safe under BLAS/OpenMP threading),
+    with identical results.
+    """
 
     def __init__(
         self,
@@ -40,33 +76,60 @@ class ParameterSweep:
         epochs: int = 1,
         ltd_mode: LTDMode = LTDMode.POST_EVENT,
         batched_eval: bool = True,
+        n_workers: Optional[int] = None,
     ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ReproError(f"n_workers must be >= 1, got {n_workers}")
         self.dataset = dataset
         self.study = SeedStudy(list(seeds))
         self.n_labeling = n_labeling
         self.epochs = epochs
         self.ltd_mode = ltd_mode
         self.batched_eval = batched_eval
+        self.n_workers = n_workers
         self._order: List[str] = []
 
     def add(self, name: str, factory: ConfigFactory, epochs: Optional[int] = None) -> Summary:
         """Run one variant across all seeds; returns its accuracy summary."""
         if name in self._order:
             raise ReproError(f"variant {name!r} already swept")
+        run_epochs = epochs if epochs is not None else self.epochs
 
-        def score(seed: int) -> float:
-            config = factory(seed)
-            result = run_experiment(
-                config,
-                self.dataset,
-                n_labeling=self.n_labeling,
-                epochs=epochs if epochs is not None else self.epochs,
-                ltd_mode=self.ltd_mode,
-                batched_eval=self.batched_eval,
-            )
-            return result.accuracy
+        if self.n_workers is not None and self.n_workers > 1:
+            # Factories run in the parent (closures don't pickle); only the
+            # per-seed configs and shared options ship to the workers.
+            payloads = [
+                (
+                    factory(seed),
+                    self.dataset,
+                    self.n_labeling,
+                    run_epochs,
+                    self.ltd_mode,
+                    self.batched_eval,
+                )
+                for seed in self.study.seeds
+            ]
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=min(self.n_workers, len(payloads)), mp_context=context
+            ) as pool:
+                scores = list(pool.map(_run_one, payloads))
+            summary = self.study.record(name, scores)
+        else:
 
-        summary = self.study.run(name, score)
+            def score(seed: int) -> float:
+                return _run_one(
+                    (
+                        factory(seed),
+                        self.dataset,
+                        self.n_labeling,
+                        run_epochs,
+                        self.ltd_mode,
+                        self.batched_eval,
+                    )
+                )
+
+            summary = self.study.run(name, score)
         self._order.append(name)
         return summary
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -34,12 +34,30 @@ class TrainingLog:
     #: Output spikes per presented image.
     spikes_per_image: List[int] = field(default_factory=list)
     normalizations: int = 0
+    #: Steps absorbed by the event engine's closed-form jumps (zero for the
+    #: dense reference/fused engines, which step every one of
+    #: ``total_steps`` explicitly).
+    steps_skipped: int = 0
+    #: Input raster occupancy counters (populated by the event engine):
+    #: total ``(step, channel)`` cells presented and how many were active.
+    raster_cells: int = 0
+    raster_active_cells: int = 0
 
     @property
     def mean_spikes_per_image(self) -> float:
         if not self.spikes_per_image:
             return 0.0
         return float(np.mean(self.spikes_per_image))
+
+    @property
+    def skipped_fraction(self) -> float:
+        """Fraction of simulation steps jumped over analytically."""
+        return self.steps_skipped / self.total_steps if self.total_steps else 0.0
+
+    @property
+    def raster_occupancy(self) -> float:
+        """Measured input-raster density (active cells / all cells)."""
+        return self.raster_active_cells / self.raster_cells if self.raster_cells else 0.0
 
     @property
     def simulated_minutes(self) -> float:
@@ -65,19 +83,31 @@ class UnsupervisedTrainer:
         images: np.ndarray,
         epochs: int = 1,
         on_image_end: Optional[Callable[[int, TrainingLog], None]] = None,
-        fast: bool = False,
+        fast: Union[bool, str] = False,
     ) -> TrainingLog:
         """Learn from *images* (``(n, h, w)`` or ``(n, pixels)``).
 
         ``on_image_end(image_index, log)`` fires after each presentation —
         the hook the moving-error-rate probe (Fig. 8c) uses.
 
-        ``fast=True`` routes each presentation through the
-        :class:`~repro.engine.fused.FusedPresentation` kernel: pre-generated
-        spike trains and allocation-free stepping, bit-identical to the
-        reference step loop under the same seeds but several times faster
-        (see ``scripts/bench_training.py``).  The reference loop remains the
-        correctness oracle the fused path is tested against.
+        ``fast`` selects the presentation engine:
+
+        - ``False`` (default) — the reference per-step loop, the
+          correctness oracle;
+        - ``True`` or ``"fused"`` — the
+          :class:`~repro.engine.fused.FusedPresentation` kernel:
+          pre-generated spike trains and allocation-free stepping,
+          **bit-identical** to the reference loop under the same seeds but
+          several times faster;
+        - ``"event"`` — the
+          :class:`~repro.engine.event_train.EventPresentation` kernel:
+          sparse input events and closed-form jumps across quiescent spans,
+          **spike-trajectory equivalent** (same spike trains under pinned
+          seeds, conductances within ``CONDUCTANCE_ATOL``) and faster
+          still; it also populates the log's ``steps_skipped`` / raster
+          occupancy counters.
+
+        ``scripts/bench_training.py`` records the measured trajectory.
         """
         batch = np.asarray(images)
         if batch.ndim == 2:
@@ -91,10 +121,21 @@ class UnsupervisedTrainer:
         log = TrainingLog()
 
         kernel = None
-        if fast:
+        if fast is True or fast == "fused":
             from repro.engine.fused import FusedPresentation
 
             kernel = FusedPresentation(self.network)
+        elif fast == "event":
+            from repro.engine.event_train import EventPresentation
+
+            kernel = EventPresentation(self.network)
+        elif fast:
+            raise SimulationError(
+                f"unknown fast engine {fast!r}: use False (reference), "
+                f"True/'fused' (bit-identical kernel) or 'event' "
+                f"(spike-trajectory-equivalent kernel)"
+            )
+        kernel_stats = getattr(kernel, "stats", None)
 
         self.progress.start(batch.shape[0] * epochs, "train")
         start = time.perf_counter()
@@ -122,6 +163,10 @@ class UnsupervisedTrainer:
                 log.total_steps += steps_per_image
                 log.simulated_ms = seen * (sim.t_learn_ms + sim.t_rest_ms)
                 log.spikes_per_image.append(spikes_this_image)
+                if kernel_stats is not None:
+                    log.steps_skipped = kernel_stats.steps_skipped
+                    log.raster_cells = kernel_stats.raster_cells
+                    log.raster_active_cells = kernel_stats.raster_active_cells
                 log.wall_seconds = time.perf_counter() - start
                 self.progress.update(seen, f"{spikes_this_image} spikes")
                 if on_image_end is not None:

@@ -5,7 +5,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.engine.profiler import StepProfiler, profile_wta_step
+from repro.engine.profiler import StepProfiler, profile_presentation, profile_wta_step
 from repro.errors import SimulationError
 from repro.network.wta import WTANetwork
 
@@ -47,6 +47,25 @@ class TestStepProfiler:
         with pytest.raises(SimulationError):
             profiler.table()
 
+    def test_add_accumulates_raw_spans(self):
+        profiler = StepProfiler()
+        profiler.add("stdp", 0.25)
+        profiler.add("stdp", 0.75, calls=2)
+        assert profiler.totals["stdp"] == pytest.approx(1.0)
+        assert profiler.rows()[0][3] == 3
+
+    def test_add_mixes_with_sections(self):
+        profiler = StepProfiler()
+        with profiler.section("mixed"):
+            pass
+        profiler.add("mixed", 1.0, calls=0)
+        assert profiler.totals["mixed"] >= 1.0
+        assert profiler.rows()[0][3] == 1  # calls=0 span added no call
+
+    def test_add_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            StepProfiler().add("x", -0.1)
+
 
 class TestWtaProfile:
     def test_profiles_all_phases(self, tiny_config, tiny_dataset):
@@ -66,3 +85,41 @@ class TestWtaProfile:
         net = WTANetwork(tiny_config, 64)
         with pytest.raises(SimulationError):
             profile_wta_step(net, tiny_dataset.train_images[0], n_steps=0)
+
+
+class TestPresentationProfile:
+    KERNEL_SECTIONS = {"encode", "integrate", "stdp", "wta"}
+
+    @pytest.mark.parametrize("engine", ["fused", "event"])
+    def test_kernel_sections(self, tiny_config, tiny_dataset, engine):
+        net = WTANetwork(tiny_config, 64)
+        profiler = profile_presentation(
+            net, tiny_dataset.train_images[0], engine=engine, n_steps=50
+        )
+        assert set(profiler.totals) == self.KERNEL_SECTIONS
+        assert profiler.total_seconds() > 0
+
+    def test_presentation_really_trains(self, tiny_config):
+        net = WTANetwork(tiny_config, 64)
+        before = net.conductances.copy()
+        profile_presentation(
+            net, np.full((8, 8), 255, dtype=np.uint8), engine="fused", n_steps=200
+        )
+        assert not np.array_equal(net.conductances, before)
+
+    def test_reference_engine_delegates(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, 64)
+        profiler = profile_presentation(
+            net, tiny_dataset.train_images[0], engine="reference", n_steps=50
+        )
+        assert set(profiler.totals) == {"encode", "propagate", "neurons", "learning"}
+
+    def test_unknown_engine_rejected(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, 64)
+        with pytest.raises(SimulationError):
+            profile_presentation(net, tiny_dataset.train_images[0], engine="warp")
+
+    def test_invalid_steps(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, 64)
+        with pytest.raises(SimulationError):
+            profile_presentation(net, tiny_dataset.train_images[0], n_steps=0)

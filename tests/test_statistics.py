@@ -72,6 +72,17 @@ class TestSeedStudy:
         assert diff.mean == pytest.approx(1.0)
         assert diff.std == 0.0
 
+    def test_record_precomputed_scores(self):
+        study = SeedStudy([0, 1, 2])
+        summary = study.record("v", [0.1, 0.2, 0.3])
+        assert summary.n == 3
+        assert study.scores("v") == [0.1, 0.2, 0.3]
+
+    def test_record_rejects_length_mismatch(self):
+        study = SeedStudy([0, 1])
+        with pytest.raises(ReproError):
+            study.record("v", [0.5])
+
     def test_unknown_variant_rejected(self):
         with pytest.raises(ReproError):
             SeedStudy([0]).scores("nope")

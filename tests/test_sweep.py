@@ -57,3 +57,36 @@ class TestSweep:
         sweep = ParameterSweep(tiny_dataset, seeds=(0,), n_labeling=6, epochs=1)
         sweep.add("more", factory, epochs=2)
         assert seen == [0]
+
+
+class TestParallelSweep:
+    def test_parallel_matches_sequential(self, tiny_dataset):
+        """The determinism contract: fanning seeds out over worker
+        processes must reproduce the sequential score table exactly."""
+        sequential = ParameterSweep(tiny_dataset, seeds=(0, 1), n_labeling=6, epochs=1)
+        sequential.add("stochastic", tiny_factory())
+        parallel = ParameterSweep(
+            tiny_dataset, seeds=(0, 1), n_labeling=6, epochs=1, n_workers=2
+        )
+        parallel.add("stochastic", tiny_factory())
+        assert parallel.scores("stochastic") == sequential.scores("stochastic")
+        assert parallel.table() == sequential.table()
+
+    def test_single_worker_stays_in_process(self, tiny_dataset):
+        """``n_workers=1`` must use the in-process path, so even a
+        non-picklable closure over local state still works."""
+        local_state = {"calls": 0}
+
+        def factory(seed):
+            local_state["calls"] += 1
+            return tiny_factory()(seed)
+
+        sweep = ParameterSweep(tiny_dataset, seeds=(0,), n_labeling=6, n_workers=1)
+        sweep.add("one", factory)
+        assert local_state["calls"] == 1
+
+    def test_invalid_worker_count_rejected(self, tiny_dataset):
+        with pytest.raises(ReproError):
+            ParameterSweep(tiny_dataset, n_workers=0)
+        with pytest.raises(ReproError):
+            ParameterSweep(tiny_dataset, n_workers=-2)
