@@ -36,7 +36,7 @@ def test_fig5a_maps_baseline_vs_stochastic(benchmark, scale, mnist, fashion, dat
     for kind in (STDPKind.DETERMINISTIC, STDPKind.STOCHASTIC):
         cfg = scaled_preset("float32", scale, stdp_kind=kind)
         results[kind] = run_experiment(
-            cfg, dataset, n_labeling=scale.n_labeling, epochs=scale.epochs, batched_eval=True
+            cfg, dataset, n_labeling=scale.n_labeling, epochs=scale.epochs, eval_engine="batched"
         )
 
     rows = []
@@ -92,7 +92,7 @@ def test_fig5b_frequency_effect_on_maps(benchmark, scale, mnist):
     rows = []
     for factor in (1.0, 2.0, 3.5, 6.0):
         cfg = control.boosted_config(base, factor)
-        result = run_experiment(cfg, mnist, n_labeling=scale.n_labeling, epochs=scale.epochs, batched_eval=True)
+        result = run_experiment(cfg, mnist, n_labeling=scale.n_labeling, epochs=scale.epochs, eval_engine="batched")
         rows.append(
             [
                 f"{cfg.encoding.f_min_hz:g}-{cfg.encoding.f_max_hz:g} Hz",

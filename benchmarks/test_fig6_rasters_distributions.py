@@ -52,7 +52,7 @@ def test_fig6b_q17_conductance_distribution(benchmark, scale, mnist):
     for kind in (STDPKind.STOCHASTIC, STDPKind.DETERMINISTIC):
         cfg = scaled_preset("8bit", scale, stdp_kind=kind)
         results[kind] = run_experiment(
-            cfg, mnist, n_labeling=scale.n_labeling, epochs=scale.epochs, batched_eval=True
+            cfg, mnist, n_labeling=scale.n_labeling, epochs=scale.epochs, eval_engine="batched"
         )
 
     rows = []

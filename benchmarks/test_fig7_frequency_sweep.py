@@ -41,7 +41,7 @@ def test_fig7_frequency_sweep(benchmark, scale, mnist):
         accs = []
         for factor in FACTORS:
             cfg = control.boosted_config(base, factor)
-            result = run_experiment(cfg, mnist, n_labeling=scale.n_labeling, epochs=scale.epochs, batched_eval=True)
+            result = run_experiment(cfg, mnist, n_labeling=scale.n_labeling, epochs=scale.epochs, eval_engine="batched")
             sim_minutes = result.training.simulated_minutes
             accs.append(result.accuracy)
             rows.append(

@@ -53,7 +53,7 @@ def test_fig8_summary(benchmark, scale, mnist):
             cfg,
             mnist,
             n_labeling=scale.n_labeling,
-            epochs=epochs, batched_eval=True,
+            epochs=epochs, eval_engine="batched",
             track_moving_error=True,
             probe_every=max(scale.n_train // 4, 1),
             probe_size=20,

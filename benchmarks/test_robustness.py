@@ -29,7 +29,7 @@ def test_robustness_to_input_corruption(benchmark, scale, mnist):
     UnsupervisedTrainer(net).train(mnist.train_images, epochs=scale.epochs)
 
     label_x, label_y, test_x, test_y = mnist.labeling_split(scale.n_labeling)
-    evaluator = Evaluator(net, n_classes=10, batched=True)
+    evaluator = Evaluator(net, n_classes=10, engine="batched")
     neuron_labels = evaluator.label_neurons(label_x, label_y)
 
     def accuracy(images):

@@ -38,7 +38,7 @@ def _accuracy(preset, scale, dataset, kind, rounding, epochs=None):
     result = run_experiment(
         cfg, dataset, n_labeling=scale.n_labeling,
         epochs=epochs if epochs is not None else scale.epochs,
-        batched_eval=True,
+        eval_engine="batched",
     )
     return result.accuracy
 

@@ -52,7 +52,7 @@ def main() -> None:
         image = rng.integers(0, 255, size=(8, 8), dtype=np.uint8)
         network.present_image(image)
         sim.run(200.0)
-    stats = sim.run(0.0)
+    sim.run(0.0)
 
     print(f"excitatory spikes: {exc_monitor.count}")
     print(f"izhikevich spikes: {izh_monitor.count}")

@@ -29,7 +29,7 @@ def mean_accuracy(preset: str, kind: STDPKind, dataset) -> float:
     accs = []
     for seed in SEEDS:
         config = get_preset(preset, stdp_kind=kind, n_neurons=30, seed=seed)
-        result = run_experiment(config, dataset, n_labeling=40, epochs=2, batched_eval=True)
+        result = run_experiment(config, dataset, n_labeling=40, epochs=2, eval_engine="batched")
         accs.append(result.accuracy)
     return float(np.mean(accs))
 

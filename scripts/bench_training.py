@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Benchmark the training fast paths and the batched inference engine.
+"""Benchmark the presentation engines across training and evaluation.
 
 Usage::
 
@@ -7,23 +7,28 @@ Usage::
     PYTHONPATH=src python scripts/bench_training.py --quick    # CI smoke run
     PYTHONPATH=src python scripts/bench_training.py --quick --check
 
-Times the training engine trajectory and writes the numbers to
-``BENCH_train.json`` at the repository root:
+Times the engine trajectory and writes the numbers to ``BENCH_train.json``
+at the repository root:
 
-- **training** — a three-row trajectory over the same images and seeds:
+- **training** — a three-row trajectory over the same images and seeds
+  (``engine="reference"`` / ``"fused"`` / ``"event"``), re-checking each
+  engine's declared equivalence contract through
+  :func:`repro.engine.registry.check_equivalence`: the fused kernel must be
+  **bit-identical** to the reference loop (conductances and per-image spike
+  counts exact), the event kernel **spike-trajectory equivalent** to the
+  fused row (identical spike counts; conductances within
+  ``CONDUCTANCE_ATOL``), plus the measured raster sparsity and
+  steps-skipped occupancy the event engine exploited;
 
-  * ``reference`` — the per-step loop (``UnsupervisedTrainer.train``);
-  * ``fused`` — the dense fused kernel (``fast=True``), re-checking the
-    **bit-identity** contract against the reference row (conductances and
-    per-image spike counts must match exactly);
-  * ``event`` — the event-accelerated kernel (``fast="event"``),
-    re-checking the **spike-trajectory equivalence** contract against the
-    fused row (identical per-image spike counts; conductances within
-    ``CONDUCTANCE_ATOL``), plus the measured raster sparsity and
-    steps-skipped occupancy the engine exploited;
+- **evaluation** — the plasticity-frozen label/infer loop on the trained
+  network, once per sequential engine.  The fused and event engines must
+  produce **bit-identical** response matrices to the reference evaluation
+  loop (each run starts from ``rngs.reseed``, so all three consume the
+  encoding stream from the same point) — this is the contract that makes
+  fast evaluation the default;
 
-- **inference** — the sequential :class:`~repro.pipeline.evaluator.Evaluator`
-  against the image-parallel :class:`~repro.engine.batched.BatchedInference`.
+- **inference** — the sequential evaluator against the image-parallel
+  ``"batched"`` engine (statistical tier: speed only, no bit comparison).
 
 The default workload mirrors the Fig. 4 comparison scale at the Table I
 high-frequency rates: 1000 output neurons on 16x16 inputs with 5-78 Hz
@@ -31,11 +36,11 @@ input trains over the 100 ms presentation schedule — the regime the event
 engine's acceptance floor (>= 1.5x over fused) is defined at.
 
 ``--check`` compares a fresh run against the committed baseline: the
-equivalence re-checks are **blocking** (exit 1 on any violation — a
-correctness regression), while speedup floors derived from the baseline
-(``CHECK_FLOOR_FRACTION`` of the committed ratios) only emit warnings by
-default (timing on shared CI runners is noisy); ``--strict-speed`` makes
-them blocking too.
+equivalence re-checks (training contracts **and** evaluation bit-identity)
+are **blocking** (exit 1 on any violation — a correctness regression),
+while speedup floors derived from the baseline (``CHECK_FLOOR_FRACTION``
+of the committed ratios) only emit warnings by default (timing on shared
+CI runners is noisy); ``--strict-speed`` makes them blocking too.
 """
 
 from __future__ import annotations
@@ -56,6 +61,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: noisy; the equivalence checks are exact and carry the blocking weight.
 CHECK_FLOOR_FRACTION = 0.5
 
+#: Sequential engines timed in the training and evaluation trajectories.
+SEQUENTIAL_ENGINES = ("reference", "fused", "event")
+
 
 def _build(n_neurons: int, n_pixels: int, seed: int):
     from repro.config.presets import get_preset
@@ -67,59 +75,96 @@ def _build(n_neurons: int, n_pixels: int, seed: int):
 
 def bench_training(args, images) -> dict:
     from repro.engine.event_train import CONDUCTANCE_ATOL
+    from repro.engine.registry import check_equivalence, get_engine_spec
     from repro.pipeline.trainer import UnsupervisedTrainer
 
     results = {}
     state = {}
-    for label, fast in (("reference", False), ("fused", True), ("event", "event")):
+    for engine in SEQUENTIAL_ENGINES:
         net = _build(args.neurons, images[0].size, args.seed)
         trainer = UnsupervisedTrainer(net)
         t0 = time.perf_counter()
-        log = trainer.train(images, fast=fast)
+        log = trainer.train(images, engine=engine)
         elapsed = time.perf_counter() - t0
-        results[label] = {
+        results[engine] = {
             "seconds": elapsed,
             "images": log.images_seen,
             "steps": log.total_steps,
             "total_spikes": int(sum(log.spikes_per_image)),
         }
-        state[label] = (net.conductances.copy(), list(log.spikes_per_image))
-        if fast == "event":
-            results[label]["steps_skipped"] = log.steps_skipped
-            results[label]["skipped_fraction"] = log.skipped_fraction
-            results[label]["raster_cell_occupancy"] = log.raster_occupancy
+        state[engine] = {
+            "conductances": net.conductances.copy(),
+            "spikes_per_image": list(log.spikes_per_image),
+        }
+        if engine == "event":
+            results[engine]["steps_skipped"] = log.steps_skipped
+            results[engine]["skipped_fraction"] = log.skipped_fraction
+            results[engine]["raster_cell_occupancy"] = log.raster_occupancy
 
-    bit_identical = bool(
-        np.array_equal(state["reference"][0], state["fused"][0])
-        and state["reference"][1] == state["fused"][1]
+    # Each engine's declared contract, concretely: fused vs the reference
+    # oracle (bit-exact tier), event vs the fused row (spike tier).
+    fused_violations = check_equivalence(
+        get_engine_spec("fused"), state["reference"], state["fused"]
     )
-    g_dev = float(np.max(np.abs(state["fused"][0] - state["event"][0])))
-    spike_equivalent = bool(
-        state["fused"][1] == state["event"][1] and g_dev <= CONDUCTANCE_ATOL
+    event_violations = check_equivalence(
+        get_engine_spec("event"), state["fused"], state["event"]
     )
+    g_dev = float(np.max(np.abs(
+        state["fused"]["conductances"] - state["event"]["conductances"]
+    )))
     results["speedup"] = results["reference"]["seconds"] / results["fused"]["seconds"]
     results["event_speedup"] = results["reference"]["seconds"] / results["event"]["seconds"]
     results["event_over_fused"] = results["fused"]["seconds"] / results["event"]["seconds"]
-    results["bit_identical"] = bit_identical
-    results["spike_equivalent"] = spike_equivalent
+    results["bit_identical"] = not fused_violations
+    results["spike_equivalent"] = not event_violations
+    results["contract_violations"] = fused_violations + event_violations
     results["conductance_max_abs_dev"] = g_dev
     results["conductance_atol"] = CONDUCTANCE_ATOL
     return results
 
 
+def bench_evaluation(args, net, images) -> dict:
+    """Time the frozen label/infer response loop per sequential engine.
+
+    Every run calls ``rngs.reseed`` first: the sequential engines draw
+    presentation spike trains from the shared ``encoding`` stream, so a
+    common starting point is what the bit-identity contract is defined
+    over.  (It also makes this bench independent of how much training
+    consumed the streams beforehand.)
+    """
+    from repro.pipeline.evaluator import Evaluator
+
+    t_present = 100.0
+    results = {}
+    responses = {}
+    for engine in SEQUENTIAL_ENGINES:
+        net.rngs.reseed(args.seed)
+        evaluator = Evaluator(net, t_present_ms=t_present, engine=engine)
+        t0 = time.perf_counter()
+        responses[engine] = evaluator.collect_responses(images)
+        results[engine + "_seconds"] = time.perf_counter() - t0
+
+    results["fused_speedup"] = results["reference_seconds"] / results["fused_seconds"]
+    results["event_speedup"] = results["reference_seconds"] / results["event_seconds"]
+    results["bit_identical"] = bool(
+        np.array_equal(responses["reference"], responses["fused"])
+        and np.array_equal(responses["reference"], responses["event"])
+    )
+    results["images"] = int(np.asarray(images).shape[0])
+    results["t_present_ms"] = t_present
+    return results
+
+
 def bench_inference(args, net, images) -> dict:
-    from repro.engine.batched import BatchedInference
     from repro.pipeline.evaluator import Evaluator
 
     t_present = 100.0
     t0 = time.perf_counter()
-    Evaluator(net, t_present_ms=t_present).collect_responses(images)
+    Evaluator(net, t_present_ms=t_present, engine="reference").collect_responses(images)
     sequential = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    BatchedInference(net).collect_responses(
-        images, t_present_ms=t_present, rng=np.random.default_rng(args.seed)
-    )
+    Evaluator(net, t_present_ms=t_present, engine="batched").collect_responses(images)
     batched = time.perf_counter() - t0
     return {
         "sequential_seconds": sequential,
@@ -134,11 +179,13 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
     """Compare a fresh run to the committed baseline; return an exit code.
 
     Equivalence contracts are blocking: the fresh run must itself be
-    bit-identical (reference vs fused) and spike-equivalent (fused vs
-    event).  Speedups must reach ``CHECK_FLOOR_FRACTION`` of the committed
-    ratios — warnings unless *strict_speed*.
+    bit-identical (reference vs fused training), spike-equivalent (fused vs
+    event training) and bit-identical across the evaluation engines.
+    Speedups must reach ``CHECK_FLOOR_FRACTION`` of the committed ratios —
+    warnings unless *strict_speed*.
     """
     training = payload["training"]
+    evaluation = payload["evaluation"]
     failures = []
     if not training["bit_identical"]:
         failures.append("fused kernel is no longer bit-identical to the reference loop")
@@ -147,6 +194,12 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
             f"event kernel broke spike-trajectory equivalence "
             f"(conductance max dev {training['conductance_max_abs_dev']:.3e}, "
             f"atol {training['conductance_atol']:.1e})"
+        )
+    failures.extend(training.get("contract_violations", []))
+    if not evaluation["bit_identical"]:
+        failures.append(
+            "fast-path evaluation (fused/event) is no longer bit-identical "
+            "to the reference evaluation loop"
         )
 
     warnings = []
@@ -174,6 +227,21 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
                     continue
                 floor = committed * CHECK_FLOOR_FRACTION
                 measured = training[key]
+                if measured < floor:
+                    warnings.append(
+                        f"{label} speedup {measured:.2f}x fell below the floor "
+                        f"{floor:.2f}x ({CHECK_FLOOR_FRACTION:.0%} of committed {committed:.2f}x)"
+                    )
+            baseline_eval = baseline_payload.get("evaluation", {})
+            for key, label in (
+                ("fused_speedup", "fused-evaluation"),
+                ("event_speedup", "event-evaluation"),
+            ):
+                committed = baseline_eval.get(key)
+                if committed is None:
+                    continue
+                floor = committed * CHECK_FLOOR_FRACTION
+                measured = evaluation[key]
                 if measured < floor:
                     warnings.append(
                         f"{label} speedup {measured:.2f}x fell below the floor "
@@ -225,15 +293,15 @@ def main() -> int:
                         size=args.size, seed=args.seed)
 
     # Warm up BLAS/allocator so first-call overhead doesn't skew the ratios.
-    warm = _build(args.neurons, data.train_images[0].size, args.seed)
     from repro.pipeline.trainer import UnsupervisedTrainer
-    UnsupervisedTrainer(warm).train(data.train_images[:1], fast=True)
-    warm = _build(args.neurons, data.train_images[0].size, args.seed)
-    UnsupervisedTrainer(warm).train(data.train_images[:1], fast="event")
+    for engine in ("fused", "event"):
+        warm = _build(args.neurons, data.train_images[0].size, args.seed)
+        UnsupervisedTrainer(warm).train(data.train_images[:1], engine=engine)
 
     training = bench_training(args, data.train_images)
     trained_net = _build(args.neurons, data.train_images[0].size, args.seed)
-    UnsupervisedTrainer(trained_net).train(data.train_images, fast=True)
+    UnsupervisedTrainer(trained_net).train(data.train_images, engine="fused")
+    evaluation = bench_evaluation(args, trained_net, data.test_images)
     inference = bench_inference(args, trained_net, data.test_images)
 
     payload = {
@@ -246,6 +314,7 @@ def main() -> int:
             "preset": "high_frequency",
         },
         "training": training,
+        "evaluation": evaluation,
         "inference": inference,
         "environment": {
             "python": platform.python_version(),
@@ -267,6 +336,12 @@ def main() -> int:
           f"steps skipped {training['event']['steps_skipped']}/"
           f"{training['event']['steps']} "
           f"({training['event']['skipped_fraction']:.1%})")
+    print(f"evaluation: reference {evaluation['reference_seconds']:.3f}s  "
+          f"fused {evaluation['fused_seconds']:.3f}s  "
+          f"event {evaluation['event_seconds']:.3f}s")
+    print(f"           fused {evaluation['fused_speedup']:.2f}x  "
+          f"event {evaluation['event_speedup']:.2f}x  "
+          f"bit_identical={evaluation['bit_identical']}")
     print(f"inference: sequential {inference['sequential_seconds']:.3f}s  "
           f"batched {inference['batched_seconds']:.3f}s  "
           f"speedup {inference['speedup']:.2f}x")

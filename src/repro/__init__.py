@@ -19,6 +19,7 @@ from repro.config import (
     AdaptiveThresholdParameters,
     DeterministicSTDPParameters,
     EncodingParameters,
+    EngineConfig,
     ExperimentConfig,
     LIFParameters,
     QuantizationConfig,
@@ -33,7 +34,15 @@ from repro.config import (
     high_frequency_preset,
 )
 from repro.datasets import Dataset, load_dataset
-from repro.engine import BatchedInference, RngStreams, Simulator
+from repro.engine import (
+    BatchedInference,
+    EngineSpec,
+    Equivalence,
+    RngStreams,
+    Simulator,
+    available_engines,
+    register_engine,
+)
 from repro.learning import DeterministicSTDP, LTDMode, StochasticSTDP, WeightNormalizer
 from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.network import WTANetwork
@@ -53,6 +62,7 @@ __all__ = [
     "AdaptiveThresholdParameters",
     "DeterministicSTDPParameters",
     "EncodingParameters",
+    "EngineConfig",
     "ExperimentConfig",
     "LIFParameters",
     "QuantizationConfig",
@@ -68,8 +78,12 @@ __all__ = [
     "Dataset",
     "load_dataset",
     "BatchedInference",
+    "EngineSpec",
+    "Equivalence",
     "RngStreams",
     "Simulator",
+    "available_engines",
+    "register_engine",
     "load_checkpoint",
     "save_checkpoint",
     "ParameterSweep",

@@ -9,7 +9,7 @@ regularity of the WTA layer.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -6,8 +6,13 @@ Commands:
   saving a checkpoint and the learned maps;
 - ``evaluate`` — load a checkpoint and classify a test split;
 - ``presets`` — list the Table I learning options and their parameters;
+- ``engines`` — list registered presentation engines and capabilities;
 - ``fi-curve`` — print the Fig. 1a frequency-vs-current curve;
 - ``info`` — describe a checkpoint file.
+
+Engine selection (``--engine`` / ``--eval-engine``) goes through the
+:mod:`repro.engine.registry` names; ``--batched-eval`` survives as a
+deprecated alias for ``--eval-engine batched``.
 
 The CLI is a thin layer over the library: each command parses arguments,
 calls the same public API the examples use, and prints report tables.
@@ -17,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -27,6 +33,7 @@ from repro.config.parameters import RoundingMode, STDPKind
 from repro.config.presets import available_presets, get_preset, table_i_rows
 from repro.config.serialize import save_json
 from repro.datasets.dataset import load_dataset
+from repro.engine.registry import available_engines, capability_rows
 from repro.errors import ReproError
 from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.neurons.analysis import fi_curve
@@ -56,7 +63,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--size", type=int, default=16, help="image side in pixels")
     run.add_argument("--epochs", type=int, default=2)
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--batched-eval", action="store_true")
+    run.add_argument("--engine", choices=available_engines(), default=None,
+                     help="training presentation engine (default: config's engine.train)")
+    run.add_argument("--eval-engine", choices=available_engines(), default=None,
+                     help="evaluation presentation engine (default: config's engine.eval)")
+    run.add_argument("--batched-eval", action="store_true",
+                     help="deprecated: alias for --eval-engine batched")
     run.add_argument("--quiet", action="store_true")
     run.add_argument("--save", metavar="PATH", help="write a checkpoint here")
     run.add_argument("--save-config", metavar="PATH", help="write the config JSON here")
@@ -70,8 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--n-labeling", type=int, default=40)
     ev.add_argument("--size", type=int, default=16)
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--engine", choices=available_engines(), default=None,
+                    help="evaluation presentation engine (default: config's engine.eval)")
 
     sub.add_parser("presets", help="list Table I learning options")
+
+    sub.add_parser("engines", help="list registered presentation engines")
 
     fi = sub.add_parser("fi-curve", help="Fig. 1a frequency-vs-current curve")
     fi.add_argument("--points", type=int, default=8)
@@ -98,6 +114,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.save_config:
         save_json(config, args.save_config)
 
+    eval_engine = args.eval_engine
+    if args.batched_eval:
+        warnings.warn(
+            "--batched-eval is deprecated; use --eval-engine batched",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if eval_engine is not None and eval_engine != "batched":
+            print(
+                f"error: --batched-eval conflicts with --eval-engine {eval_engine}",
+                file=sys.stderr,
+            )
+            return 2
+        eval_engine = "batched"
+
     progress = None if args.quiet else PrintProgress(every=50)
     result = run_experiment(
         config,
@@ -105,7 +136,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_labeling=args.n_labeling,
         epochs=args.epochs,
         progress=progress,
-        batched_eval=args.batched_eval,
+        train_engine=args.engine,
+        eval_engine=eval_engine,
     )
     print(
         format_table(
@@ -149,7 +181,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
         return 2
     network.freeze()
-    evaluator = Evaluator(network, n_classes=dataset.n_classes)
+    evaluator = Evaluator(network, n_classes=dataset.n_classes, engine=args.engine)
     if labels is None:
         label_x, label_y, test_x, test_y = dataset.labeling_split(args.n_labeling)
         result = evaluator.evaluate(label_x, label_y, test_x, test_y)
@@ -175,6 +207,17 @@ def _cmd_presets(_args: argparse.Namespace) -> int:
             ["preset", "gamma_pot", "tau_pot", "gamma_dep", "tau_dep", "window (Hz)"],
             rows,
             title="Table I learning options",
+        )
+    )
+    return 0
+
+
+def _cmd_engines(_args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            ["engine", "learning", "batch", "equivalence", "backends", "summary"],
+            capability_rows(),
+            title="Registered presentation engines",
         )
     )
     return 0
@@ -213,6 +256,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "evaluate": _cmd_evaluate,
     "presets": _cmd_presets,
+    "engines": _cmd_engines,
     "fi-curve": _cmd_fi_curve,
     "info": _cmd_info,
 }

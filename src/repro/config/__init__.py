@@ -16,6 +16,7 @@ from repro.config.parameters import (
     AdaptiveThresholdParameters,
     DeterministicSTDPParameters,
     EncodingParameters,
+    EngineConfig,
     ExperimentConfig,
     IzhikevichParameters,
     LIFParameters,
@@ -39,6 +40,7 @@ __all__ = [
     "AdaptiveThresholdParameters",
     "DeterministicSTDPParameters",
     "EncodingParameters",
+    "EngineConfig",
     "ExperimentConfig",
     "IzhikevichParameters",
     "LIFParameters",

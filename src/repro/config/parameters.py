@@ -373,6 +373,37 @@ class SimulationParameters:
 
 
 @dataclass(frozen=True)
+class EngineConfig:
+    """Which presentation engines drive training and evaluation.
+
+    Names resolve through :mod:`repro.engine.registry`; unknown names fail
+    here, at construction time, with the registered alternatives listed.
+    The defaults select the fused kernel for both phases — **bit-identical**
+    to the reference loop under the config's seeds (the registry's declared
+    and test-pinned contract) at several times the throughput.  Select
+    ``"reference"`` to run the oracle loop itself, ``"event"`` for the
+    sparse/jumping training tier, or ``"batched"`` for image-parallel
+    (statistically equivalent) evaluation.
+    """
+
+    train: str = "fused"
+    eval: str = "fused"
+
+    def __post_init__(self) -> None:
+        # Function-level import: the registry is import-light (lazy engine
+        # factories), but keeping it out of module scope makes the config
+        # layer's import graph independent of the engine package.
+        from repro.engine.registry import get_engine_spec
+
+        _require(
+            get_engine_spec(self.train).supports_learning,
+            f"engine {self.train!r} does not support learning and cannot "
+            f"be the training engine",
+        )
+        get_engine_spec(self.eval)
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """One complete learning option — effectively a row of Table I.
 
@@ -389,10 +420,14 @@ class ExperimentConfig:
     encoding: EncodingParameters = field(default_factory=EncodingParameters)
     wta: WTAParameters = field(default_factory=WTAParameters)
     simulation: SimulationParameters = field(default_factory=SimulationParameters)
+    engine: EngineConfig = field(default_factory=EngineConfig)
 
     def __post_init__(self) -> None:
         _require(isinstance(self.stdp_kind, STDPKind), "stdp_kind must be an STDPKind")
         _require(bool(self.name), "name must be non-empty")
+        _require(
+            isinstance(self.engine, EngineConfig), "engine must be an EngineConfig"
+        )
 
     def describe(self) -> str:
         """One-line summary used by progress reporting and bench tables."""

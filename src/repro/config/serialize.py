@@ -32,6 +32,7 @@ _REGISTRY: Dict[str, type] = {
         _p.EncodingParameters,
         _p.WTAParameters,
         _p.SimulationParameters,
+        _p.EngineConfig,
         _p.ExperimentConfig,
     )
 }

@@ -1,5 +1,11 @@
 """Simulation engines and instrumentation.
 
+- :mod:`repro.engine.registry` — the presentation-engine registry: named
+  engines with declared capabilities and equivalence tiers, the single
+  seam trainer/evaluator/experiment/CLI/bench resolve engines through.
+- :mod:`repro.engine.presentation` — the :class:`PresentationEngine`
+  protocol and the built-in reference / fused / event / batched adapters
+  spanning training and (plasticity-frozen, bit-identical) evaluation.
 - :mod:`repro.engine.rng` — named, independently-seeded random streams (the
   CUDA RNG substitute; see DESIGN.md).
 - :mod:`repro.engine.clock` — the simulation clock.
@@ -13,44 +19,72 @@
 - :mod:`repro.engine.fused` — the fused training fast path: one image
   presentation per kernel call, pre-generated spike trains and
   allocation-free in-place stepping, bit-identical to the reference loop
-  (``UnsupervisedTrainer(..).train(images, fast=True)``).
+  (registry name ``"fused"``).
 - :mod:`repro.engine.event_train` — the event-accelerated training tier:
   sparse input events, closed-form jumps across quiescent spans bounded by
   a threshold-crossing predictor, lazy plasticity/timer state;
-  spike-trajectory equivalent to the fused oracle
-  (``UnsupervisedTrainer(..).train(images, fast="event")``).
+  spike-trajectory equivalent to the fused oracle (registry name
+  ``"event"``).
 - :mod:`repro.engine.plasticity` — the column-restricted STDP application
   shared by both fast kernels.
 - :mod:`repro.engine.monitors` — spike/state/conductance recording.
+
+Attributes resolve lazily (PEP 562): importing :mod:`repro.engine` — or
+light submodules like :mod:`repro.engine.registry` — does not pull in the
+network stack, which lets the config layer validate engine names without
+import cycles.
 """
 
-from repro.engine.batched import BatchedInference
-from repro.engine.event_train import CONDUCTANCE_ATOL, EventPresentation, EventTrainStats
-from repro.engine.fused import FusedPresentation
-from repro.engine.clock import SimulationClock
-from repro.engine.event_driven import CurrentStep, EventDrivenLIF, poisson_like_schedule
-from repro.engine.monitors import ConductanceMonitor, RateMonitor, SpikeMonitor, StateMonitor
-from repro.engine.reference import ReferenceLIFNeuron, ReferenceLIFSimulator
-from repro.engine.rng import RngStreams
-from repro.engine.simulator import Simulator, StepResult
+from importlib import import_module
 
-__all__ = [
-    "BatchedInference",
-    "CONDUCTANCE_ATOL",
-    "EventPresentation",
-    "EventTrainStats",
-    "FusedPresentation",
-    "SimulationClock",
-    "CurrentStep",
-    "EventDrivenLIF",
-    "poisson_like_schedule",
-    "ConductanceMonitor",
-    "RateMonitor",
-    "SpikeMonitor",
-    "StateMonitor",
-    "ReferenceLIFNeuron",
-    "ReferenceLIFSimulator",
-    "RngStreams",
-    "Simulator",
-    "StepResult",
-]
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "BatchedInference": "repro.engine.batched",
+    "CONDUCTANCE_ATOL": "repro.engine.event_train",
+    "EventPresentation": "repro.engine.event_train",
+    "EventTrainStats": "repro.engine.event_train",
+    "FusedPresentation": "repro.engine.fused",
+    "SimulationClock": "repro.engine.clock",
+    "CurrentStep": "repro.engine.event_driven",
+    "EventDrivenLIF": "repro.engine.event_driven",
+    "poisson_like_schedule": "repro.engine.event_driven",
+    "ConductanceMonitor": "repro.engine.monitors",
+    "RateMonitor": "repro.engine.monitors",
+    "SpikeMonitor": "repro.engine.monitors",
+    "StateMonitor": "repro.engine.monitors",
+    "ReferenceLIFNeuron": "repro.engine.reference",
+    "ReferenceLIFSimulator": "repro.engine.reference",
+    "RngStreams": "repro.engine.rng",
+    "BATCHED_EVAL_SALT": "repro.engine.rng",
+    "Simulator": "repro.engine.simulator",
+    "StepResult": "repro.engine.simulator",
+    "EngineSpec": "repro.engine.registry",
+    "Equivalence": "repro.engine.registry",
+    "available_engines": "repro.engine.registry",
+    "capability_rows": "repro.engine.registry",
+    "check_equivalence": "repro.engine.registry",
+    "create_engine": "repro.engine.registry",
+    "create_training_engine": "repro.engine.registry",
+    "get_engine_spec": "repro.engine.registry",
+    "register_engine": "repro.engine.registry",
+    "PresentationEngine": "repro.engine.presentation",
+    "ReferenceEngine": "repro.engine.presentation",
+    "FusedEngine": "repro.engine.presentation",
+    "EventEngine": "repro.engine.presentation",
+    "BatchedEngine": "repro.engine.presentation",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache so the next access skips the indirection
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

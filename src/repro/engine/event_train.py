@@ -215,6 +215,7 @@ class EventPresentation:
         n_steps: int,
         dt_ms: float,
         profiler=None,
+        out_counts=None,
     ):
         """Present *image* for *n_steps* steps of *dt_ms*, starting at *t_ms*.
 
@@ -225,6 +226,10 @@ class EventPresentation:
 
         *profiler* (a :class:`~repro.engine.profiler.StepProfiler`) splits
         the presentation into encode / integrate / stdp / wta sections.
+
+        *out_counts* (int64, length ``n_neurons``) accumulates each
+        neuron's post-arbitration spike count; jumps cannot skip an output
+        spike, so counting only at explicit steps is exhaustive.
         """
         if n_steps < 0:
             raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
@@ -509,6 +514,8 @@ class EventPresentation:
                         )
             if n_fired:
                 timers._last_post[spikes] = t_now
+                if out_counts is not None:
+                    out_counts[spikes] += 1
             if clock is not None:
                 _t3 = clock()
                 profiler.add("stdp", _t3 - _t2)

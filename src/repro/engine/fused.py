@@ -112,6 +112,7 @@ class FusedPresentation:
         n_steps: int,
         dt_ms: float,
         profiler=None,
+        out_counts=None,
     ):
         """Present *image* for *n_steps* steps of *dt_ms*, starting at *t_ms*.
 
@@ -124,6 +125,11 @@ class FusedPresentation:
         the presentation into encode / integrate / stdp / wta sections for
         the Fig. 4 breakdown; instrumentation adds a few percent overhead
         and changes no results.
+
+        *out_counts* (int64, length ``n_neurons``) accumulates each
+        neuron's post-arbitration spike count — the per-image response
+        vector the evaluation protocol needs; counting is gated on spikes,
+        so passing it costs nothing on silent steps.
         """
         if n_steps < 0:
             raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
@@ -287,6 +293,8 @@ class FusedPresentation:
                         )
             if n_fired:
                 timers._last_post[spikes] = t_ms
+                if out_counts is not None:
+                    out_counts[spikes] += 1
             if clock is not None:
                 _t3 = clock()
                 profiler.add("stdp", _t3 - _t2)

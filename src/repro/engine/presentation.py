@@ -1,0 +1,215 @@
+"""Presentation engines: one interface spanning training and evaluation.
+
+:class:`PresentationEngine` is the protocol the registry
+(:mod:`repro.engine.registry`) resolves names to.  An engine wraps a
+network and exposes two operations:
+
+- :meth:`PresentationEngine.run` — present one image with the network in
+  whatever mode it is in (plasticity on for training, off inside
+  ``evaluation_mode``), returning the spike count and advanced clock.
+  Only engines declaring ``supports_learning`` implement it.
+- :meth:`PresentationEngine.collect_responses` — the evaluation protocol:
+  per-image output spike counts over a batch, run inside
+  :meth:`~repro.network.wta.WTANetwork.evaluation_mode` so plasticity and
+  threshold adaptation are untouched.
+
+The base class implements ``collect_responses`` as the canonical
+image-at-a-time loop *on top of* ``run`` with an ``out_counts``
+accumulator, so the fused and event kernels serve evaluation through the
+exact same code path as training.  Because those kernels consume the
+``encoding`` RNG stream in the same order as per-step draws and plasticity
+is frozen, their evaluation responses are **bit-identical** to the
+reference evaluation loop under pinned seeds — fast evaluation is a free
+replacement, not a statistical approximation.  (The ``batched`` engine
+overrides ``collect_responses`` wholesale: it draws from a batch-shaped
+stream and is statistically, not bit-, equivalent.)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pipeline.progress import NullProgress
+
+
+class PresentationEngine:
+    """Base engine: wraps a network; subclasses define the execution path."""
+
+    #: Registry name; set by each subclass (must match its EngineSpec).
+    name = ""
+
+    def __init__(self, network) -> None:
+        self.network = network
+
+    @property
+    def spec(self):
+        """The engine's registered capability record."""
+        from repro.engine.registry import get_engine_spec
+
+        return get_engine_spec(self.name)
+
+    # ------------------------------------------------------------------
+    # training protocol
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        image: np.ndarray,
+        t_ms: float,
+        n_steps: int,
+        dt_ms: float,
+        profiler=None,
+        out_counts: Optional[np.ndarray] = None,
+    ):
+        """Present *image* for *n_steps* of *dt_ms* starting at *t_ms*.
+
+        Returns ``(total_output_spikes, t_ms_after)``.  When *out_counts*
+        (an int64 vector of length ``n_neurons``) is given, each neuron's
+        spike count over the presentation is accumulated into it — the
+        evaluation loop's per-image response vector.
+        """
+        raise ConfigurationError(
+            f"engine {self.name!r} does not support per-image presentations"
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation protocol
+    # ------------------------------------------------------------------
+
+    def collect_responses(
+        self,
+        images: np.ndarray,
+        t_present_ms: float,
+        progress=None,
+        label: str = "responses",
+    ) -> np.ndarray:
+        """Per-image output spike counts, shape ``(n_images, n_neurons)``.
+
+        Runs inside ``evaluation_mode`` (plasticity and threshold
+        adaptation frozen, rest phases at the boundaries), presenting each
+        image through :meth:`run` — the same clock accumulation and
+        encoding-stream consumption as the reference evaluation loop.
+        """
+        progress = progress if progress is not None else NullProgress()
+        network = self.network
+        batch = np.asarray(images)
+        if batch.ndim == 2:
+            batch = batch[None]
+        if batch.ndim != 3:
+            raise SimulationError(f"images must be 2-D or 3-D, got shape {batch.shape}")
+        sim = network.config.simulation
+        dt = sim.dt_ms
+        steps = int(round(t_present_ms / dt))
+        n_neurons = network.config.wta.n_neurons
+        responses = np.zeros((batch.shape[0], n_neurons), dtype=np.int64)
+
+        progress.start(batch.shape[0], label)
+        with network.evaluation_mode() as net:
+            t_ms = 0.0
+            for idx, image in enumerate(batch):
+                _, t_ms = self.run(image, t_ms, steps, dt, out_counts=responses[idx])
+                net.rest()
+                t_ms += sim.t_rest_ms
+                progress.update(idx + 1)
+        progress.finish()
+        return responses
+
+
+class ReferenceEngine(PresentationEngine):
+    """The per-step oracle loop (``WTANetwork.advance``), adapted.
+
+    This is the correctness baseline every other engine's equivalence tier
+    is declared against; the trainer's and evaluator's historic inline
+    loops both reduce to :meth:`run`.
+    """
+
+    name = "reference"
+
+    def run(self, image, t_ms, n_steps, dt_ms, profiler=None, out_counts=None):
+        if n_steps < 0:
+            raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
+        net = self.network
+        total_spikes = 0
+        net.present_image(image)
+        for _ in range(n_steps):
+            result = net.advance(t_ms, dt_ms)
+            out = result.spikes["output"]
+            n_fired = int(np.count_nonzero(out))
+            total_spikes += n_fired
+            if out_counts is not None and n_fired:
+                out_counts[out] += 1
+            t_ms += dt_ms
+        return total_spikes, t_ms
+
+
+class FusedEngine(PresentationEngine):
+    """The dense fused kernel (:class:`~repro.engine.fused.FusedPresentation`).
+
+    Bit-identical to the reference engine for both training and evaluation
+    under pinned seeds.
+    """
+
+    name = "fused"
+
+    def __init__(self, network) -> None:
+        super().__init__(network)
+        from repro.engine.fused import FusedPresentation
+
+        self._kernel = FusedPresentation(network)
+
+    def run(self, image, t_ms, n_steps, dt_ms, profiler=None, out_counts=None):
+        return self._kernel.run(
+            image, t_ms, n_steps, dt_ms, profiler=profiler, out_counts=out_counts
+        )
+
+
+class EventEngine(PresentationEngine):
+    """The event-accelerated kernel (:class:`~repro.engine.event_train.EventPresentation`).
+
+    Spike-trajectory equivalent to the fused/reference path: identical
+    spike trains under pinned seeds (hence bit-identical integer response
+    matrices in evaluation), conductances within ``CONDUCTANCE_ATOL``.
+    Exposes the kernel's :class:`~repro.engine.event_train.EventTrainStats`
+    as :attr:`stats` for the trainer's occupancy counters.
+    """
+
+    name = "event"
+
+    def __init__(self, network) -> None:
+        super().__init__(network)
+        from repro.engine.event_train import EventPresentation
+
+        self._kernel = EventPresentation(network)
+
+    @property
+    def stats(self):
+        return self._kernel.stats
+
+    def run(self, image, t_ms, n_steps, dt_ms, profiler=None, out_counts=None):
+        return self._kernel.run(
+            image, t_ms, n_steps, dt_ms, profiler=profiler, out_counts=out_counts
+        )
+
+
+class BatchedEngine(PresentationEngine):
+    """Image-parallel frozen inference (:class:`~repro.engine.batched.BatchedInference`).
+
+    Evaluation only (``supports_learning`` is false): all images advance in
+    lock-step, randomness comes from the batch-shaped stream documented in
+    :meth:`repro.engine.rng.RngStreams.batched_eval`, so results are
+    statistically — not bit- — equivalent to the sequential engines.
+    """
+
+    name = "batched"
+
+    def collect_responses(self, images, t_present_ms, progress=None, label="responses"):
+        from repro.engine.batched import BatchedInference
+
+        return BatchedInference(self.network).collect_responses(
+            images,
+            t_present_ms=t_present_ms,
+            rng=self.network.rngs.batched_eval(),
+        )

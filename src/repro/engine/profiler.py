@@ -145,29 +145,26 @@ def profile_presentation(
 ) -> StepProfiler:
     """Per-section breakdown of one image presentation on a chosen engine.
 
-    *engine* is ``"reference"``, ``"fused"`` or ``"event"``.  The kernels
-    report ``encode`` / ``integrate`` / ``stdp`` / ``wta`` sections;
-    ``"reference"`` delegates to :func:`profile_wta_step` and keeps its
-    ``encode`` / ``propagate`` / ``neurons`` / ``learning`` phases.  The
-    presentation really runs (state changes, RNG streams advance); the
-    network is rested afterwards, like the trainer's inter-image gap.
+    *engine* is any learning-capable registry name (``"reference"``,
+    ``"fused"``, ``"event"``, ...).  The kernels report ``encode`` /
+    ``integrate`` / ``stdp`` / ``wta`` sections; ``"reference"`` delegates
+    to :func:`profile_wta_step` and keeps its ``encode`` / ``propagate`` /
+    ``neurons`` / ``learning`` phases.  The presentation really runs (state
+    changes, RNG streams advance); the network is rested afterwards, like
+    the trainer's inter-image gap.
     """
     if n_steps < 1:
         raise SimulationError(f"n_steps must be >= 1, got {n_steps}")
     if engine == "reference":
         return profile_wta_step(network, image, n_steps=n_steps, dt_ms=dt_ms)
-    if engine == "fused":
-        from repro.engine.fused import FusedPresentation
+    from repro.engine.registry import create_training_engine
+    from repro.errors import ConfigurationError
 
-        kernel = FusedPresentation(network)
-    elif engine == "event":
-        from repro.engine.event_train import EventPresentation
-
-        kernel = EventPresentation(network)
-    else:
-        raise SimulationError(
-            f"unknown engine {engine!r}: use 'reference', 'fused' or 'event'"
-        )
+    try:
+        kernel = create_training_engine(engine, network)
+    except ConfigurationError as exc:
+        # Historic contract: bad engine names here are simulation errors.
+        raise SimulationError(str(exc)) from exc
     profiler = StepProfiler()
     kernel.run(image, 0.0, n_steps, dt_ms, profiler=profiler)
     network.rest()

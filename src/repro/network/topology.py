@@ -15,7 +15,7 @@ trains.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.config.parameters import IzhikevichParameters, LIFParameters
 from repro.errors import TopologyError

@@ -10,22 +10,32 @@ The paper's procedure after training:
 
 ``Evaluator`` runs the whole protocol and also exposes
 :meth:`Evaluator.collect_responses` for reuse (labeling, inference and the
-mid-training accuracy probe all need per-image response vectors).
+mid-training accuracy probe all need per-image response vectors).  The
+response collection itself is delegated to a presentation engine resolved
+by name through :mod:`repro.engine.registry`; the ``"fused"`` and
+``"event"`` engines run the same plasticity-frozen loop as ``"reference"``
+but several times faster, and ``"fused"`` is bit-identical to the
+reference under pinned seeds, which is why it is the default.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.analysis.accuracy import accuracy_score, confusion_matrix
+from repro.engine.registry import create_engine
 from repro.errors import LabelingError
 from repro.network.inference import classify_batch
 from repro.network.labeling import NeuronLabeler
 from repro.network.wta import WTANetwork
 from repro.pipeline.progress import NullProgress
+
+#: Sentinel distinguishing "``batched`` not passed" from ``True``/``False``.
+_BATCHED_UNSET = object()
 
 
 @dataclass
@@ -53,7 +63,8 @@ class Evaluator:
         n_classes: int = 10,
         t_present_ms: Optional[float] = None,
         progress=None,
-        batched: bool = False,
+        engine: Optional[str] = None,
+        batched: Union[bool, object] = _BATCHED_UNSET,
     ) -> None:
         self.network = network
         self.n_classes = n_classes
@@ -65,49 +76,34 @@ class Evaluator:
             else network.config.simulation.t_learn_ms
         )
         self.progress = progress if progress is not None else NullProgress()
-        #: When set, responses are computed by the image-parallel
-        #: :class:`repro.engine.batched.BatchedInference` engine —
-        #: statistically equivalent, roughly an order of magnitude faster.
-        self.batched = batched
+        if batched is not _BATCHED_UNSET:
+            warnings.warn(
+                "Evaluator(batched=...) is deprecated; pass engine='batched' "
+                "(or another registry engine name) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if engine is None:
+                engine = "batched" if batched else "reference"
+        #: Engine name for :meth:`collect_responses`; ``None`` defers to the
+        #: config's ``engine.eval`` selection (default ``"fused"``).
+        self.engine = engine
 
     def collect_responses(self, images: np.ndarray, label: str = "responses") -> np.ndarray:
         """Per-image output spike counts, shape ``(n_images, n_neurons)``.
 
         Runs inside :meth:`WTANetwork.evaluation_mode`, so plasticity and
-        threshold adaptation are untouched.
+        threshold adaptation are untouched.  The presentation loop is the
+        evaluator's engine (falling back to the config's ``engine.eval``),
+        resolved through the registry; see
+        :meth:`repro.engine.presentation.PresentationEngine.collect_responses`
+        for the shared loop and each engine's equivalence tier.
         """
-        if self.batched:
-            from repro.engine.batched import BatchedInference
-
-            rng = np.random.default_rng(
-                np.random.SeedSequence((self.network.config.simulation.seed, 0xBA7C4))
-            )
-            return BatchedInference(self.network).collect_responses(
-                images, t_present_ms=self.t_present_ms, rng=rng
-            )
-        batch = np.asarray(images)
-        if batch.ndim == 2:
-            batch = batch[None]
-        sim = self.network.config.simulation
-        dt = sim.dt_ms
-        steps = int(round(self.t_present_ms / dt))
-        n_neurons = self.network.config.wta.n_neurons
-        responses = np.zeros((batch.shape[0], n_neurons), dtype=np.int64)
-
-        self.progress.start(batch.shape[0], label)
-        with self.network.evaluation_mode() as net:
-            t_ms = 0.0
-            for idx, image in enumerate(batch):
-                net.present_image(image)
-                for _ in range(steps):
-                    result = net.advance(t_ms, dt)
-                    responses[idx] += result.spikes["output"]
-                    t_ms += dt
-                net.rest()
-                t_ms += sim.t_rest_ms
-                self.progress.update(idx + 1)
-        self.progress.finish()
-        return responses
+        engine_name = self.engine or self.network.config.engine.eval
+        kernel = create_engine(engine_name, self.network)
+        return kernel.collect_responses(
+            images, self.t_present_ms, progress=self.progress, label=label
+        )
 
     def label_neurons(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Assign a class to every neuron from its labeling-set responses."""

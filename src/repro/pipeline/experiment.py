@@ -9,8 +9,9 @@ bookkeeping and a conductance snapshot for the figure benches.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +25,9 @@ from repro.network.inference import classify_batch
 from repro.network.wta import WTANetwork
 from repro.pipeline.evaluator import EvaluationResult, Evaluator
 from repro.pipeline.trainer import TrainingLog, UnsupervisedTrainer
+
+#: Sentinel distinguishing "``batched_eval`` not passed" from ``True``/``False``.
+_BATCHED_EVAL_UNSET = object()
 
 
 @dataclass
@@ -74,28 +78,47 @@ def run_experiment(
     probe_size: int = 30,
     progress=None,
     eval_t_present_ms: Optional[float] = None,
-    batched_eval: bool = False,
+    train_engine: Optional[str] = None,
+    eval_engine: Optional[str] = None,
+    batched_eval: Union[bool, object] = _BATCHED_EVAL_UNSET,
 ) -> ExperimentResult:
     """Train + evaluate one configuration on one dataset.
 
     ``n_labeling`` defaults to 1/10 of the test set (the paper's 1000 of
     10000).  With ``track_moving_error`` a small accuracy probe runs every
     ``probe_every`` training images — plasticity is suspended during the
-    probe — producing the Fig. 8c learning curve.  ``batched_eval`` routes
-    labeling/inference through the image-parallel batched engine.
+    probe — producing the Fig. 8c learning curve.
+
+    ``train_engine`` / ``eval_engine`` name presentation engines from
+    :mod:`repro.engine.registry`; when ``None`` the config's
+    :class:`~repro.config.parameters.EngineConfig` decides (default
+    ``"fused"`` for both — bit-identical to the reference loop under the
+    config's seed).  ``batched_eval`` is the deprecated boolean alias for
+    ``eval_engine="batched"``.
     """
+    if batched_eval is not _BATCHED_EVAL_UNSET:
+        warnings.warn(
+            "run_experiment(batched_eval=...) is deprecated; pass "
+            "eval_engine='batched' (or another registry engine name) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if eval_engine is None:
+            eval_engine = "batched" if batched_eval else "reference"
     if n_labeling is None:
         n_labeling = max(dataset.test_images.shape[0] // 10, dataset.n_classes)
     label_imgs, label_lbls, infer_imgs, infer_lbls = dataset.labeling_split(n_labeling)
 
     network = build_network(config, dataset.n_pixels, ltd_mode)
-    trainer = UnsupervisedTrainer(network, normalizer=normalizer, progress=progress)
+    trainer = UnsupervisedTrainer(
+        network, normalizer=normalizer, progress=progress, engine=train_engine
+    )
     evaluator = Evaluator(
         network,
         n_classes=dataset.n_classes,
         t_present_ms=eval_t_present_ms,
         progress=progress,
-        batched=batched_eval,
+        engine=eval_engine,
     )
 
     probe_positions: List[int] = []

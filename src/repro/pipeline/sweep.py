@@ -25,8 +25,9 @@ Example::
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import multiprocessing
 
@@ -40,6 +41,9 @@ from repro.pipeline.experiment import run_experiment
 
 ConfigFactory = Callable[[int], ExperimentConfig]
 
+#: Sentinel distinguishing "``batched_eval`` not passed" from ``True``/``False``.
+_BATCHED_EVAL_UNSET = object()
+
 
 def _run_one(payload) -> float:
     """Module-level worker: one ``run_experiment`` call, returns accuracy.
@@ -47,14 +51,15 @@ def _run_one(payload) -> float:
     Must stay a top-level function (and take one picklable tuple) so the
     spawn-based process pool can import and call it.
     """
-    config, dataset, n_labeling, epochs, ltd_mode, batched_eval = payload
+    config, dataset, n_labeling, epochs, ltd_mode, train_engine, eval_engine = payload
     result = run_experiment(
         config,
         dataset,
         n_labeling=n_labeling,
         epochs=epochs,
         ltd_mode=ltd_mode,
-        batched_eval=batched_eval,
+        train_engine=train_engine,
+        eval_engine=eval_engine,
     )
     return result.accuracy
 
@@ -75,17 +80,29 @@ class ParameterSweep:
         n_labeling: Optional[int] = None,
         epochs: int = 1,
         ltd_mode: LTDMode = LTDMode.POST_EVENT,
-        batched_eval: bool = True,
+        train_engine: Optional[str] = None,
+        eval_engine: Optional[str] = "batched",
+        batched_eval: Union[bool, object] = _BATCHED_EVAL_UNSET,
         n_workers: Optional[int] = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ReproError(f"n_workers must be >= 1, got {n_workers}")
+        if batched_eval is not _BATCHED_EVAL_UNSET:
+            warnings.warn(
+                "ParameterSweep(batched_eval=...) is deprecated; pass "
+                "eval_engine='batched' (or another registry engine name) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            eval_engine = "batched" if batched_eval else "reference"
         self.dataset = dataset
         self.study = SeedStudy(list(seeds))
         self.n_labeling = n_labeling
         self.epochs = epochs
         self.ltd_mode = ltd_mode
-        self.batched_eval = batched_eval
+        #: Registry engine names shipped to every run (``None`` = config default).
+        self.train_engine = train_engine
+        self.eval_engine = eval_engine
         self.n_workers = n_workers
         self._order: List[str] = []
 
@@ -105,7 +122,8 @@ class ParameterSweep:
                     self.n_labeling,
                     run_epochs,
                     self.ltd_mode,
-                    self.batched_eval,
+                    self.train_engine,
+                    self.eval_engine,
                 )
                 for seed in self.study.seeds
             ]
@@ -125,7 +143,8 @@ class ParameterSweep:
                         self.n_labeling,
                         run_epochs,
                         self.ltd_mode,
-                        self.batched_eval,
+                        self.train_engine,
+                        self.eval_engine,
                     )
                 )
 

@@ -7,20 +7,47 @@ boundary the optional :class:`~repro.learning.homeostasis.WeightNormalizer`
 runs.  The trainer records per-image output spike counts, simulated time and
 wall-clock time — the raw material of the run-time comparisons in Figs. 7b
 and 8b.
+
+The presentation itself is delegated to an engine resolved by name through
+:mod:`repro.engine.registry` (``"reference"``, ``"fused"``, ``"event"``, or
+anything registered later); the config's
+:class:`~repro.config.parameters.EngineConfig` supplies the default.  The
+legacy ``fast=`` boolean flag is a deprecated alias onto the same registry
+names.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Union
 
 import numpy as np
 
+from repro.engine.registry import create_training_engine
 from repro.errors import SimulationError
 from repro.learning.homeostasis import WeightNormalizer
 from repro.network.wta import WTANetwork
 from repro.pipeline.progress import NullProgress
+
+#: Sentinel distinguishing "``fast`` not passed" from every legal value.
+_FAST_UNSET = object()
+
+
+def _engine_name_from_fast(fast: Union[bool, str]) -> str:
+    """Map the deprecated ``fast=`` flag onto a registry engine name."""
+    if fast is False:
+        return "reference"
+    if fast is True or fast == "fused":
+        return "fused"
+    if fast == "event":
+        return "event"
+    raise SimulationError(
+        f"unknown fast engine {fast!r}: use False (reference), "
+        f"True/'fused' (bit-identical kernel) or 'event' "
+        f"(spike-trajectory-equivalent kernel)"
+    )
 
 
 @dataclass
@@ -73,69 +100,68 @@ class UnsupervisedTrainer:
         network: WTANetwork,
         normalizer: Optional[WeightNormalizer] = None,
         progress=None,
+        engine: Optional[str] = None,
     ) -> None:
         self.network = network
         self.normalizer = normalizer if normalizer is not None else WeightNormalizer()
         self.progress = progress if progress is not None else NullProgress()
+        #: Default engine name for :meth:`train`; ``None`` defers to the
+        #: config's ``engine.train`` selection.
+        self.engine = engine
 
     def train(
         self,
         images: np.ndarray,
         epochs: int = 1,
         on_image_end: Optional[Callable[[int, TrainingLog], None]] = None,
-        fast: Union[bool, str] = False,
+        fast: Union[bool, str, object] = _FAST_UNSET,
+        engine: Optional[str] = None,
     ) -> TrainingLog:
         """Learn from *images* (``(n, h, w)`` or ``(n, pixels)``).
 
         ``on_image_end(image_index, log)`` fires after each presentation —
         the hook the moving-error-rate probe (Fig. 8c) uses.
 
-        ``fast`` selects the presentation engine:
+        ``engine`` names the presentation engine, resolved through
+        :mod:`repro.engine.registry` (the engine must declare
+        ``supports_learning``); precedence is this argument, then the
+        trainer's ``engine``, then the config's ``engine.train`` (default
+        ``"fused"`` — bit-identical to ``"reference"`` under the same
+        seeds, several times faster; see the registry's capability table).
 
-        - ``False`` (default) — the reference per-step loop, the
-          correctness oracle;
-        - ``True`` or ``"fused"`` — the
-          :class:`~repro.engine.fused.FusedPresentation` kernel:
-          pre-generated spike trains and allocation-free stepping,
-          **bit-identical** to the reference loop under the same seeds but
-          several times faster;
-        - ``"event"`` — the
-          :class:`~repro.engine.event_train.EventPresentation` kernel:
-          sparse input events and closed-form jumps across quiescent spans,
-          **spike-trajectory equivalent** (same spike trains under pinned
-          seeds, conductances within ``CONDUCTANCE_ATOL``) and faster
-          still; it also populates the log's ``steps_skipped`` / raster
-          occupancy counters.
-
-        ``scripts/bench_training.py`` records the measured trajectory.
+        ``fast`` is the deprecated boolean/str alias for the same choice
+        (``False`` → ``"reference"``, ``True`` → ``"fused"``, ``"event"`` →
+        ``"event"``); it emits a :class:`DeprecationWarning` and delegates
+        to the registry.  ``scripts/bench_training.py`` records the
+        measured engine trajectory.
         """
+        if fast is not _FAST_UNSET:
+            warnings.warn(
+                "UnsupervisedTrainer.train(fast=...) is deprecated; pass "
+                "engine='reference'/'fused'/'event' (registry names) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if engine is not None:
+                raise SimulationError(
+                    "pass either engine= or the deprecated fast=, not both"
+                )
+            engine = _engine_name_from_fast(fast)
+
         batch = np.asarray(images)
         if batch.ndim == 2:
             batch = batch[:, None, :]  # treat rows as flat images
         if batch.ndim != 3:
             raise SimulationError(f"images must be 2-D or 3-D, got shape {batch.shape}")
 
+        engine_name = engine or self.engine or self.network.config.engine.train
+        kernel = create_training_engine(engine_name, self.network)
+        kernel_stats = getattr(kernel, "stats", None)
+
         sim = self.network.config.simulation
         steps_per_image = sim.steps_per_image
         dt = sim.dt_ms
         log = TrainingLog()
-
-        kernel = None
-        if fast is True or fast == "fused":
-            from repro.engine.fused import FusedPresentation
-
-            kernel = FusedPresentation(self.network)
-        elif fast == "event":
-            from repro.engine.event_train import EventPresentation
-
-            kernel = EventPresentation(self.network)
-        elif fast:
-            raise SimulationError(
-                f"unknown fast engine {fast!r}: use False (reference), "
-                f"True/'fused' (bit-identical kernel) or 'event' "
-                f"(spike-trajectory-equivalent kernel)"
-            )
-        kernel_stats = getattr(kernel, "stats", None)
 
         self.progress.start(batch.shape[0] * epochs, "train")
         start = time.perf_counter()
@@ -143,15 +169,7 @@ class UnsupervisedTrainer:
         seen = 0
         for _ in range(epochs):
             for image in batch:
-                if kernel is not None:
-                    spikes_this_image, t_ms = kernel.run(image, t_ms, steps_per_image, dt)
-                else:
-                    spikes_this_image = 0
-                    self.network.present_image(image)
-                    for _ in range(steps_per_image):
-                        result = self.network.advance(t_ms, dt)
-                        spikes_this_image += int(np.count_nonzero(result.spikes["output"]))
-                        t_ms += dt
+                spikes_this_image, t_ms = kernel.run(image, t_ms, steps_per_image, dt)
                 self.network.rest()
                 t_ms += sim.t_rest_ms
 

@@ -16,7 +16,6 @@ from repro.config.parameters import (
     ExperimentConfig,
     SimulationParameters,
     STDPKind,
-    WTAParameters,
 )
 from repro.config.presets import get_preset
 from repro.datasets.dataset import load_dataset

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.config.parameters import AdaptiveThresholdParameters, LIFParameters
+from repro.config.parameters import AdaptiveThresholdParameters
 from repro.neurons.adaptive_lif import AdaptiveLIFPopulation
 
 

@@ -151,12 +151,12 @@ class TestFreshWeights:
 
 class TestEvaluatorIntegration:
     def test_batched_flag(self, trained, tiny_dataset):
-        ev = Evaluator(trained, t_present_ms=100.0, batched=True)
+        ev = Evaluator(trained, t_present_ms=100.0, engine="batched")
         counts = ev.collect_responses(tiny_dataset.test_images[:5])
         assert counts.shape == (5, 8)
 
     def test_batched_evaluate_protocol(self, trained, tiny_dataset):
-        ev = Evaluator(trained, n_classes=10, t_present_ms=100.0, batched=True)
+        ev = Evaluator(trained, n_classes=10, t_present_ms=100.0, engine="batched")
         result = ev.evaluate(
             tiny_dataset.test_images[:10],
             tiny_dataset.test_labels[:10],

@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -95,3 +94,46 @@ class TestErrors:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestEngines:
+    _TINY = ["run", "--n-train", "6", "--n-test", "12", "--n-labeling", "4",
+             "--neurons", "4", "--size", "8", "--epochs", "1", "--quiet"]
+
+    def test_engines_command_lists_capability_table(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reference", "fused", "event", "batched"):
+            assert name in out
+        for tier in ("bit_exact", "spike_equivalent", "statistical"):
+            assert tier in out
+
+    def test_run_accepts_engine_flags(self, capsys):
+        code = main(self._TINY + ["--engine", "event", "--eval-engine", "batched"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_run_rejects_unregistered_engine_name(self):
+        with pytest.raises(SystemExit):  # argparse choices
+            main(self._TINY + ["--engine", "warp"])
+
+    def test_batched_eval_flag_is_deprecated_alias(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--batched-eval is deprecated"):
+            code = main(self._TINY + ["--batched-eval"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_batched_eval_conflicts_with_other_eval_engine(self, capsys):
+        with pytest.warns(DeprecationWarning):
+            code = main(self._TINY + ["--batched-eval", "--eval-engine", "fused"])
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_evaluate_accepts_engine_flag(self, capsys, tmp_path):
+        path = tmp_path / "net.npz"
+        main(self._TINY + ["--save", str(path)])
+        capsys.readouterr()
+        code = main(["evaluate", str(path), "--n-test", "10", "--size", "8",
+                     "--engine", "event"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out

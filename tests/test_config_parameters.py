@@ -3,7 +3,6 @@
 import pytest
 
 from repro.config.parameters import (
-    AdaptiveThresholdParameters,
     DeterministicSTDPParameters,
     EncodingParameters,
     ExperimentConfig,

@@ -66,3 +66,45 @@ class TestJsonFiles:
         path.write_text(text)
         with pytest.raises(ConfigurationError):
             load_json(path)
+
+
+class TestEngineConfigSerialization:
+    def test_engine_config_round_trip(self):
+        from repro.config.parameters import EngineConfig
+
+        cfg = EngineConfig(train="event", eval="batched")
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_experiment_carries_engine_selection(self, tmp_path):
+        from dataclasses import replace
+        from repro.config.parameters import EngineConfig
+
+        cfg = replace(
+            get_preset("4bit", n_neurons=5),
+            engine=EngineConfig(train="reference", eval="event"),
+        )
+        path = tmp_path / "cfg.json"
+        save_json(cfg, path)
+        restored = load_json(path)
+        assert restored == cfg
+        assert restored.engine.train == "reference"
+        assert restored.engine.eval == "event"
+
+    def test_unknown_engine_name_rejected_on_load(self):
+        data = config_to_dict(get_preset("4bit", n_neurons=5))
+        data["engine"]["train"] = "warp"
+        with pytest.raises(ConfigurationError, match="unknown engine 'warp'"):
+            config_from_dict(data)
+
+    def test_error_lists_registered_engines(self):
+        from repro.config.parameters import EngineConfig
+
+        with pytest.raises(ConfigurationError, match="registered engines"):
+            EngineConfig(eval="warp")
+
+    def test_legacy_payload_without_engine_gets_defaults(self):
+        data = config_to_dict(get_preset("4bit", n_neurons=5))
+        del data["engine"]
+        restored = config_from_dict(data)
+        assert restored.engine.train == "fused"
+        assert restored.engine.eval == "fused"

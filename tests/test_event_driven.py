@@ -1,6 +1,5 @@
 """Tests for the event-driven LIF engine (the analytic oracle)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,7 +1,7 @@
 """Equivalence and unit tests for the event-accelerated training engine.
 
 The contract under test (see :mod:`repro.engine.event_train`):
-**spike-trajectory equivalence** — training with ``fast="event"`` must
+**spike-trajectory equivalence** — training with ``engine="event"`` must
 produce the same per-image spike counts as the reference loop and the
 fused kernel under identical :class:`~repro.engine.rng.RngStreams` seeds,
 with conductances within :data:`CONDUCTANCE_ATOL`, across storage formats,
@@ -30,15 +30,15 @@ from repro.network.wta import WTANetwork
 from repro.pipeline.trainer import UnsupervisedTrainer
 
 
-def _train(config, images, fast, **net_kwargs):
+def _train(config, images, engine, **net_kwargs):
     net = WTANetwork(config, n_pixels=images[0].size, **net_kwargs)
-    log = UnsupervisedTrainer(net).train(images, fast=fast)
+    log = UnsupervisedTrainer(net).train(images, engine=engine)
     return net, log
 
 
 def _assert_spike_equivalent(config, images, **net_kwargs):
-    net_ref, log_ref = _train(config, images, fast=False, **net_kwargs)
-    net_evt, log_evt = _train(config, images, fast="event", **net_kwargs)
+    net_ref, log_ref = _train(config, images, engine="reference", **net_kwargs)
+    net_evt, log_evt = _train(config, images, engine="event", **net_kwargs)
     assert log_ref.spikes_per_image == log_evt.spikes_per_image
     assert log_ref.total_steps == log_evt.total_steps
     g_dev = np.max(np.abs(net_ref.conductances - net_evt.conductances))
@@ -123,8 +123,8 @@ class TestSpikeTrajectoryEquivalence:
         analytically-advanced membranes, so when the spike trains match the
         conductances come out *exactly* equal (the tolerance is headroom,
         not slack that is actually consumed)."""
-        net_fus, log_fus = _train(tiny_config, small_images, fast=True)
-        net_evt, log_evt = _train(tiny_config, small_images, fast="event")
+        net_fus, log_fus = _train(tiny_config, small_images, engine="fused")
+        net_evt, log_evt = _train(tiny_config, small_images, engine="event")
         assert log_fus.spikes_per_image == log_evt.spikes_per_image
         assert np.array_equal(net_fus.conductances, net_evt.conductances)
 
@@ -137,11 +137,11 @@ class TestJumping:
             tiny_config, encoding=replace(tiny_config.encoding, f_min_hz=0.0, f_max_hz=10.0)
         )
         images = tiny_dataset.train_images[:6]
-        net, log = _train(cfg, images, fast="event")
+        net, log = _train(cfg, images, engine="event")
         assert log.steps_skipped > 0
         assert log.steps_skipped >= 0.2 * log.total_steps
         # ...and still be equivalent while doing so.
-        net_ref, log_ref = _train(cfg, images, fast=False)
+        net_ref, log_ref = _train(cfg, images, engine="reference")
         assert log_ref.spikes_per_image == log.spikes_per_image
         assert np.max(np.abs(net_ref.conductances - net.conductances)) <= CONDUCTANCE_ATOL
 
@@ -175,15 +175,15 @@ class TestJumping:
 
 class TestTrainingLogCounters:
     def test_event_engine_populates_counters(self, tiny_config, small_images):
-        _, log = _train(tiny_config, small_images, fast="event")
+        _, log = _train(tiny_config, small_images, engine="event")
         assert log.raster_cells == log.total_steps * small_images[0].size
         assert 0 < log.raster_active_cells < log.raster_cells
         assert 0.0 < log.raster_occupancy < 1.0
         assert 0.0 <= log.skipped_fraction <= 1.0
 
-    @pytest.mark.parametrize("fast", [False, True])
-    def test_dense_engines_report_zero(self, tiny_config, small_images, fast):
-        _, log = _train(tiny_config, small_images, fast=fast)
+    @pytest.mark.parametrize("engine", ["reference", "fused"])
+    def test_dense_engines_report_zero(self, tiny_config, small_images, engine):
+        _, log = _train(tiny_config, small_images, engine=engine)
         assert log.steps_skipped == 0
         assert log.raster_cells == 0
         assert log.raster_occupancy == 0.0
@@ -191,8 +191,14 @@ class TestTrainingLogCounters:
 
     def test_unknown_engine_rejected(self, tiny_config, small_images):
         net = WTANetwork(tiny_config, n_pixels=small_images[0].size)
-        with pytest.raises(SimulationError):
-            UnsupervisedTrainer(net).train(small_images, fast="warp")
+        with pytest.raises(ConfigurationError):
+            UnsupervisedTrainer(net).train(small_images, engine="warp")
+
+    def test_unknown_fast_value_keeps_simulation_error(self, tiny_config, small_images):
+        net = WTANetwork(tiny_config, n_pixels=small_images[0].size)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SimulationError):
+                UnsupervisedTrainer(net).train(small_images, fast="warp")
 
 
 class TestSparsify:

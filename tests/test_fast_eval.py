@@ -1,0 +1,177 @@
+"""Fast-path evaluation: bit-identity, defaults, and deprecated aliases."""
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import EngineConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.network.wta import WTANetwork
+from repro.pipeline.evaluator import Evaluator
+from repro.pipeline.experiment import run_experiment
+from repro.pipeline.trainer import UnsupervisedTrainer
+
+
+@pytest.fixture
+def trained_network(tiny_config, tiny_dataset):
+    net = WTANetwork(tiny_config, n_pixels=tiny_dataset.n_pixels)
+    UnsupervisedTrainer(net).train(tiny_dataset.train_images[:6], engine="fused")
+    return net
+
+
+def _responses(net, images, engine, seed):
+    net.rngs.reseed(seed)
+    return Evaluator(net, engine=engine).collect_responses(images)
+
+
+class TestFastEvalBitIdentity:
+    def test_fused_eval_matches_reference_bitwise(self, trained_network, small_images):
+        seed = trained_network.config.simulation.seed
+        ref = _responses(trained_network, small_images, "reference", seed)
+        fused = _responses(trained_network, small_images, "fused", seed)
+        assert np.array_equal(ref, fused)
+        assert ref.sum() > 0  # the comparison is not vacuous
+
+    def test_event_eval_matches_reference_bitwise(self, trained_network, small_images):
+        seed = trained_network.config.simulation.seed
+        ref = _responses(trained_network, small_images, "reference", seed)
+        event = _responses(trained_network, small_images, "event", seed)
+        assert np.array_equal(ref, event)
+
+    def test_eval_leaves_plasticity_state_untouched(self, trained_network, small_images):
+        g_before = trained_network.conductances.copy()
+        theta_before = trained_network.neurons.theta.copy()
+        _responses(trained_network, small_images, "fused", 7)
+        assert np.array_equal(trained_network.conductances, g_before)
+        assert np.array_equal(trained_network.neurons.theta, theta_before)
+
+    def test_single_image_accepted(self, trained_network, small_images):
+        responses = Evaluator(trained_network, engine="fused").collect_responses(
+            small_images[0]
+        )
+        assert responses.shape == (1, trained_network.config.wta.n_neurons)
+
+
+class TestEngineSelection:
+    def test_default_eval_engine_is_fused(self, tiny_config):
+        assert tiny_config.engine.eval == "fused"
+        net = WTANetwork(tiny_config, n_pixels=64)
+        assert Evaluator(net).engine is None  # defers to config
+
+    def test_default_train_engine_is_fused(self, tiny_config):
+        assert tiny_config.engine.train == "fused"
+
+    def test_unknown_eval_engine_raises_configuration_error(
+        self, trained_network, small_images
+    ):
+        evaluator = Evaluator(trained_network, engine="warp")
+        with pytest.raises(ConfigurationError, match="unknown engine 'warp'"):
+            evaluator.collect_responses(small_images)
+
+    def test_unknown_train_engine_raises_configuration_error(
+        self, tiny_config, tiny_dataset
+    ):
+        net = WTANetwork(tiny_config, n_pixels=tiny_dataset.n_pixels)
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            UnsupervisedTrainer(net).train(tiny_dataset.train_images[:1], engine="warp")
+
+    def test_batched_engine_cannot_train(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, n_pixels=tiny_dataset.n_pixels)
+        with pytest.raises(ConfigurationError, match="does not support learning"):
+            UnsupervisedTrainer(net).train(tiny_dataset.train_images[:1], engine="batched")
+
+    def test_config_engine_drives_trainer(self, tiny_config, tiny_dataset):
+        from dataclasses import replace
+
+        config = replace(tiny_config, engine=EngineConfig(train="reference", eval="reference"))
+        result = run_experiment(config, tiny_dataset, n_labeling=10)
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_run_experiment_engine_overrides(self, tiny_config, tiny_dataset):
+        result = run_experiment(
+            tiny_config, tiny_dataset, n_labeling=10,
+            train_engine="event", eval_engine="batched",
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+
+
+class TestExperimentEngineEquivalence:
+    def test_fused_defaults_reproduce_reference_experiment(self, tiny_config, tiny_dataset):
+        from dataclasses import replace
+
+        ref_cfg = replace(tiny_config, engine=EngineConfig(train="reference", eval="reference"))
+        ref = run_experiment(ref_cfg, tiny_dataset, n_labeling=10)
+        fused = run_experiment(tiny_config, tiny_dataset, n_labeling=10)
+        assert ref.accuracy == fused.accuracy
+        assert np.array_equal(ref.evaluation.predictions, fused.evaluation.predictions)
+        assert np.array_equal(ref.conductances, fused.conductances)
+
+
+class TestDeprecatedAliases:
+    def test_trainer_fast_flag_warns_and_maps(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, n_pixels=tiny_dataset.n_pixels)
+        with pytest.warns(DeprecationWarning, match="fast=.*deprecated"):
+            log = UnsupervisedTrainer(net).train(tiny_dataset.train_images[:2], fast=True)
+        assert log.images_seen == 2
+
+    def test_trainer_fast_unknown_value_keeps_simulation_error(
+        self, tiny_config, tiny_dataset
+    ):
+        net = WTANetwork(tiny_config, n_pixels=tiny_dataset.n_pixels)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SimulationError, match="unknown fast engine"):
+                UnsupervisedTrainer(net).train(tiny_dataset.train_images[:1], fast="warp")
+
+    def test_trainer_fast_and_engine_conflict(self, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, n_pixels=tiny_dataset.n_pixels)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(SimulationError, match="not both"):
+                UnsupervisedTrainer(net).train(
+                    tiny_dataset.train_images[:1], fast=True, engine="fused"
+                )
+
+    def test_evaluator_batched_flag_warns_and_maps(self, trained_network, small_images):
+        with pytest.warns(DeprecationWarning, match="batched=.*deprecated"):
+            evaluator = Evaluator(trained_network, batched=True)
+        assert evaluator.engine == "batched"
+        responses = evaluator.collect_responses(small_images)
+        assert responses.shape[0] == small_images.shape[0]
+
+    def test_evaluator_batched_false_maps_to_reference(self, trained_network):
+        with pytest.warns(DeprecationWarning):
+            evaluator = Evaluator(trained_network, batched=False)
+        assert evaluator.engine == "reference"
+
+    def test_run_experiment_batched_eval_warns(self, tiny_config, tiny_dataset):
+        with pytest.warns(DeprecationWarning, match="batched_eval.*deprecated"):
+            result = run_experiment(
+                tiny_config, tiny_dataset, n_labeling=10, batched_eval=True
+            )
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_sweep_batched_eval_warns(self, tiny_dataset):
+        from repro.pipeline.sweep import ParameterSweep
+
+        with pytest.warns(DeprecationWarning, match="batched_eval.*deprecated"):
+            sweep = ParameterSweep(tiny_dataset, seeds=(0,), batched_eval=True)
+        assert sweep.eval_engine == "batched"
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        cfg = EngineConfig()
+        assert cfg.train == "fused" and cfg.eval == "fused"
+
+    def test_unknown_train_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            EngineConfig(train="warp")
+
+    def test_unknown_eval_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            EngineConfig(eval="warp")
+
+    def test_non_learning_train_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not support learning"):
+            EngineConfig(train="batched")
+
+    def test_batched_eval_engine_allowed(self):
+        assert EngineConfig(eval="batched").eval == "batched"

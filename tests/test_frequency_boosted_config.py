@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config.parameters import EncodingParameters, SimulationParameters
 from repro.config.presets import get_preset
 from repro.encoding.frequency_control import FrequencyControl
 

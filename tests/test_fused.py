@@ -1,7 +1,7 @@
 """Equivalence and unit tests for the fused training fast path.
 
 The contract under test (see :mod:`repro.engine.fused`): training with
-``fast=True`` must produce **bit-identical** learned state — conductances,
+``engine="fused"`` must produce **bit-identical** learned state — conductances,
 adaptive thresholds and per-image spike counts — to the reference step loop
 under identical :class:`~repro.engine.rng.RngStreams` seeds, across storage
 formats, rounding modes, learning rules, encoders and synapse models.
@@ -27,15 +27,15 @@ from repro.quantization.quantizer import Quantizer
 from repro.synapses.conductance import ConductanceMatrix
 
 
-def _train(config, images, fast):
+def _train(config, images, engine):
     net = WTANetwork(config, n_pixels=images[0].size)
-    log = UnsupervisedTrainer(net).train(images, fast=fast)
+    log = UnsupervisedTrainer(net).train(images, engine=engine)
     return net, log
 
 
 def _assert_bit_identical(config, images):
-    net_ref, log_ref = _train(config, images, fast=False)
-    net_fus, log_fus = _train(config, images, fast=True)
+    net_ref, log_ref = _train(config, images, engine="reference")
+    net_fus, log_fus = _train(config, images, engine="fused")
     assert np.array_equal(net_ref.conductances, net_fus.conductances)
     assert np.array_equal(net_ref.neurons.theta, net_fus.neurons.theta)
     assert log_ref.spikes_per_image == log_fus.spikes_per_image
@@ -76,7 +76,7 @@ class TestBitIdentity:
 
     def test_reference_and_fused_interleave(self, tiny_config, small_images):
         """The kernel mutates live network state, so paths can alternate."""
-        net_ref, _ = _train(tiny_config, small_images, fast=False)
+        net_ref, _ = _train(tiny_config, small_images, engine="reference")
 
         net_mix = WTANetwork(tiny_config, n_pixels=small_images[0].size)
         trainer = UnsupervisedTrainer(net_mix)
@@ -84,7 +84,7 @@ class TestBitIdentity:
         # config's times are exact integers, so per-image calls with
         # alternating paths reproduce the single reference run exactly.
         for i, image in enumerate(small_images):
-            trainer.train(image[None], fast=bool(i % 2))
+            trainer.train(image[None], engine="fused" if i % 2 else "reference")
         assert np.array_equal(net_ref.conductances, net_mix.conductances)
         assert np.array_equal(net_ref.neurons.theta, net_mix.neurons.theta)
 
@@ -94,9 +94,9 @@ class TestStatisticalEquivalence:
         """Different seeds (hence different draw orders) stay in one ballpark."""
         images = tiny_dataset.train_images[:10]
         totals = []
-        for seed, fast in ((3, False), (4, True), (5, True)):
+        for seed, engine in ((3, "reference"), (4, "fused"), (5, "fused")):
             cfg = replace(tiny_config, simulation=replace(tiny_config.simulation, seed=seed))
-            _, log = _train(cfg, images, fast)
+            _, log = _train(cfg, images, engine)
             totals.append(sum(log.spikes_per_image))
         assert min(totals) > 0
         assert max(totals) <= 2.0 * min(totals)

@@ -1,9 +1,7 @@
 """Tests for the Izhikevich alternative neuron model."""
 
 import numpy as np
-import pytest
 
-from repro.config.parameters import IzhikevichParameters
 from repro.neurons.izhikevich import IzhikevichPopulation
 
 

@@ -11,13 +11,13 @@ from repro.pipeline.experiment import moving_error_from_predictions, run_experim
 
 class TestBatchedExperiment:
     def test_run_experiment_batched(self, tiny_config, tiny_dataset):
-        result = run_experiment(tiny_config, tiny_dataset, n_labeling=10, batched_eval=True)
+        result = run_experiment(tiny_config, tiny_dataset, n_labeling=10, eval_engine="batched")
         assert 0.0 <= result.accuracy <= 1.0
         assert result.evaluation.predictions.shape == (10,)
 
     def test_batched_and_sequential_agree_on_plumbing(self, tiny_config, tiny_dataset):
-        seq = run_experiment(tiny_config, tiny_dataset, n_labeling=10, batched_eval=False)
-        bat = run_experiment(tiny_config, tiny_dataset, n_labeling=10, batched_eval=True)
+        seq = run_experiment(tiny_config, tiny_dataset, n_labeling=10, eval_engine="reference")
+        bat = run_experiment(tiny_config, tiny_dataset, n_labeling=10, eval_engine="batched")
         # Same training trajectory (same seeds) -> identical conductances.
         assert np.array_equal(seq.conductances, bat.conductances)
         # Evaluation differs only stochastically.

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.statistics import SeedStudy, Summary, bootstrap_ci, summarize
+from repro.analysis.statistics import SeedStudy, bootstrap_ci, summarize
 from repro.errors import ReproError
 
 

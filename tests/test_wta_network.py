@@ -5,7 +5,6 @@ import pytest
 from dataclasses import replace
 
 from repro.config.parameters import STDPKind
-from repro.config.presets import get_preset
 from repro.errors import TopologyError
 from repro.learning.deterministic import DeterministicSTDP
 from repro.learning.stochastic import StochasticSTDP
