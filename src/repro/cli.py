@@ -7,6 +7,7 @@ Commands:
 - ``evaluate`` — load a checkpoint and classify a test split;
 - ``presets`` — list the Table I learning options and their parameters;
 - ``engines`` — list registered presentation engines and capabilities;
+- ``lint`` — run the determinism/numerics static-analysis rules (R1–R4);
 - ``fi-curve`` — print the Fig. 1a frequency-vs-current curve;
 - ``info`` — describe a checkpoint file.
 
@@ -88,6 +89,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("presets", help="list Table I learning options")
 
     sub.add_parser("engines", help="list registered presentation engines")
+
+    lint = sub.add_parser(
+        "lint", help="determinism/numerics static analysis (rules R1-R4)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON report to PATH",
+    )
+    lint.add_argument(
+        "--no-contracts", action="store_true",
+        help="skip the R3 engine-registry conformance checks",
+    )
 
     fi = sub.add_parser("fi-curve", help="Fig. 1a frequency-vs-current curve")
     fi.add_argument("--points", type=int, default=8)
@@ -223,6 +241,21 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import lint_paths
+
+    report = lint_paths(args.paths, include_contracts=not args.no_contracts)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+    return report.exit_code
+
+
 def _cmd_fi_curve(args: argparse.Namespace) -> int:
     pop = LIFPopulation(1)
     rheobase = pop.params.rheobase_current()
@@ -257,6 +290,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "presets": _cmd_presets,
     "engines": _cmd_engines,
+    "lint": _cmd_lint,
     "fi-curve": _cmd_fi_curve,
     "info": _cmd_info,
 }

@@ -16,11 +16,15 @@ shoe classes likewise.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import DatasetError
+
+#: Seed of the fallback generator when :func:`render_fashion` is called
+#: without one (determinism rule R1 forbids seedless ``default_rng()``).
+DEFAULT_RENDER_SEED = 0
 
 FASHION_CLASS_NAMES = (
     "tshirt",
@@ -200,13 +204,18 @@ def _texture(size: int, rng: np.random.Generator, strength: float) -> np.ndarray
 def render_fashion(
     cls: int,
     size: int = 16,
-    rng: np.random.Generator = None,
+    rng: Optional[np.random.Generator] = None,
     jitter: float = 1.0,
 ) -> np.ndarray:
-    """Render one jittered apparel sample as a ``uint8`` image."""
+    """Render one jittered apparel sample as a ``uint8`` image.
+
+    Without *rng* a generator seeded with :data:`DEFAULT_RENDER_SEED` is
+    used, so repeated calls draw the *same* jitter; pass a shared generator
+    (as :func:`generate_fashion` does) for varied samples.
+    """
     if cls not in _SHAPES:
         raise DatasetError(f"class must be in 0..9, got {cls}")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(DEFAULT_RENDER_SEED)
     x, y = _grid(size)
 
     # Affine jitter of the sampling grid (inverse-warp the coordinates).
@@ -230,7 +239,7 @@ def generate_fashion(
     size: int = 16,
     seed: int = 0,
     jitter: float = 1.0,
-    labels: Sequence[int] = None,
+    labels: Optional[Sequence[int]] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Generate a balanced apparel set: ``(images, labels)``."""
     if n_images < 1:

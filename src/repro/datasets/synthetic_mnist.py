@@ -19,11 +19,16 @@ deterministic given the RNG, so datasets are reproducible from a seed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import DatasetError
+
+#: Seed of the fallback generator when :func:`render_digit` is called
+#: without one.  A *fixed* default keeps even ad-hoc rendering
+#: reproducible — determinism rule R1 forbids seedless ``default_rng()``.
+DEFAULT_RENDER_SEED = 0
 
 # ---------------------------------------------------------------------------
 # stroke primitives (unit frame: x right, y down, both in [0, 1])
@@ -146,12 +151,17 @@ def render_points(
 def render_digit(
     digit: int,
     size: int = 16,
-    rng: np.random.Generator = None,
+    rng: Optional[np.random.Generator] = None,
     jitter: float = 1.0,
-    pen_sigma: float = None,
+    pen_sigma: Optional[float] = None,
 ) -> np.ndarray:
-    """Render one jittered digit sample as a ``uint8`` image."""
-    rng = rng if rng is not None else np.random.default_rng()
+    """Render one jittered digit sample as a ``uint8`` image.
+
+    Without *rng* a generator seeded with :data:`DEFAULT_RENDER_SEED` is
+    used, so repeated calls draw the *same* jitter; pass a shared generator
+    (as :func:`generate_digits` does) for varied samples.
+    """
+    rng = rng if rng is not None else np.random.default_rng(DEFAULT_RENDER_SEED)
     skeleton = digit_skeleton(digit)
 
     center = skeleton.mean(axis=0)
@@ -173,7 +183,7 @@ def generate_digits(
     size: int = 16,
     seed: int = 0,
     jitter: float = 1.0,
-    labels: Sequence[int] = None,
+    labels: Optional[Sequence[int]] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Generate a balanced digit set: ``(images, labels)``.
 

@@ -36,9 +36,10 @@ import cycles.
 """
 
 from importlib import import_module
+from typing import Any, Dict, List
 
 #: Public name -> defining submodule, resolved on first attribute access.
-_EXPORTS = {
+_EXPORTS: Dict[str, str] = {
     "BatchedInference": "repro.engine.batched",
     "CONDUCTANCE_ATOL": "repro.engine.event_train",
     "EventPresentation": "repro.engine.event_train",
@@ -67,6 +68,7 @@ _EXPORTS = {
     "create_training_engine": "repro.engine.registry",
     "get_engine_spec": "repro.engine.registry",
     "register_engine": "repro.engine.registry",
+    "unregister_engine": "repro.engine.registry",
     "PresentationEngine": "repro.engine.presentation",
     "ReferenceEngine": "repro.engine.presentation",
     "FusedEngine": "repro.engine.presentation",
@@ -77,7 +79,7 @@ _EXPORTS = {
 __all__ = sorted(_EXPORTS)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     module = _EXPORTS.get(name)
     if module is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -86,5 +88,5 @@ def __getattr__(name: str):
     return value
 
 
-def __dir__():
+def __dir__() -> List[str]:
     return sorted(set(globals()) | set(_EXPORTS))

@@ -32,7 +32,7 @@ always see the current weights.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -72,12 +72,15 @@ class BatchedInference:
 
         cfg = self.config
         xp = get_array_module()
-        rng = rng if rng is not None else np.random.default_rng(cfg.simulation.seed)
+        # Default stream: the salted batched-evaluation stream, decorrelated
+        # from the sequential streams and restarted per call (see
+        # RngStreams.batched_eval) — never an ad-hoc generator.
+        rng = rng if rng is not None else self.network.rngs.batched_eval()
         if xp is np:
-            def draw(shape):
+            def draw(shape: Tuple[int, ...]) -> np.ndarray:
                 return rng.random(shape)
         else:  # pragma: no cover - exercised only with CuPy installed
-            def draw(shape):
+            def draw(shape: Tuple[int, ...]) -> np.ndarray:
                 return xp.random.random(shape)
         dt = cfg.simulation.dt_ms
         duration = t_present_ms if t_present_ms is not None else cfg.simulation.t_learn_ms
@@ -96,10 +99,10 @@ class BatchedInference:
             intensity_to_frequency(flat, cfg.encoding) * (dt / 1000.0)
         )
 
-        v = xp.full((n_images, n_neurons), lif.v_init)
-        current = xp.zeros((n_images, n_neurons))
-        refractory = xp.zeros((n_images, n_neurons))
-        inhibited_left = xp.zeros((n_images, n_neurons))
+        v = xp.full((n_images, n_neurons), lif.v_init, dtype=xp.float64)
+        current = xp.zeros((n_images, n_neurons), dtype=xp.float64)
+        refractory = xp.zeros((n_images, n_neurons), dtype=xp.float64)
+        inhibited_left = xp.zeros((n_images, n_neurons), dtype=xp.float64)
         counts = xp.zeros((n_images, n_neurons), dtype=xp.int64)
         threshold = lif.v_threshold + theta[None, :]
         decay = float(np.exp(-dt / wta.current_tau_ms)) if wta.current_tau_ms > 0 else 0.0

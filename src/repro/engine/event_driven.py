@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.config.parameters import LIFParameters
 from repro.errors import SimulationError
@@ -71,7 +71,7 @@ class EventDrivenLIF:
         self,
         steps: Sequence[CurrentStep],
         duration_ms: float,
-        v0: float = None,
+        v0: Optional[float] = None,
     ) -> List[float]:
         """Exact spike times over *duration_ms* given the input schedule.
 

@@ -65,6 +65,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -78,6 +79,9 @@ from repro.engine.plasticity import (
 from repro.errors import ConfigurationError, SimulationError
 from repro.learning.stochastic import LTDMode, StochasticSTDP
 from repro.network.wta import WTANetwork
+
+if TYPE_CHECKING:
+    from repro.engine.profiler import StepProfiler
 
 #: Absolute tolerance on learned conductances versus the fused/reference
 #: path (the documented part of the spike-trajectory-equivalence contract).
@@ -214,9 +218,9 @@ class EventPresentation:
         t_ms: float,
         n_steps: int,
         dt_ms: float,
-        profiler=None,
-        out_counts=None,
-    ):
+        profiler: Optional[StepProfiler] = None,
+        out_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
         """Present *image* for *n_steps* steps of *dt_ms*, starting at *t_ms*.
 
         Returns ``(total_output_spikes, t_ms_after)`` — the same protocol as
@@ -236,7 +240,7 @@ class EventPresentation:
         net = self.net
         lif = self._lif
         wta = self._wta
-        clock = time.perf_counter if profiler is not None else None
+        clock = time.perf_counter
 
         beta = 1.0 + lif.b * dt_ms
         if not 0.0 < beta < 1.0:
@@ -245,7 +249,7 @@ class EventPresentation:
                 f"(0 < 1 + b*dt < 1), got 1 + ({lif.b})*({dt_ms}) = {beta}"
             )
 
-        if clock is not None:
+        if profiler is not None:
             _t0 = clock()
         net.present_image(image)
         raster = net.encoder.generate_train(n_steps, dt_ms, net.rngs.encoding)
@@ -257,7 +261,7 @@ class EventPresentation:
         for i in range(n_steps + 1):
             t_grid[i] = t_acc
             t_acc += dt_ms
-        if clock is not None:
+        if profiler is not None:
             profiler.add("encode", clock() - _t0)
 
         neurons = net.neurons
@@ -362,7 +366,7 @@ class EventPresentation:
                 # --- quiescent span [j, seg_end): jump or step densely ---
                 seg_end = min(next_event, next_expiry)
                 m = seg_end - j
-                if clock is not None:
+                if profiler is not None:
                     _t0 = clock()
                 beta_m = beta**m
                 # Conservative crossing predictor: bound every membrane over
@@ -405,10 +409,10 @@ class EventPresentation:
                     stats.steps_skipped += m
                     stats.jumps += 1
                     j = seg_end
-                    if clock is not None:
+                    if profiler is not None:
                         profiler.add("integrate", clock() - _t0)
                     continue
-                if clock is not None:
+                if profiler is not None:
                     profiler.add("integrate", clock() - _t0, calls=0)
                 # A crossing is possible: fall through and step this span
                 # densely, one step at a time, with exact spike detection.
@@ -420,7 +424,7 @@ class EventPresentation:
                 rows = channels[offsets[j] : offsets[j + 1]]
 
             # --- one explicit step (input event or dangerous span) -------
-            if clock is not None:
+            if profiler is not None:
                 _t0 = clock()
             t_now = t_grid[j]
             k = rows.size
@@ -475,7 +479,7 @@ class EventPresentation:
                 theta *= theta_decay
                 if n_fired:
                     theta[spikes] += theta_plus
-            if clock is not None:
+            if profiler is not None:
                 _t1 = clock()
                 profiler.add("integrate", _t1 - _t0, calls=0)
 
@@ -485,7 +489,7 @@ class EventPresentation:
                 spikes.fill(False)
                 spikes[winner] = True
                 n_fired = 1
-            if clock is not None:
+            if profiler is not None:
                 _t2 = clock()
                 profiler.add("wta", _t2 - _t1, calls=0)
 
@@ -516,7 +520,7 @@ class EventPresentation:
                 timers._last_post[spikes] = t_now
                 if out_counts is not None:
                     out_counts[spikes] += 1
-            if clock is not None:
+            if profiler is not None:
                 _t3 = clock()
                 profiler.add("stdp", _t3 - _t2)
 
@@ -529,7 +533,7 @@ class EventPresentation:
                 regimes_dirty = True
                 no_jump_until = 0
                 stats.spike_steps += 1
-            if clock is not None:
+            if profiler is not None:
                 profiler.add("wta", clock() - _t3)
 
             total_spikes += n_fired

@@ -41,6 +41,7 @@ numpy RNG streams); the CuPy backend accelerates the image-parallel
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +53,9 @@ from repro.engine.plasticity import (
 )
 from repro.errors import ConfigurationError, SimulationError
 from repro.network.wta import WTANetwork
+
+if TYPE_CHECKING:
+    from repro.engine.profiler import StepProfiler
 
 
 class FusedPresentation:
@@ -111,9 +115,9 @@ class FusedPresentation:
         t_ms: float,
         n_steps: int,
         dt_ms: float,
-        profiler=None,
-        out_counts=None,
-    ):
+        profiler: Optional[StepProfiler] = None,
+        out_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
         """Present *image* for *n_steps* steps of *dt_ms*, starting at *t_ms*.
 
         Returns ``(total_output_spikes, t_ms_after)``.  ``t_ms`` advances by
@@ -134,7 +138,7 @@ class FusedPresentation:
         if n_steps < 0:
             raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
         net = self.net
-        clock = time.perf_counter if profiler is not None else None
+        clock = time.perf_counter
         neurons = net.neurons
         timers = net.timers
         rule = net.rule
@@ -144,12 +148,12 @@ class FusedPresentation:
 
         # One vectorised draw for the whole presentation (same stream order
         # as per-step draws), cast to float once for the per-step matmuls.
-        if clock is not None:
+        if profiler is not None:
             _t0 = clock()
         net.present_image(image)
         raster = net.encoder.generate_train(n_steps, dt_ms, net.rngs.encoding)
         raster_f = raster.astype(np.float64)
-        if clock is not None:
+        if profiler is not None:
             profiler.add("encode", clock() - _t0)
         # Steps with no input spikes inject exactly 0.0 (conductances and the
         # drive amplitude are non-negative), so their matmul can be skipped.
@@ -189,7 +193,7 @@ class FusedPresentation:
         fast_rule = self._fast_rule
         total_spikes = 0
         for i in range(n_steps):
-            if clock is not None:
+            if profiler is not None:
                 _t0 = clock()
             input_spikes = raster[i]
             any_input = row_any[i]
@@ -258,7 +262,7 @@ class FusedPresentation:
             np.maximum(refractory, 0.0, out=refractory)
             inhibited_left -= dt_ms
             np.maximum(inhibited_left, 0.0, out=inhibited_left)
-            if clock is not None:
+            if profiler is not None:
                 _t1 = clock()
                 profiler.add("integrate", _t1 - _t0)
 
@@ -269,7 +273,7 @@ class FusedPresentation:
                 spikes.fill(False)
                 spikes[winner] = True
                 n_fired = 1
-            if clock is not None:
+            if profiler is not None:
                 _t2 = clock()
                 profiler.add("wta", _t2 - _t1, calls=0)
 
@@ -295,14 +299,14 @@ class FusedPresentation:
                 timers._last_post[spikes] = t_ms
                 if out_counts is not None:
                     out_counts[spikes] += 1
-            if clock is not None:
+            if profiler is not None:
                 _t3 = clock()
                 profiler.add("stdp", _t3 - _t2)
 
             if n_fired and t_inh > 0.0:
                 np.logical_not(spikes, out=losers)
                 neurons.inhibit(losers, t_inh)
-            if clock is not None:
+            if profiler is not None:
                 profiler.add("wta", clock() - _t3)
 
             total_spikes += n_fired

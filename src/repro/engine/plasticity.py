@@ -24,7 +24,7 @@ stream position is part of the fused kernel's contract and covered by
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -39,8 +39,13 @@ from repro.learning.updates import (
 )
 from repro.quantization.quantizer import FloatQuantizer
 
+if TYPE_CHECKING:
+    from repro.network.wta import WTANetwork
+    from repro.synapses.conductance import ConductanceMatrix
+    from repro.synapses.traces import SpikeTimers
 
-def resolve_fast_rule(network) -> Optional[str]:
+
+def resolve_fast_rule(network: WTANetwork) -> Optional[str]:
     """Which column-restricted path serves *network*, or ``None``.
 
     Returns ``"deterministic"`` / ``"stochastic"`` when the rule/quantiser
@@ -62,7 +67,14 @@ def resolve_fast_rule(network) -> Optional[str]:
     return None
 
 
-def stochastic_rule_columns(rule, synapses, timers, post, t_ms, rng) -> None:
+def stochastic_rule_columns(
+    rule: StochasticSTDP,
+    synapses: ConductanceMatrix,
+    timers: SpikeTimers,
+    post: np.ndarray,
+    t_ms: float,
+    rng: np.random.Generator,
+) -> None:
     """``StochasticSTDP._post_spike_updates`` on the spiking columns only.
 
     The Bernoulli draw shapes are ``(n_pre, k)`` in the reference rule
@@ -89,7 +101,14 @@ def stochastic_rule_columns(rule, synapses, timers, post, t_ms, rng) -> None:
     synapses.apply_delta_columns(cols, delta_cols, rng)
 
 
-def deterministic_rule_columns(rule, synapses, timers, post, t_ms, rng) -> None:
+def deterministic_rule_columns(
+    rule: DeterministicSTDP,
+    synapses: ConductanceMatrix,
+    timers: SpikeTimers,
+    post: np.ndarray,
+    t_ms: float,
+    rng: np.random.Generator,
+) -> None:
     """``DeterministicSTDP.step`` on the spiking columns only."""
     elapsed = timers.elapsed_pre(t_ms)
     recent = elapsed <= rule.params.window_ms

@@ -27,12 +27,18 @@ stream and is statistically, not bit-, equivalent.)
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.pipeline.progress import NullProgress
+
+if TYPE_CHECKING:
+    from repro.engine.event_train import EventTrainStats
+    from repro.engine.profiler import StepProfiler
+    from repro.engine.registry import EngineSpec
+    from repro.network.wta import WTANetwork
 
 
 class PresentationEngine:
@@ -41,11 +47,11 @@ class PresentationEngine:
     #: Registry name; set by each subclass (must match its EngineSpec).
     name = ""
 
-    def __init__(self, network) -> None:
+    def __init__(self, network: WTANetwork) -> None:
         self.network = network
 
     @property
-    def spec(self):
+    def spec(self) -> EngineSpec:
         """The engine's registered capability record."""
         from repro.engine.registry import get_engine_spec
 
@@ -61,9 +67,9 @@ class PresentationEngine:
         t_ms: float,
         n_steps: int,
         dt_ms: float,
-        profiler=None,
+        profiler: Optional[StepProfiler] = None,
         out_counts: Optional[np.ndarray] = None,
-    ):
+    ) -> Tuple[int, float]:
         """Present *image* for *n_steps* of *dt_ms* starting at *t_ms*.
 
         Returns ``(total_output_spikes, t_ms_after)``.  When *out_counts*
@@ -83,7 +89,7 @@ class PresentationEngine:
         self,
         images: np.ndarray,
         t_present_ms: float,
-        progress=None,
+        progress: Optional[NullProgress] = None,
         label: str = "responses",
     ) -> np.ndarray:
         """Per-image output spike counts, shape ``(n_images, n_neurons)``.
@@ -128,7 +134,15 @@ class ReferenceEngine(PresentationEngine):
 
     name = "reference"
 
-    def run(self, image, t_ms, n_steps, dt_ms, profiler=None, out_counts=None):
+    def run(
+        self,
+        image: np.ndarray,
+        t_ms: float,
+        n_steps: int,
+        dt_ms: float,
+        profiler: Optional[StepProfiler] = None,
+        out_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
         if n_steps < 0:
             raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
         net = self.network
@@ -154,13 +168,21 @@ class FusedEngine(PresentationEngine):
 
     name = "fused"
 
-    def __init__(self, network) -> None:
+    def __init__(self, network: WTANetwork) -> None:
         super().__init__(network)
         from repro.engine.fused import FusedPresentation
 
         self._kernel = FusedPresentation(network)
 
-    def run(self, image, t_ms, n_steps, dt_ms, profiler=None, out_counts=None):
+    def run(
+        self,
+        image: np.ndarray,
+        t_ms: float,
+        n_steps: int,
+        dt_ms: float,
+        profiler: Optional[StepProfiler] = None,
+        out_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
         return self._kernel.run(
             image, t_ms, n_steps, dt_ms, profiler=profiler, out_counts=out_counts
         )
@@ -178,17 +200,25 @@ class EventEngine(PresentationEngine):
 
     name = "event"
 
-    def __init__(self, network) -> None:
+    def __init__(self, network: WTANetwork) -> None:
         super().__init__(network)
         from repro.engine.event_train import EventPresentation
 
         self._kernel = EventPresentation(network)
 
     @property
-    def stats(self):
+    def stats(self) -> EventTrainStats:
         return self._kernel.stats
 
-    def run(self, image, t_ms, n_steps, dt_ms, profiler=None, out_counts=None):
+    def run(
+        self,
+        image: np.ndarray,
+        t_ms: float,
+        n_steps: int,
+        dt_ms: float,
+        profiler: Optional[StepProfiler] = None,
+        out_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
         return self._kernel.run(
             image, t_ms, n_steps, dt_ms, profiler=profiler, out_counts=out_counts
         )
@@ -205,7 +235,13 @@ class BatchedEngine(PresentationEngine):
 
     name = "batched"
 
-    def collect_responses(self, images, t_present_ms, progress=None, label="responses"):
+    def collect_responses(
+        self,
+        images: np.ndarray,
+        t_present_ms: float,
+        progress: Optional[NullProgress] = None,
+        label: str = "responses",
+    ) -> np.ndarray:
         from repro.engine.batched import BatchedInference
 
         return BatchedInference(self.network).collect_responses(

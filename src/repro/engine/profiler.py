@@ -28,12 +28,15 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.analysis.report import format_table
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.network.wta import WTANetwork
 
 
 class StepProfiler:
@@ -44,7 +47,7 @@ class StepProfiler:
         self._counts: Dict[str, int] = {}
 
     @contextmanager
-    def section(self, name: str):
+    def section(self, name: str) -> Iterator[None]:
         start = time.perf_counter()
         try:
             yield
@@ -92,7 +95,9 @@ class StepProfiler:
         self._counts.clear()
 
 
-def profile_wta_step(network, image: np.ndarray, n_steps: int = 200, dt_ms: float = 1.0) -> StepProfiler:
+def profile_wta_step(
+    network: WTANetwork, image: np.ndarray, n_steps: int = 200, dt_ms: float = 1.0
+) -> StepProfiler:
     """Instrumented re-implementation of ``WTANetwork.advance``'s phases.
 
     Runs *n_steps* over *image* splitting each step into the encode /
@@ -137,7 +142,7 @@ def profile_wta_step(network, image: np.ndarray, n_steps: int = 200, dt_ms: floa
 
 
 def profile_presentation(
-    network,
+    network: WTANetwork,
     image: np.ndarray,
     engine: str = "fused",
     n_steps: int = 200,

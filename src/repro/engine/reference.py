@@ -21,7 +21,7 @@ the Fig. 4 performance comparison.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 
@@ -106,7 +106,7 @@ class ReferenceLIFSimulator:
         n_steps = raster.shape[0]
         out = np.zeros((n_steps, self.n_post), dtype=bool)
         for step_idx in range(n_steps):
-            active: Sequence[int] = np.flatnonzero(raster[step_idx])
+            active = np.flatnonzero(raster[step_idx])
             for j, neuron in enumerate(self.neurons):
                 current = 0.0
                 for i in active:

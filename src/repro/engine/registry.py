@@ -68,7 +68,7 @@ class EngineSpec:
     backends: Tuple[str, ...]
     summary: str
 
-    def create(self, network) -> Any:
+    def create(self, network: Any) -> Any:
         """Instantiate the engine for *network* (imports the module now)."""
         module_name, _, attr = self.factory.partition(":")
         if not attr:
@@ -96,6 +96,17 @@ def register_engine(spec: EngineSpec, replace: bool = False) -> EngineSpec:
     return spec
 
 
+def unregister_engine(name: str) -> EngineSpec:
+    """Remove and return a registered spec (plugin teardown, test cleanup)."""
+    spec = _REGISTRY.pop(name, None)
+    if spec is None:
+        raise ConfigurationError(
+            f"cannot unregister unknown engine {name!r}; registered engines: "
+            f"{', '.join(available_engines())}"
+        )
+    return spec
+
+
 def available_engines() -> Tuple[str, ...]:
     """All registered engine names, sorted."""
     return tuple(sorted(_REGISTRY))
@@ -112,12 +123,12 @@ def get_engine_spec(name: str) -> EngineSpec:
     return spec
 
 
-def create_engine(name: str, network) -> Any:
+def create_engine(name: str, network: Any) -> Any:
     """Resolve *name* and instantiate the engine for *network*."""
     return get_engine_spec(name).create(network)
 
 
-def create_training_engine(name: str, network) -> Any:
+def create_training_engine(name: str, network: Any) -> Any:
     """Like :func:`create_engine`, but the engine must support learning."""
     spec = get_engine_spec(name)
     if not spec.supports_learning:

@@ -33,6 +33,9 @@ class RngStreams:
     """A bundle of named RNG streams derived from one master seed."""
 
     def __init__(self, seed: int = 0) -> None:
+        self._build(seed)
+
+    def _build(self, seed: int) -> None:
         if int(seed) != seed:
             raise SimulationError(f"seed must be an integer, got {seed!r}")
         self.seed = int(seed)
@@ -77,4 +80,4 @@ class RngStreams:
 
     def reseed(self, seed: int) -> None:
         """Replace every stream with fresh ones derived from *seed*."""
-        self.__init__(seed)
+        self._build(seed)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -68,8 +68,8 @@ class Simulator:
     def __init__(self, model: SimulatedModel, dt_ms: float = 1.0) -> None:
         self.model = model
         self.clock = SimulationClock(dt_ms)
-        self._spike_monitors: List[tuple] = []  # (layer_name, SpikeMonitor)
-        self._rate_monitors: List[tuple] = []   # (layer_name, RateMonitor)
+        self._spike_monitors: List[Tuple[str, SpikeMonitor]] = []
+        self._rate_monitors: List[Tuple[str, RateMonitor]] = []
         self._state_monitors: List[StateMonitor] = []
         self._callbacks: List[Callable[[StepResult], None]] = []
 

@@ -1,0 +1,123 @@
+"""R3: engine-registry contract conformance, by import and inspection.
+
+The registry (:mod:`repro.engine.registry`) stores *lazy* ``"module:Class"``
+factory paths, so a typo or a capability/implementation mismatch only
+surfaces when that engine is first instantiated — possibly deep inside a
+training run.  This checker front-loads the failure: it resolves every
+registered factory, verifies the class against the
+:class:`~repro.engine.presentation.PresentationEngine` protocol and checks
+that the declared capability record matches what the class actually
+implements.  Nothing is simulated; no network is constructed.
+"""
+
+from __future__ import annotations
+
+import inspect
+from importlib import import_module
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+
+
+def _location(cls: type, fallback: str) -> Tuple[str, int]:
+    """Display path and line of *cls*'s definition, best effort."""
+    try:
+        raw = inspect.getsourcefile(cls)
+        line = inspect.getsourcelines(cls)[1]
+    except (OSError, TypeError):
+        return fallback, 1
+    if raw is None:
+        return fallback, 1
+    path = Path(raw)
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix(), line
+    except ValueError:
+        return path.as_posix(), line
+
+
+def check_engine_contracts(specs: Optional[Iterable] = None) -> List[Finding]:
+    """R3 findings for *specs* (default: every registered engine)."""
+    from repro.engine.presentation import PresentationEngine
+    from repro.engine.registry import Equivalence, available_engines, get_engine_spec
+
+    if specs is None:
+        specs = [get_engine_spec(name) for name in available_engines()]
+
+    findings: List[Finding] = []
+    for spec in specs:
+        findings.extend(_check_spec(spec, PresentationEngine, Equivalence))
+    return findings
+
+
+def _check_spec(spec, base: type, equivalence_enum: type) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(message: str, path: str, line: int = 1) -> None:
+        findings.append(
+            Finding(
+                rule="R3",
+                path=path,
+                line=line,
+                col=1,
+                message=f"engine {spec.name!r}: {message}",
+            )
+        )
+
+    module_name, _, attr = spec.factory.partition(":")
+    if not module_name or not attr:
+        flag(
+            f"malformed factory path {spec.factory!r}; expected 'module:Class'",
+            spec.factory or "<registry>",
+        )
+        return findings
+
+    try:
+        module = import_module(module_name)
+    except Exception as err:  # import errors are exactly what R3 exists to catch
+        flag(f"factory module {module_name!r} failed to import: {err}", module_name)
+        return findings
+
+    cls = getattr(module, attr, None)
+    if cls is None:
+        flag(f"factory module {module_name!r} has no attribute {attr!r}", module_name)
+        return findings
+
+    path, line = _location(cls if isinstance(cls, type) else type(cls), module_name)
+
+    def cflag(message: str) -> None:
+        flag(message, path, line)
+
+    if not (isinstance(cls, type) and issubclass(cls, base)):
+        cflag("factory target does not subclass PresentationEngine")
+        return findings
+
+    if cls.name != spec.name:
+        cflag(
+            f"class {cls.__name__} advertises name {cls.name!r} but is "
+            f"registered as {spec.name!r}"
+        )
+
+    implements_run = cls.run is not base.run
+    if spec.supports_learning and not implements_run:
+        cflag("declares supports_learning=True but does not implement run()")
+    if implements_run and not spec.supports_learning:
+        cflag(
+            "implements run() but declares supports_learning=False; "
+            "either drop the override or declare the capability"
+        )
+    if spec.supports_batch and cls.collect_responses is base.collect_responses:
+        cflag(
+            "declares supports_batch=True but does not override "
+            "collect_responses() with a batch implementation"
+        )
+
+    if not isinstance(spec.equivalence, equivalence_enum):
+        cflag(
+            f"equivalence must be an Equivalence tier, got {spec.equivalence!r}"
+        )
+    if not spec.backends or not all(isinstance(b, str) and b for b in spec.backends):
+        cflag("backends must be a non-empty tuple of backend names")
+    if not spec.summary:
+        cflag("summary must be a non-empty capability description")
+    return findings

@@ -1,0 +1,114 @@
+"""Finding records and the versioned machine-readable lint report.
+
+The JSON layout (``LintReport.as_dict``) is a stable contract: CI uploads
+it as an artifact and downstream tooling parses it, so the schema carries
+an explicit version that must be bumped on any incompatible change.  The
+test suite pins the schema (``tests/test_lint.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Bump on any incompatible change to :meth:`LintReport.as_dict`.
+REPORT_SCHEMA_VERSION = 1
+
+#: Rule identifiers and the convention each one enforces.
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    "R1": (
+        "randomness must be explicitly seeded: no seedless or module-level "
+        "np.random construction outside engine/rng.py, no legacy global-state API"
+    ),
+    "R2": (
+        "dtype discipline in engine/quantization hot paths: array allocations "
+        "need an explicit dtype; no float32/float64 mixing in one expression"
+    ),
+    "R3": (
+        "engine-registry conformance: every EngineSpec factory resolves to a "
+        "PresentationEngine whose implemented methods match its declared capabilities"
+    ),
+    "R4": (
+        "no mutable default arguments; parameters defaulting to None must be "
+        "annotated Optional"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run: findings plus coverage counters."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    contracts_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """Findings per rule id; every known rule appears, even at zero."""
+        counts = {rule: 0 for rule in RULE_DESCRIPTIONS}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "tool": "repro-lint",
+            "rules": dict(RULE_DESCRIPTIONS),
+            "files_checked": self.files_checked,
+            "contracts_checked": self.contracts_checked,
+            "summary": {
+                "total": len(self.findings),
+                "by_rule": self.counts_by_rule(),
+            },
+            "findings": [f.as_dict() for f in sorted(self.findings, key=Finding.sort_key)],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def format_text(self) -> str:
+        lines = [f.format() for f in sorted(self.findings, key=Finding.sort_key)]
+        scope = (
+            f"{self.files_checked} files, "
+            f"{self.contracts_checked} registered engine specs"
+        )
+        if not self.findings:
+            lines.append(f"checked {scope}: clean")
+        else:
+            by_rule = ", ".join(
+                f"{rule}={n}" for rule, n in self.counts_by_rule().items() if n
+            )
+            lines.append(f"checked {scope}: {len(self.findings)} findings ({by_rule})")
+        return "\n".join(lines)

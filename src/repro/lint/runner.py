@@ -1,0 +1,93 @@
+"""Walks files, parses them and assembles the :class:`LintReport`.
+
+The runner is what the CLI subcommand calls: it expands file/directory
+arguments into a deterministic file list, runs the syntactic rules per
+file, optionally appends the R3 registry-conformance findings, and returns
+one report with stable ordering (sorted by path, line, column, rule).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.lint.contracts import check_engine_contracts
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import check_module
+
+PathLike = Union[str, Path]
+
+
+def iter_source_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen = set()
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise ConfigurationError(f"lint path {str(raw)!r} does not exist")
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                out.append(candidate)
+    return out
+
+
+def _display_path(path: Path) -> str:
+    """Stable display form: relative to the working directory when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(source: str, path: str) -> List[Finding]:
+    """Findings for one module given as text (fixture tests use this)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as err:
+        return [
+            Finding(
+                rule="PARSE",
+                path=path,
+                line=err.lineno or 1,
+                col=err.offset or 1,
+                message=f"syntax error: {err.msg}",
+            )
+        ]
+    return check_module(tree, source, path)
+
+
+def lint_paths(
+    paths: Sequence[PathLike] = ("src",),
+    include_contracts: bool = True,
+) -> LintReport:
+    """Lint *paths* (files or directories) and return the full report.
+
+    *include_contracts* additionally runs the R3 registry checks against
+    every currently registered engine spec; they are global (not tied to
+    the scanned files) because the registry is process-global state.
+    """
+    findings: List[Finding] = []
+    files = iter_source_files(paths)
+    for path in files:
+        findings.extend(lint_source(path.read_text(), _display_path(path)))
+
+    contracts_checked = 0
+    if include_contracts:
+        from repro.engine.registry import available_engines
+
+        contracts_checked = len(available_engines())
+        findings.extend(check_engine_contracts())
+
+    return LintReport(
+        findings=sorted(findings, key=Finding.sort_key),
+        files_checked=len(files),
+        contracts_checked=contracts_checked,
+    )

@@ -18,7 +18,7 @@ for 32-bit floating point, a :class:`Quantizer` otherwise.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -36,7 +36,7 @@ class FloatQuantizer:
     """Identity quantiser for 32-bit floating-point learning."""
 
     #: Floating point has no fixed-LSB regime.
-    uses_fixed_lsb = False
+    uses_fixed_lsb: bool = False
 
     @property
     def fmt(self) -> Optional[QFormat]:
@@ -139,7 +139,7 @@ class Quantizer:
         return f"{self._fmt} ({self._rounding.value} rounding)"
 
 
-def make_quantizer(config: QuantizationConfig):
+def make_quantizer(config: QuantizationConfig) -> Union[FloatQuantizer, Quantizer]:
     """Build the quantiser implied by *config* (float or fixed point)."""
     if config.is_floating_point:
         return FloatQuantizer()

@@ -28,6 +28,13 @@ from repro.synapses.base import SynapseGroup
 
 AnyQuantizer = Union[FloatQuantizer, Quantizer]
 
+#: Seed of the fallback initialisation generator when a
+#: :class:`ConductanceMatrix` is built without *rng*.  Network construction
+#: always passes the ``init`` stream of :class:`~repro.engine.rng.RngStreams`;
+#: the fixed fallback keeps ad-hoc construction deterministic too
+#: (determinism rule R1 forbids seedless ``default_rng()``).
+DEFAULT_INIT_SEED = 0
+
 
 class ConductanceMatrix(SynapseGroup):
     """Dense plastic conductances with quantised storage."""
@@ -60,7 +67,7 @@ class ConductanceMatrix(SynapseGroup):
                     f"got {connectivity.shape}"
                 )
         self._mask = connectivity
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(DEFAULT_INIT_SEED)
         high = min(g_init_high, self.quantizer.g_max)
         low = min(g_init_low, high)
         raw = rng.uniform(low, high, size=(n_pre, n_post))

@@ -1,0 +1,20 @@
+"""Fixture corpus for the ``repro lint`` rules (see tests/test_lint.py).
+
+Each file below deliberately passes or violates exactly one rule family:
+
+- ``good/clean_rng.py``      — R1-clean generator construction;
+- ``bad/seedless_rng.py``    — R1 violations (seedless / module-level /
+  legacy-global randomness);
+- ``engine/good_dtype.py``   — R2-clean hot-path numerics (the ``engine``
+  directory name puts these files in R2 scope);
+- ``engine/bad_dtype.py``    — R2 violations (dtype-free allocations,
+  float32/float64 mixing);
+- ``bad/bad_defaults.py``    — R4 violations (mutable defaults,
+  implicit-Optional annotations);
+- ``contracts/bad_engine.py``— an importable PresentationEngine subclass
+  whose registered capabilities will not match (R3).
+
+The bad fixtures are linted from *source text*, never imported, so their
+hazards stay inert.  Keep them clean under ruff's pyflakes set: the repo CI
+runs ``ruff check .`` over the whole tree.
+"""

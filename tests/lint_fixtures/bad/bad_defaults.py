@@ -1,0 +1,21 @@
+"""R4 fixture: mutable defaults and implicit-Optional annotations.
+
+Expected findings (3): list-literal default, ``Generator = None``
+mis-annotation, dict-literal keyword-only default.
+"""
+
+import numpy as np
+
+
+def accumulate(value: float, history: list = []) -> list:
+    history.append(value)
+    return history
+
+
+def draw(shape: tuple, rng: np.random.Generator = None) -> np.ndarray:
+    rng = rng if rng is not None else np.random.default_rng(0)
+    return rng.normal(size=shape)
+
+
+def tabulate(*, cache: dict = {}) -> dict:
+    return cache

@@ -1,0 +1,23 @@
+"""R1 fixture: every random construct below violates the rule.
+
+Expected findings (5): module-level generator, seedless default_rng,
+legacy RandomState, np.random.seed, hidden-global sampling.
+"""
+
+import numpy as np
+
+GLOBAL_RNG = np.random.default_rng(123)
+
+
+def seedless() -> np.ndarray:
+    rng = np.random.default_rng()
+    return rng.normal(size=3)
+
+
+def legacy(seed: int) -> object:
+    return np.random.RandomState(seed)
+
+
+def hidden_global(n: int) -> np.ndarray:
+    np.random.seed(0)
+    return np.random.rand(n)

@@ -1,0 +1,1 @@
+"""Importable package for the R3 registry-conformance fixture."""

@@ -1,0 +1,15 @@
+"""R3 fixture: a PresentationEngine subclass that breaks the contract.
+
+tests/test_lint.py registers this class under a *different* name with
+capabilities it does not implement (learning without ``run``, batch
+without ``collect_responses``) and asserts the contract checker reports
+each mismatch.
+"""
+
+from repro.engine.presentation import PresentationEngine
+
+
+class BadEngine(PresentationEngine):
+    """Advertises a name the registry entry will not use; overrides nothing."""
+
+    name = "bad-engine-fixture-self-name"

@@ -1,0 +1,16 @@
+"""R2 fixture: dtype-free allocations and mixed-precision arithmetic.
+
+Expected findings (3): two allocations without an explicit dtype, one
+float32/float64 mix inside a single expression.
+"""
+
+import numpy as np
+
+
+def allocate(n: int) -> np.ndarray:
+    buf = np.zeros(n)
+    return buf + np.ones((n,))
+
+
+def mix(x: np.ndarray) -> np.ndarray:
+    return x.astype(np.float32) + np.asarray(x, dtype=np.float64)

@@ -1,0 +1,16 @@
+"""R2-clean fixture: every allocation pins a dtype; no precision mixing.
+
+Lives under an ``engine/`` path segment so the rule is in scope.
+"""
+
+import numpy as np
+
+
+def allocate(n: int) -> np.ndarray:
+    buf = np.zeros(n, dtype=np.float64)
+    acc = np.full((n,), 0.5, dtype=np.float64)
+    return buf + acc
+
+
+def widen(x: np.ndarray) -> np.ndarray:
+    return x.astype(np.float64) + np.ones(x.shape, dtype=np.float64)

@@ -1,0 +1,17 @@
+"""R1-clean fixture: seeded generators, constructed inside functions."""
+
+import numpy as np
+
+
+def draw(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=4)
+
+
+def spawn(seed: int, n: int) -> list:
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+def forward(rng: np.random.Generator) -> float:
+    return float(rng.uniform())

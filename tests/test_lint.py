@@ -1,0 +1,306 @@
+"""Tests for the ``repro lint`` static-analysis package (rules R1-R4).
+
+Each rule is proven both ways against the fixture corpus in
+``tests/lint_fixtures/``: the bad fixture must produce findings, the good
+fixture (or the same source outside the rule's scope) must not.  On top of
+that the suite pins the JSON report schema, exercises the CLI subcommand
+end to end, and asserts the live ``src/`` tree is clean — the same
+invariant the CI lint job enforces.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.engine.registry import (
+    EngineSpec,
+    Equivalence,
+    register_engine,
+    unregister_engine,
+)
+from repro.lint import (
+    REPORT_SCHEMA_VERSION,
+    RULE_DESCRIPTIONS,
+    check_engine_contracts,
+    lint_paths,
+    lint_source,
+)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _lint_fixture(relative: str):
+    """Lint one fixture file, keeping its path (which scopes R1/R2)."""
+    path = FIXTURES / relative
+    return lint_source(path.read_text(), path.as_posix())
+
+
+# ---------------------------------------------------------------------------
+# R1: explicit, function-scoped randomness
+# ---------------------------------------------------------------------------
+
+
+def test_r1_bad_fixture_is_flagged():
+    findings = _lint_fixture("bad/seedless_rng.py")
+    assert findings, "the R1 fixture must produce findings"
+    assert {f.rule for f in findings} == {"R1"}
+    messages = "\n".join(f.message for f in findings)
+    assert "module-level" in messages
+    assert "without a seed" in messages
+    assert "RandomState" in messages
+    assert "np.random.seed" in messages
+    assert "hidden global state" in messages
+    assert len(findings) == 5
+
+
+def test_r1_good_fixture_is_clean():
+    assert _lint_fixture("good/clean_rng.py") == []
+
+
+def test_r1_resolves_import_aliases():
+    source = "from numpy.random import default_rng\n\n\ndef f():\n    return default_rng()\n"
+    findings = lint_source(source, "pkg/mod.py")
+    assert [f.rule for f in findings] == ["R1"]
+    source = "import numpy.random as npr\n\n\ndef f():\n    return npr.rand(3)\n"
+    findings = lint_source(source, "pkg/mod.py")
+    assert [f.rule for f in findings] == ["R1"]
+
+
+def test_r1_exempts_the_rng_module():
+    source = FIXTURES.joinpath("bad/seedless_rng.py").read_text()
+    findings = lint_source(source, "src/repro/engine/rng.py")
+    assert [f for f in findings if f.rule == "R1"] == []
+
+
+# ---------------------------------------------------------------------------
+# R2: dtype discipline in hot paths
+# ---------------------------------------------------------------------------
+
+
+def test_r2_bad_fixture_is_flagged():
+    findings = _lint_fixture("engine/bad_dtype.py")
+    assert findings, "the R2 fixture must produce findings"
+    assert {f.rule for f in findings} == {"R2"}
+    messages = "\n".join(f.message for f in findings)
+    assert "without an explicit" in messages
+    assert "float32/float64 mixing" in messages
+    assert len(findings) == 3
+
+
+def test_r2_good_fixture_is_clean():
+    assert _lint_fixture("engine/good_dtype.py") == []
+
+
+def test_r2_scoped_to_hot_path_directories():
+    source = FIXTURES.joinpath("engine/bad_dtype.py").read_text()
+    findings = lint_source(source, "src/repro/datasets/loader.py")
+    assert [f for f in findings if f.rule == "R2"] == []
+
+
+# ---------------------------------------------------------------------------
+# R3: engine-registry contract conformance
+# ---------------------------------------------------------------------------
+
+_BAD_SPEC = EngineSpec(
+    name="bad-fixture",
+    factory="tests.lint_fixtures.contracts.bad_engine:BadEngine",
+    supports_learning=True,
+    supports_batch=True,
+    equivalence=Equivalence.BIT_EXACT,
+    backends=("numpy",),
+    summary="deliberately mis-declared fixture engine",
+)
+
+
+def test_r3_bad_spec_is_flagged():
+    findings = check_engine_contracts([_BAD_SPEC])
+    assert findings, "the mis-declared spec must produce findings"
+    assert {f.rule for f in findings} == {"R3"}
+    messages = "\n".join(f.message for f in findings)
+    assert "advertises name" in messages
+    assert "does not implement run()" in messages
+    assert "collect_responses" in messages
+
+
+def test_r3_unresolvable_factory_is_flagged():
+    spec = EngineSpec(
+        name="ghost",
+        factory="repro.engine.presentation:NoSuchClass",
+        supports_learning=False,
+        supports_batch=False,
+        equivalence=Equivalence.STATISTICAL,
+        backends=("numpy",),
+        summary="factory points nowhere",
+    )
+    findings = check_engine_contracts([spec])
+    assert len(findings) == 1
+    assert "no attribute 'NoSuchClass'" in findings[0].message
+
+
+def test_r3_registered_engines_flow_into_the_report():
+    register_engine(_BAD_SPEC)
+    try:
+        report = lint_paths(paths=(str(FIXTURES / "good"),), include_contracts=True)
+    finally:
+        unregister_engine(_BAD_SPEC.name)
+    assert report.exit_code == 1
+    assert all(f.rule == "R3" for f in report.findings)
+    assert report.contracts_checked == 5  # four built-ins + the bad fixture
+
+
+# ---------------------------------------------------------------------------
+# R4: default-argument hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_r4_bad_fixture_is_flagged():
+    findings = _lint_fixture("bad/bad_defaults.py")
+    assert findings, "the R4 fixture must produce findings"
+    assert {f.rule for f in findings} == {"R4"}
+    messages = "\n".join(f.message for f in findings)
+    assert "mutable default for parameter 'history'" in messages
+    assert "mutable default for parameter 'cache'" in messages
+    assert "annotate Optional" in messages
+    assert len(findings) == 3
+
+
+def test_r4_optional_annotations_are_accepted():
+    source = (
+        "from typing import Optional\n"
+        "import numpy as np\n\n\n"
+        "def f(rng: Optional[np.random.Generator] = None) -> None:\n"
+        "    pass\n"
+    )
+    assert lint_source(source, "pkg/mod.py") == []
+
+
+# ---------------------------------------------------------------------------
+# pragma suppression
+# ---------------------------------------------------------------------------
+
+
+def test_pragma_suppresses_all_rules_on_the_line():
+    source = "def f(history: list = []):  # lint-ok\n    return history\n"
+    assert lint_source(source, "pkg/mod.py") == []
+
+
+def test_pragma_with_rule_list_only_suppresses_those_rules():
+    source = "def f(history: list = []):  # lint-ok: R1\n    return history\n"
+    findings = lint_source(source, "pkg/mod.py")
+    assert [f.rule for f in findings] == ["R4"]
+
+
+# ---------------------------------------------------------------------------
+# report schema and live-tree invariants
+# ---------------------------------------------------------------------------
+
+
+def test_live_src_tree_is_clean():
+    report = lint_paths(paths=(str(REPO_ROOT / "src"),), include_contracts=True)
+    assert report.findings == [], report.format_text()
+    assert report.exit_code == 0
+    assert report.files_checked > 50
+    assert report.contracts_checked >= 4
+
+
+def test_json_schema_is_stable():
+    report = lint_paths(paths=(str(FIXTURES / "bad"),), include_contracts=False)
+    payload = json.loads(report.to_json())
+    assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
+    assert payload["tool"] == "repro-lint"
+    assert set(payload) == {
+        "schema_version",
+        "tool",
+        "rules",
+        "files_checked",
+        "contracts_checked",
+        "summary",
+        "findings",
+    }
+    assert set(payload["rules"]) == set(RULE_DESCRIPTIONS) == {"R1", "R2", "R3", "R4"}
+    assert payload["summary"]["total"] == len(payload["findings"]) > 0
+    by_rule = payload["summary"]["by_rule"]
+    assert set(by_rule) >= {"R1", "R2", "R3", "R4"}  # zeros included
+    assert by_rule["R3"] == 0
+    for finding in payload["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message"}
+    # deterministic ordering: (path, line, col, rule)
+    keys = [(f["path"], f["line"], f["col"], f["rule"]) for f in payload["findings"]]
+    assert keys == sorted(keys)
+
+
+def test_nonexistent_path_raises():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        lint_paths(paths=("no/such/dir",))
+
+
+# ---------------------------------------------------------------------------
+# CLI subcommand
+# ---------------------------------------------------------------------------
+
+
+def test_cli_lint_clean_tree_exits_zero(capsys):
+    assert main(["lint", str(FIXTURES / "good")]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_cli_lint_findings_exit_nonzero(capsys):
+    assert main(["lint", str(FIXTURES / "bad"), "--no-contracts"]) == 1
+    out = capsys.readouterr().out
+    assert "R1" in out and "R4" in out
+    assert "findings" in out
+
+
+def test_cli_lint_json_output_and_report_file(tmp_path, capsys):
+    out_file = tmp_path / "lint-report.json"
+    code = main(
+        [
+            "lint",
+            str(FIXTURES / "bad"),
+            "--no-contracts",
+            "--format",
+            "json",
+            "--out",
+            str(out_file),
+        ]
+    )
+    assert code == 1
+    stdout_payload = json.loads(capsys.readouterr().out)
+    file_payload = json.loads(out_file.read_text())
+    assert stdout_payload == file_payload
+    assert file_payload["schema_version"] == REPORT_SCHEMA_VERSION
+
+
+# ---------------------------------------------------------------------------
+# strict-typing configuration
+# ---------------------------------------------------------------------------
+
+
+def test_mypy_strict_config_is_declared():
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in text
+    assert '"repro.engine.*"' in text
+    assert '"repro.quantization.*"' in text
+    assert '"repro.config.*"' in text
+    assert "disallow_untyped_defs = true" in text
+
+
+def test_mypy_passes_on_strict_packages():
+    """Run mypy when available (CI installs it; the base image may not)."""
+    pytest.importorskip("mypy")
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
