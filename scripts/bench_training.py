@@ -18,7 +18,13 @@ at the repository root:
   counts exact), the event kernel **spike-trajectory equivalent** to the
   fused row (identical spike counts; conductances within
   ``CONDUCTANCE_ATOL``), plus the measured raster sparsity and
-  steps-skipped occupancy the event engine exploited;
+  steps-skipped occupancy the event engine exploited.  A fourth trajectory
+  row re-runs the fused engine with periodic checkpoint autosave enabled
+  and records the overhead fraction (checkpoint seconds over total wall
+  seconds) both as measured and projected at the production cadence —
+  ``--check`` warns when the projection exceeds
+  ``AUTOSAVE_OVERHEAD_CEILING`` and fails if autosave perturbed the
+  trained weights;
 
 - **evaluation** — the plasticity-frozen label/infer loop on the trained
   network, once per sequential engine.  The fused and event engines must
@@ -63,6 +69,18 @@ CHECK_FLOOR_FRACTION = 0.5
 
 #: Sequential engines timed in the training and evaluation trajectories.
 SEQUENTIAL_ENGINES = ("reference", "fused", "event")
+
+#: Fraction of training wall time periodic autosave may consume before
+#: ``--check`` emits a warning.  Checkpointing exists to make long runs
+#: resumable; above this it is itself slowing the run it protects.  The
+#: ceiling is checked against the overhead *projected at the default
+#: autosave cadence* (``DEFAULT_AUTOSAVE_EVERY``): the bench workload is
+#: only a handful of images, so it saves far more densely than a real run
+#: and its raw measured fraction would be all fixed per-save cost.
+AUTOSAVE_OVERHEAD_CEILING = 0.03
+
+#: The ``repro run --autosave-every`` default the projection assumes.
+DEFAULT_AUTOSAVE_EVERY = 50
 
 
 def _build(n_neurons: int, n_pixels: int, seed: int):
@@ -120,7 +138,48 @@ def bench_training(args, images) -> dict:
     results["contract_violations"] = fused_violations + event_violations
     results["conductance_max_abs_dev"] = g_dev
     results["conductance_atol"] = CONDUCTANCE_ATOL
+    results["autosave"] = bench_autosave(args, images, state["fused"])
     return results
+
+
+def bench_autosave(args, images, fused_state) -> dict:
+    """Fourth trajectory row: the fused engine with periodic autosave on.
+
+    Trains the identical workload with an :class:`AutosavePolicy` writing
+    v2 run checkpoints, and reports the overhead fraction (checkpoint
+    seconds over total wall seconds) plus bit-identity against the plain
+    fused row — autosave must observe the run, never perturb it.
+    """
+    import tempfile
+
+    from repro.pipeline.trainer import UnsupervisedTrainer
+    from repro.resilience import AutosavePolicy
+
+    every = max(1, args.images // 2)
+    with tempfile.TemporaryDirectory() as tmp:
+        policy = AutosavePolicy(Path(tmp) / "bench_autosave.npz", every_images=every)
+        net = _build(args.neurons, images[0].size, args.seed)
+        t0 = time.perf_counter()
+        log = UnsupervisedTrainer(net).train(images, engine="fused", autosave=policy)
+        elapsed = time.perf_counter() - t0
+    per_save = policy.seconds_spent / max(policy.saves_written, 1)
+    per_image = (elapsed - policy.seconds_spent) / len(images)
+    return {
+        "engine": "fused",
+        "every_images": every,
+        "seconds": elapsed,
+        "saves_written": policy.saves_written,
+        "autosave_seconds": policy.seconds_spent,
+        "overhead_fraction": policy.overhead_fraction(elapsed),
+        # What one save costs relative to the training it protects at the
+        # production cadence — the number the ceiling is defined over.
+        "projected_run_fraction": per_save / (per_image * DEFAULT_AUTOSAVE_EVERY),
+        "projected_every_images": DEFAULT_AUTOSAVE_EVERY,
+        "bit_identical": bool(
+            np.array_equal(net.conductances, fused_state["conductances"])
+            and list(log.spikes_per_image) == fused_state["spikes_per_image"]
+        ),
+    }
 
 
 def bench_evaluation(args, net, images) -> dict:
@@ -196,6 +255,12 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
             f"atol {training['conductance_atol']:.1e})"
         )
     failures.extend(training.get("contract_violations", []))
+    autosave = training.get("autosave")
+    if autosave is not None and not autosave.get("bit_identical", True):
+        failures.append(
+            "training with autosave enabled is no longer bit-identical to "
+            "plain fused training: checkpointing perturbed the run"
+        )
     if not evaluation["bit_identical"]:
         failures.append(
             "fast-path evaluation (fused/event) is no longer bit-identical "
@@ -203,6 +268,17 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
         )
 
     warnings = []
+    if autosave is not None:
+        fraction = autosave["projected_run_fraction"]
+        if fraction > AUTOSAVE_OVERHEAD_CEILING:
+            warnings.append(
+                f"autosave overhead projected at the default cadence "
+                f"(every {autosave['projected_every_images']} images) is "
+                f"{fraction:.1%}, above the "
+                f"{AUTOSAVE_OVERHEAD_CEILING:.0%} ceiling (measured "
+                f"{autosave['overhead_fraction']:.1%} at the bench cadence "
+                f"of every {autosave['every_images']})"
+            )
     if baseline_path.exists():
         baseline_payload = json.loads(baseline_path.read_text())
         baseline = baseline_payload["training"]
@@ -336,6 +412,13 @@ def main() -> int:
           f"steps skipped {training['event']['steps_skipped']}/"
           f"{training['event']['steps']} "
           f"({training['event']['skipped_fraction']:.1%})")
+    autosave = training["autosave"]
+    print(f"autosave : fused {autosave['seconds']:.3f}s  "
+          f"saves {autosave['saves_written']} (every {autosave['every_images']})  "
+          f"overhead {autosave['overhead_fraction']:.2%}  "
+          f"projected@{autosave['projected_every_images']} "
+          f"{autosave['projected_run_fraction']:.2%}  "
+          f"bit_identical={autosave['bit_identical']}")
     print(f"evaluation: reference {evaluation['reference_seconds']:.3f}s  "
           f"fused {evaluation['fused_seconds']:.3f}s  "
           f"event {evaluation['event_seconds']:.3f}s")

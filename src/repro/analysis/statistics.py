@@ -13,7 +13,7 @@ need aggregation.  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -97,6 +97,29 @@ class SeedStudy:
             raise ReproError(
                 f"expected {len(self.seeds)} scores (one per seed), got {len(scores)}"
             )
+        self._scores[name] = scores
+        return summarize(scores)
+
+    def record_partial(self, name: str, scores_by_seed: Mapping[int, float]) -> Summary:
+        """Register scores for a subset of the seeds (fault-tolerant sweeps).
+
+        A resilient :class:`~repro.pipeline.sweep.ParameterSweep` may finish
+        with some cells permanently failed; the surviving per-seed scores
+        still aggregate (clearly marked as partial by ``Summary.n``).  Keys
+        must be a non-empty subset of :attr:`seeds`; scores are stored in
+        seed order.
+        """
+        unknown = sorted(set(scores_by_seed) - set(self.seeds))
+        if unknown:
+            raise ReproError(
+                f"record_partial got scores for unknown seeds {unknown}; "
+                f"study seeds are {self.seeds}"
+            )
+        scores = [
+            float(scores_by_seed[seed]) for seed in self.seeds if seed in scores_by_seed
+        ]
+        if not scores:
+            raise ReproError(f"record_partial for {name!r} got no scores at all")
         self._scores[name] = scores
         return summarize(scores)
 

@@ -61,7 +61,7 @@ def _import_cupy():
         import cupy  # noqa: F401 — optional dependency, never installed here
 
         cupy.cuda.runtime.getDeviceCount()
-    except Exception as exc:  # pragma: no cover - exercised only with CuPy
+    except Exception as exc:  # lint-ok: R5 — any import failure means "unavailable"
         raise ConfigurationError(
             f"backend 'cupy' requested but unavailable: {exc!r}"
         ) from exc

@@ -3,11 +3,14 @@
 Commands:
 
 - ``run`` — train + evaluate one learning option on a dataset, optionally
-  saving a checkpoint and the learned maps;
+  saving a checkpoint and the learned maps; ``--autosave PATH`` writes a
+  resumable v2 checkpoint every ``--autosave-every`` images;
+- ``resume`` — continue a killed training run from its autosave checkpoint
+  (bit-identical to the uninterrupted run), then evaluate;
 - ``evaluate`` — load a checkpoint and classify a test split;
 - ``presets`` — list the Table I learning options and their parameters;
 - ``engines`` — list registered presentation engines and capabilities;
-- ``lint`` — run the determinism/numerics static-analysis rules (R1–R4);
+- ``lint`` — run the determinism/numerics static-analysis rules (R1–R5);
 - ``fi-curve`` — print the Fig. 1a frequency-vs-current curve;
 - ``info`` — describe a checkpoint file.
 
@@ -71,10 +74,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batched-eval", action="store_true",
                      help="deprecated: alias for --eval-engine batched")
     run.add_argument("--quiet", action="store_true")
+    run.add_argument("--autosave", metavar="PATH", default=None,
+                     help="write a resumable v2 checkpoint here during training")
+    run.add_argument("--autosave-every", type=int, default=50, metavar="N",
+                     help="images between autosaves (default 50)")
     run.add_argument("--save", metavar="PATH", help="write a checkpoint here")
     run.add_argument("--save-config", metavar="PATH", help="write the config JSON here")
     run.add_argument("--show-maps", type=int, default=0, metavar="N",
                      help="print the first N learned maps")
+
+    resume = sub.add_parser(
+        "resume", help="continue a killed training run from a v2 checkpoint"
+    )
+    resume.add_argument("checkpoint", help="autosave checkpoint written by run --autosave")
+    resume.add_argument("--quiet", action="store_true")
+    resume.add_argument("--no-autosave", action="store_true",
+                        help="do not keep autosaving to the same path while resuming")
 
     ev = sub.add_parser("evaluate", help="classify a test split with a checkpoint")
     ev.add_argument("checkpoint")
@@ -91,7 +106,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("engines", help="list registered presentation engines")
 
     lint = sub.add_parser(
-        "lint", help="determinism/numerics static analysis (rules R1-R4)"
+        "lint", help="determinism/numerics static analysis (rules R1-R5)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -147,6 +162,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         eval_engine = "batched"
 
+    autosave = None
+    if args.autosave:
+        from repro.resilience import AutosavePolicy
+
+        autosave = AutosavePolicy(
+            args.autosave,
+            every_images=args.autosave_every,
+            extra={
+                "dataset": args.dataset,
+                "n_train": args.n_train,
+                "n_test": args.n_test,
+                "size": args.size,
+                "seed": args.seed,
+                "n_labeling": args.n_labeling,
+                "train_engine": args.engine,
+                "eval_engine": eval_engine,
+                "autosave_every": args.autosave_every,
+            },
+        )
+
     progress = None if args.quiet else PrintProgress(every=50)
     result = run_experiment(
         config,
@@ -156,7 +191,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         progress=progress,
         train_engine=args.engine,
         eval_engine=eval_engine,
+        autosave=autosave,
     )
+    if autosave is not None and autosave.saves_written:
+        print(
+            f"autosave: {autosave.saves_written} checkpoint(s) written to "
+            f"{autosave.path}"
+        )
     print(
         format_table(
             ["metric", "value"],
@@ -183,6 +224,69 @@ def _cmd_run(args: argparse.Namespace) -> int:
         network.synapses.set_conductances(result.conductances)
         save_checkpoint(args.save, network, result.evaluation.neuron_labels)
         print(f"checkpoint written to {args.save}")
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.io.checkpoint import load_run_checkpoint
+    from repro.resilience import AutosavePolicy
+
+    state = load_run_checkpoint(args.checkpoint)
+    extra = state.extra
+    needed = ("dataset", "n_train", "n_test", "size", "seed")
+    missing = [key for key in needed if key not in extra]
+    if missing:
+        print(
+            f"error: {args.checkpoint} lacks run metadata ({', '.join(missing)}); "
+            f"resume needs a checkpoint written by 'run --autosave'",
+            file=sys.stderr,
+        )
+        return 2
+    dataset = load_dataset(
+        extra["dataset"],
+        n_train=extra["n_train"],
+        n_test=extra["n_test"],
+        size=extra["size"],
+        seed=extra["seed"],
+    )
+    total = state.n_images * state.epochs
+    print(
+        f"resuming {extra['dataset']} run at presentation "
+        f"{state.presentation_index}/{total} (config: {state.config.describe()})"
+    )
+
+    autosave = None
+    if not args.no_autosave:
+        autosave = AutosavePolicy(
+            args.checkpoint,
+            every_images=int(extra.get("autosave_every", 50)),
+            extra=extra,
+        )
+    progress = None if args.quiet else PrintProgress(every=50)
+    result = run_experiment(
+        state.config,
+        dataset,
+        n_labeling=extra.get("n_labeling"),
+        epochs=state.epochs,
+        progress=progress,
+        train_engine=extra.get("train_engine"),
+        eval_engine=extra.get("eval_engine"),
+        resume_from=state,
+        autosave=autosave,
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["accuracy", result.accuracy],
+                ["labeled neuron fraction", result.evaluation.labeled_fraction],
+                ["simulated minutes", result.training.simulated_minutes],
+                ["wall seconds (this segment)", result.training.wall_seconds],
+                ["mean spikes / image", result.training.mean_spikes_per_image],
+            ],
+            title="Result (resumed run)",
+        )
+    )
     return 0
 
 
@@ -272,21 +376,35 @@ def _cmd_fi_curve(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.io.checkpoint import checkpoint_magic
+
+    magic = checkpoint_magic(args.checkpoint)
     network, labels = load_checkpoint(args.checkpoint)
     g = network.conductances
     rows = [
+        ["format", magic],
         ["config", network.config.describe()],
         ["pixels", network.n_pixels],
         ["neurons", network.config.wta.n_neurons],
         ["conductance range", f"[{g.min():.3f}, {g.max():.3f}]"],
         ["labeled", "yes" if labels is not None else "no"],
     ]
+    if magic.endswith("-v2"):
+        from repro.io.checkpoint import load_run_checkpoint
+
+        state = load_run_checkpoint(args.checkpoint)
+        rows += [
+            ["presentation", f"{state.presentation_index}/{state.n_images * state.epochs}"],
+            ["simulation clock (ms)", state.t_ms],
+            ["epochs", state.epochs],
+        ]
     print(format_table(["field", "value"], rows, title=f"Checkpoint {args.checkpoint}"))
     return 0
 
 
 _COMMANDS = {
     "run": _cmd_run,
+    "resume": _cmd_resume,
     "evaluate": _cmd_evaluate,
     "presets": _cmd_presets,
     "engines": _cmd_engines,

@@ -14,6 +14,14 @@ Usage::
 
 The cache directory defaults to ``REPRO_CACHE_DIR`` or stays disabled when
 neither it nor ``cache_dir`` is set (falling back to plain generation).
+
+Integrity: every cache entry stores a SHA-256 digest over its arrays;
+:func:`load_saved_dataset` recomputes and compares it on read, so silent
+bit-rot or a torn write surfaces as :class:`~repro.errors.DatasetError`
+instead of feeding corrupted images into a run.
+:func:`cached_load_dataset` treats that error like any other corrupt entry
+— the dataset is regenerated (once) and the entry rewritten.  Writes are
+atomic (temp file + rename), matching the checkpoint protocol.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
@@ -30,7 +39,8 @@ from repro.datasets.dataset import Dataset, load_dataset
 from repro.errors import DatasetError
 
 #: Bump when the generators change in ways that invalidate cached images.
-CACHE_VERSION = 1
+#: Version 2 added the stored integrity digest.
+CACHE_VERSION = 2
 
 
 def cache_key(**params) -> str:
@@ -43,36 +53,91 @@ def _cache_path(cache_dir: Path, name: str, key: str) -> Path:
     return cache_dir / f"{name}-{key}.npz"
 
 
+def dataset_digest(dataset: Dataset) -> str:
+    """SHA-256 over the dataset's arrays and identity (order-pinned)."""
+    digest = hashlib.sha256()
+    digest.update(dataset.name.encode("utf-8"))
+    digest.update(str(dataset.n_classes).encode("utf-8"))
+    for arr in (
+        dataset.train_images,
+        dataset.train_labels,
+        dataset.test_images,
+        dataset.test_labels,
+    ):
+        digest.update(str(arr.dtype).encode("utf-8"))
+        digest.update(str(arr.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
+
+
 def save_dataset(path: Union[str, Path], dataset: Dataset) -> None:
-    """Write a dataset to one compressed ``.npz`` file."""
-    np.savez_compressed(
-        Path(path),
-        name=np.array(dataset.name),
-        train_images=dataset.train_images,
-        train_labels=dataset.train_labels,
-        test_images=dataset.test_images,
-        test_labels=dataset.test_labels,
-        n_classes=np.array(dataset.n_classes),
-    )
+    """Write a dataset (with its integrity digest) atomically to *path*."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                name=np.array(dataset.name),
+                train_images=dataset.train_images,
+                train_labels=dataset.train_labels,
+                test_images=dataset.test_images,
+                test_labels=dataset.test_labels,
+                n_classes=np.array(dataset.n_classes),
+                digest=np.array(dataset_digest(dataset)),
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
-def load_saved_dataset(path: Union[str, Path]) -> Dataset:
-    """Load a dataset written by :func:`save_dataset`."""
+def load_saved_dataset(path: Union[str, Path], verify: bool = True) -> Dataset:
+    """Load a dataset written by :func:`save_dataset`.
+
+    With *verify* (the default) the stored SHA-256 digest is recomputed
+    from the loaded arrays and compared; a missing or mismatching digest
+    raises :class:`DatasetError` — the entry is corrupt or predates the
+    digest format.
+    """
     path = Path(path)
     if not path.exists():
         raise DatasetError(f"no cached dataset at {path}")
-    with np.load(path, allow_pickle=False) as data:
-        required = {"name", "train_images", "train_labels", "test_images", "test_labels"}
-        if not required <= set(data.files):
-            raise DatasetError(f"{path} is not a cached dataset")
-        return Dataset(
-            name=str(data["name"]),
-            train_images=np.array(data["train_images"]),
-            train_labels=np.array(data["train_labels"]),
-            test_images=np.array(data["test_images"]),
-            test_labels=np.array(data["test_labels"]),
-            n_classes=int(data["n_classes"]) if "n_classes" in data else 10,
-        )
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            required = {"name", "train_images", "train_labels", "test_images", "test_labels"}
+            if not required <= set(data.files):
+                raise DatasetError(f"{path} is not a cached dataset")
+            dataset = Dataset(
+                name=str(data["name"]),
+                train_images=np.array(data["train_images"]),
+                train_labels=np.array(data["train_labels"]),
+                test_images=np.array(data["test_images"]),
+                test_labels=np.array(data["test_labels"]),
+                n_classes=int(data["n_classes"]) if "n_classes" in data else 10,
+            )
+            stored = str(data["digest"]) if "digest" in data else None
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        # Torn writes and bit-rot usually die in the zip layer (bad CRC,
+        # truncated directory) before the digest is even reachable; map
+        # them onto the same typed error the digest check raises.
+        raise DatasetError(f"{path} is truncated or corrupt: {exc}") from exc
+    if verify:
+        if stored is None:
+            raise DatasetError(
+                f"{path} has no integrity digest (pre-v{CACHE_VERSION} cache "
+                f"entry); regenerate it"
+            )
+        actual = dataset_digest(dataset)
+        if actual != stored:
+            raise DatasetError(
+                f"{path} failed its integrity check: stored digest "
+                f"{stored[:12]}..., recomputed {actual[:12]}... — the cache "
+                f"entry is corrupt"
+            )
+    return dataset
 
 
 def cached_load_dataset(

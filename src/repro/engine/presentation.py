@@ -39,6 +39,7 @@ if TYPE_CHECKING:
     from repro.engine.profiler import StepProfiler
     from repro.engine.registry import EngineSpec
     from repro.network.wta import WTANetwork
+    from repro.resilience.sentinel import NumericHealthSentinel
 
 
 class PresentationEngine:
@@ -49,6 +50,16 @@ class PresentationEngine:
 
     def __init__(self, network: WTANetwork) -> None:
         self.network = network
+        #: Optional numeric-health monitor checked at presentation
+        #: boundaries inside :meth:`collect_responses`.
+        self.sentinel: Optional[NumericHealthSentinel] = None
+
+    def attach_sentinel(
+        self, sentinel: Optional[NumericHealthSentinel]
+    ) -> PresentationEngine:
+        """Monitor evaluation loops with *sentinel* (``None`` detaches)."""
+        self.sentinel = sentinel
+        return self
 
     @property
     def spec(self) -> EngineSpec:
@@ -119,6 +130,8 @@ class PresentationEngine:
                 _, t_ms = self.run(image, t_ms, steps, dt, out_counts=responses[idx])
                 net.rest()
                 t_ms += sim.t_rest_ms
+                if self.sentinel is not None:
+                    self.sentinel.after_presentation(net, t_ms, idx)
                 progress.update(idx + 1)
         progress.finish()
         return responses
@@ -244,8 +257,13 @@ class BatchedEngine(PresentationEngine):
     ) -> np.ndarray:
         from repro.engine.batched import BatchedInference
 
-        return BatchedInference(self.network).collect_responses(
+        responses = BatchedInference(self.network).collect_responses(
             images,
             t_present_ms=t_present_ms,
             rng=self.network.rngs.batched_eval(),
         )
+        if self.sentinel is not None:
+            # All images advance in lock-step, so there is one boundary:
+            # a single post-batch invariant check.
+            self.sentinel.check(self.network)
+        return responses

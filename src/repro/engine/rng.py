@@ -12,7 +12,7 @@ rely on.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict, Mapping
 
 import numpy as np
 
@@ -81,3 +81,46 @@ class RngStreams:
     def reseed(self, seed: int) -> None:
         """Replace every stream with fresh ones derived from *seed*."""
         self._build(seed)
+
+    # ------------------------------------------------------------------
+    # resumable-run support (checkpoint v2)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """The exact bit-generator state of every stream, JSON-serialisable.
+
+        Together with :meth:`load_state_dict` this is what makes training
+        runs *resumable*: a run restored from ``(seed, state_dict())``
+        continues every stream from precisely the draw it would have made
+        next, so a killed-and-resumed run is bit-identical to an
+        uninterrupted one.  Values are plain ints/strings (numpy's
+        ``bit_generator.state`` mapping), so the dict survives a JSON
+        round-trip inside a checkpoint file.
+        """
+        return {
+            "seed": self.seed,
+            "streams": {
+                name: self._streams[name].bit_generator.state
+                for name in STREAM_NAMES
+            },
+        }
+
+    def load_state_dict(self, state: Mapping[str, Any]) -> None:
+        """Restore every stream to the positions captured by :meth:`state_dict`."""
+        try:
+            seed = state["seed"]
+            streams = state["streams"]
+        except (KeyError, TypeError) as exc:
+            raise SimulationError(
+                f"malformed RngStreams state: expected keys 'seed' and "
+                f"'streams', got {state!r}"
+            ) from exc
+        self._build(int(seed))
+        missing = [name for name in STREAM_NAMES if name not in streams]
+        if missing:
+            raise SimulationError(
+                f"RngStreams state is missing streams {missing}; have "
+                f"{sorted(streams)}"
+            )
+        for name in STREAM_NAMES:
+            self._streams[name].bit_generator.state = streams[name]

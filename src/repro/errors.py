@@ -8,6 +8,8 @@ network wiring, dataset handling and simulation-engine misuse.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -29,8 +31,34 @@ class DatasetError(ReproError):
     """A dataset file or generator request is invalid."""
 
 
+class CheckpointError(DatasetError):
+    """A checkpoint file is missing, corrupt or inconsistent.
+
+    Subclasses :class:`DatasetError` so existing callers that treated
+    checkpoint problems as dataset problems keep working; new code should
+    catch this class for anything raised by :mod:`repro.io.checkpoint`.
+    """
+
+
 class SimulationError(ReproError):
     """The simulation engine was driven with inconsistent state."""
+
+
+class NumericHealthError(SimulationError):
+    """A numeric invariant of the running network was violated.
+
+    Raised by the :class:`~repro.resilience.sentinel.NumericHealthSentinel`
+    when it detects non-finite membrane potentials, conductances outside the
+    active storage range or a degenerate adaptive-threshold vector.  Carries
+    a diagnostic *snapshot* (violated invariants plus copies of the
+    offending state and summary statistics) so the corruption can be
+    inspected instead of silently poisoning learning.
+    """
+
+    def __init__(self, message: str, snapshot: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        #: Diagnostic state captured at detection time (see the sentinel).
+        self.snapshot: Dict[str, Any] = snapshot if snapshot is not None else {}
 
 
 class LabelingError(ReproError):

@@ -1,30 +1,123 @@
-"""Save and restore trained networks.
+"""Save and restore trained networks and resumable training runs.
 
-A checkpoint is one ``.npz`` file holding the learned state — synapse
-conductances and per-neuron adaptive-threshold offsets — together with the
-JSON-serialised :class:`ExperimentConfig` that produced it and (optionally)
-the neuron labels assigned after training.  ``load_checkpoint``
-reconstructs a ready-to-infer :class:`WTANetwork`.
+Two on-disk formats, both single ``.npz`` files:
 
-The config travels inside the file so a checkpoint is self-describing: the
-loader rebuilds the exact quantiser, encoder and neuron parameters, then
-overwrites the freshly-initialised state with the stored arrays.
+- **v1** (``repro-wta-checkpoint-v1``) — the *learned state only*: synapse
+  conductances and per-neuron adaptive-threshold offsets, together with the
+  JSON-serialised :class:`ExperimentConfig` that produced them and
+  (optionally) the neuron labels assigned after training.
+  :func:`load_checkpoint` reconstructs a ready-to-infer
+  :class:`WTANetwork`.
+
+- **v2** (``repro-wta-checkpoint-v2``) — the *full run state* for resumable
+  training: everything v1 stores **plus** the exact bit-generator state of
+  every :class:`~repro.engine.rng.RngStreams` stream, the presentation
+  index and simulation clock, the :class:`~repro.pipeline.trainer.TrainingLog`
+  counters and the weight-normaliser schedule position.  A run killed at a
+  presentation boundary and resumed from its latest v2 checkpoint produces
+  bit-identical final weights to an uninterrupted run (the contract
+  ``tests/test_resilience_resume.py`` pins).
+
+Every write is **atomic**: the payload goes to a ``*.tmp`` file in the same
+directory, is fsynced, then moved into place with :func:`os.replace` — a
+crash mid-save can never leave a truncated file under the real name.
+Loaders raise :class:`~repro.errors.CheckpointError` (a
+:class:`~repro.errors.DatasetError` subclass) with a diagnostic message on
+missing files, foreign/corrupt archives, unknown magic versions and shape
+mismatches.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zipfile
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.config.serialize import config_from_dict, config_to_dict
-from repro.errors import DatasetError
+from repro.errors import CheckpointError, DatasetError
 from repro.network.wta import WTANetwork
 
-#: Format marker stored in every checkpoint.
+if TYPE_CHECKING:
+    from repro.resilience.run_state import TrainingRunState
+
+#: Format marker of the learned-state-only checkpoint.
 _MAGIC = "repro-wta-checkpoint-v1"
+#: Format marker of the resumable full-run-state checkpoint.
+_MAGIC_V2 = "repro-wta-checkpoint-v2"
+
+#: Magic values any current loader understands.
+KNOWN_MAGICS = (_MAGIC, _MAGIC_V2)
+
+
+def atomic_savez(path: Union[str, Path], **payload: Any) -> None:
+    """``np.savez`` with write-temp-then-rename durability.
+
+    The archive is written to ``<name>.tmp`` in the *same* directory (so
+    the final :func:`os.replace` is a same-filesystem atomic rename),
+    flushed and fsynced before the rename.  Readers therefore only ever
+    observe either the previous complete file or the new complete file —
+    never a torn write, which is what makes autosave checkpoints safe to
+    take while the run may be killed at any instant.
+
+    Uncompressed deliberately: trained conductances are near-incompressible
+    float noise (deflate costs ~10x the raw write for a few percent of
+    size), and this function sits on the autosave hot path where the
+    benchmark's ``AUTOSAVE_OVERHEAD_CEILING`` budget applies.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _open_payload(path: Path) -> Dict[str, np.ndarray]:
+    """Read every array of the archive at *path*, validating its magic."""
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            payload = {name: np.array(data[name]) for name in data.files}
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError) as exc:
+        raise CheckpointError(
+            f"{path} is not a readable checkpoint archive (truncated or "
+            f"corrupt): {exc}"
+        ) from exc
+    if "magic" not in payload:
+        raise CheckpointError(
+            f"{path} is not a repro checkpoint: no format marker found"
+        )
+    magic = str(payload["magic"])
+    if magic not in KNOWN_MAGICS:
+        raise CheckpointError(
+            f"{path} carries unknown checkpoint magic {magic!r}; this "
+            f"build reads {', '.join(KNOWN_MAGICS)}"
+        )
+    return payload
+
+
+def checkpoint_magic(path: Union[str, Path]) -> str:
+    """The format marker stored at *path* (validates readability)."""
+    return str(_open_payload(Path(path))["magic"])
+
+
+def _validate_labels(labels: np.ndarray, n_neurons: int) -> np.ndarray:
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (n_neurons,):
+        raise DatasetError(
+            f"neuron_labels must have shape ({n_neurons},), got {labels.shape}"
+        )
+    return labels
 
 
 def save_checkpoint(
@@ -32,7 +125,10 @@ def save_checkpoint(
     network: WTANetwork,
     neuron_labels: Optional[np.ndarray] = None,
 ) -> None:
-    """Write *network*'s learned state (and optional labels) to *path*."""
+    """Write *network*'s learned state (and optional labels) to *path*.
+
+    The write is atomic (see :func:`atomic_savez`).
+    """
     payload = {
         "magic": np.array(_MAGIC),
         "config_json": np.array(json.dumps(config_to_dict(network.config))),
@@ -41,44 +137,140 @@ def save_checkpoint(
         "theta": network.neurons.theta,
     }
     if neuron_labels is not None:
-        labels = np.asarray(neuron_labels, dtype=np.int64)
-        if labels.shape != (network.config.wta.n_neurons,):
-            raise DatasetError(
-                f"neuron_labels must have shape ({network.config.wta.n_neurons},), "
-                f"got {labels.shape}"
-            )
-        payload["neuron_labels"] = labels
-    np.savez_compressed(Path(path), **payload)
+        payload["neuron_labels"] = _validate_labels(
+            neuron_labels, network.config.wta.n_neurons
+        )
+    atomic_savez(Path(path), **payload)
+
+
+def _decode_common(payload: Dict[str, np.ndarray], path: Path) -> Dict[str, Any]:
+    """Fields shared by both formats, decoded and type-checked."""
+    try:
+        config = config_from_dict(json.loads(str(payload["config_json"])))
+        n_pixels = int(payload["n_pixels"])
+        conductances = np.array(payload["conductances"], dtype=np.float64)
+        theta = np.array(payload["theta"], dtype=np.float64)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CheckpointError(
+            f"{path} is missing or has malformed checkpoint fields: {exc}"
+        ) from exc
+    labels = (
+        np.array(payload["neuron_labels"]) if "neuron_labels" in payload else None
+    )
+    return {
+        "config": config,
+        "n_pixels": n_pixels,
+        "conductances": conductances,
+        "theta": theta,
+        "neuron_labels": labels,
+    }
 
 
 def load_checkpoint(
     path: Union[str, Path]
 ) -> Tuple[WTANetwork, Optional[np.ndarray]]:
-    """Rebuild the network stored at *path*.
+    """Rebuild the network stored at *path* (either format).
 
     Returns ``(network, neuron_labels)`` — labels are ``None`` when the
     checkpoint was saved without them.  The restored network starts in
     learning-enabled mode with the stored conductances and thresholds;
-    call :meth:`WTANetwork.freeze` for pure inference.
+    call :meth:`WTANetwork.freeze` for pure inference.  For a v2
+    (resumable) checkpoint only the learned state is applied here; use
+    :func:`load_run_checkpoint` to also restore the RNG streams and run
+    position for bit-identical training resumption.
     """
     path = Path(path)
-    if not path.exists():
-        raise DatasetError(f"checkpoint not found: {path}")
-    with np.load(path, allow_pickle=False) as data:
-        if "magic" not in data or str(data["magic"]) != _MAGIC:
-            raise DatasetError(f"{path} is not a repro checkpoint")
-        config = config_from_dict(json.loads(str(data["config_json"])))
-        n_pixels = int(data["n_pixels"])
-        conductances = np.array(data["conductances"])
-        theta = np.array(data["theta"])
-        labels = np.array(data["neuron_labels"]) if "neuron_labels" in data else None
+    payload = _open_payload(path)
+    fields = _decode_common(payload, path)
 
-    network = WTANetwork(config, n_pixels)
+    network = WTANetwork(fields["config"], fields["n_pixels"])
+    conductances = fields["conductances"]
     if conductances.shape != network.conductances.shape:
-        raise DatasetError(
-            f"stored conductances {conductances.shape} do not match the "
-            f"config's network shape {network.conductances.shape}"
+        raise CheckpointError(
+            f"{path}: stored conductances {conductances.shape} do not match "
+            f"the config's network shape {network.conductances.shape}"
+        )
+    theta = fields["theta"]
+    if theta.shape != network.neurons.theta.shape:
+        raise CheckpointError(
+            f"{path}: stored theta {theta.shape} does not match the "
+            f"config's neuron count {network.neurons.theta.shape}"
         )
     network.synapses.set_conductances(conductances, network.rngs.rounding)
     network.neurons.theta[:] = theta
-    return network, labels
+    return network, fields["neuron_labels"]
+
+
+# ----------------------------------------------------------------------
+# v2: resumable full-run-state checkpoints
+# ----------------------------------------------------------------------
+
+
+def save_run_checkpoint(path: Union[str, Path], state: "TrainingRunState") -> None:
+    """Persist a :class:`~repro.resilience.run_state.TrainingRunState`.
+
+    Atomic like every checkpoint write; the file is self-describing (config
+    travels inside) and also loadable by the plain :func:`load_checkpoint`
+    for inference-only use.
+    """
+    payload = {
+        "magic": np.array(_MAGIC_V2),
+        "config_json": np.array(json.dumps(config_to_dict(state.config))),
+        "n_pixels": np.array(state.n_pixels),
+        "conductances": state.conductances,
+        "theta": state.theta,
+        "rng_json": np.array(json.dumps(state.rng_state)),
+        "run_json": np.array(json.dumps(state.run_fields())),
+        "spikes_per_image": np.asarray(state.spikes_per_image, dtype=np.int64),
+    }
+    if state.neuron_labels is not None:
+        payload["neuron_labels"] = _validate_labels(
+            state.neuron_labels, state.config.wta.n_neurons
+        )
+    atomic_savez(Path(path), **payload)
+
+
+def load_run_checkpoint(path: Union[str, Path]) -> "TrainingRunState":
+    """Load a v2 checkpoint back into a ``TrainingRunState``.
+
+    Raises :class:`CheckpointError` when *path* holds a v1 file (which has
+    no run state to resume from) or any corrupt/foreign archive.
+    """
+    from repro.resilience.run_state import TrainingRunState
+
+    path = Path(path)
+    payload = _open_payload(path)
+    magic = str(payload["magic"])
+    if magic != _MAGIC_V2:
+        raise CheckpointError(
+            f"{path} is a {magic} checkpoint: it stores learned state only "
+            f"and cannot resume a training run (need {_MAGIC_V2})"
+        )
+    fields = _decode_common(payload, path)
+    try:
+        rng_state = json.loads(str(payload["rng_json"]))
+        run = json.loads(str(payload["run_json"]))
+        spikes = [int(s) for s in np.asarray(payload["spikes_per_image"])]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CheckpointError(
+            f"{path} is missing or has malformed run-state fields: {exc}"
+        ) from exc
+
+    expected_shape = (fields["n_pixels"], fields["config"].wta.n_neurons)
+    if fields["conductances"].shape != expected_shape:
+        raise CheckpointError(
+            f"{path}: stored conductances {fields['conductances'].shape} do "
+            f"not match the config's network shape {expected_shape}"
+        )
+
+    return TrainingRunState.from_payload(
+        config=fields["config"],
+        n_pixels=fields["n_pixels"],
+        conductances=fields["conductances"],
+        theta=fields["theta"],
+        rng_state=rng_state,
+        run=run,
+        spikes_per_image=spikes,
+        neuron_labels=fields["neuron_labels"],
+        source=str(path),
+    )

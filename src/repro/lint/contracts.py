@@ -74,7 +74,7 @@ def _check_spec(spec, base: type, equivalence_enum: type) -> List[Finding]:
 
     try:
         module = import_module(module_name)
-    except Exception as err:  # import errors are exactly what R3 exists to catch
+    except Exception as err:  # lint-ok: R5 — import errors are exactly what R3 catches
         flag(f"factory module {module_name!r} failed to import: {err}", module_name)
         return findings
 

@@ -33,6 +33,11 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
         "no mutable default arguments; parameters defaulting to None must be "
         "annotated Optional"
     ),
+    "R5": (
+        "no bare 'except:' or blanket 'except Exception' outside the "
+        "resilience package: catch specific error types; broad catches are "
+        "reserved for sanctioned fault-isolation boundaries"
+    ),
 }
 
 

@@ -1,4 +1,4 @@
-"""AST rules R1, R2 and R4: determinism and numerics conventions, enforced.
+"""AST rules R1, R2, R4 and R5: determinism, numerics and exception hygiene.
 
 Each rule is a :class:`ast.NodeVisitor` over one parsed module.  The rules
 are deliberately syntactic — they prove properties of the *source*, not of
@@ -383,6 +383,73 @@ class R4DefaultArguments(_RuleVisitor):
 
 
 # ---------------------------------------------------------------------------
+# R5: exception-handling hygiene
+# ---------------------------------------------------------------------------
+
+#: Directory whose modules may catch broadly: the fault-tolerance layer is
+#: the sanctioned isolation boundary (worker cells, degradation, injected
+#: faults must be containable whatever their type).
+R5_EXEMPT_DIRS: FrozenSet[str] = frozenset({"resilience"})
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _names_broad_exception(expr: ast.expr) -> bool:
+    """Whether *expr* (an ``except`` clause type) names Exception itself."""
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD_EXCEPTIONS
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in _BROAD_EXCEPTIONS
+    if isinstance(expr, ast.Tuple):
+        return any(_names_broad_exception(el) for el in expr.elts)
+    return False
+
+
+class R5ExceptionHygiene(_RuleVisitor):
+    """No bare ``except:`` / blanket ``except Exception`` handlers.
+
+    A handler that swallows every exception hides real defects (a typo'd
+    attribute reads as "corrupt checkpoint") and, for bare ``except:``,
+    even ``KeyboardInterrupt``.  Recovery code must name what it expects.
+    The ``repro.resilience`` package is exempt — fault isolation boundaries
+    there must, by design, contain arbitrary failures — and individual
+    sanctioned sites elsewhere carry a ``# lint-ok: R5`` pragma.  Handlers
+    whose last statement is a bare ``raise`` (cleanup-then-rethrow, the
+    atomic-write pattern) swallow nothing and are not flagged.
+    """
+
+    rule = "R5"
+
+    @staticmethod
+    def _reraises(node: ast.ExceptHandler) -> bool:
+        return bool(
+            node.body
+            and isinstance(node.body[-1], ast.Raise)
+            and node.body[-1].exc is None
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._reraises(node):
+            self.generic_visit(node)
+            return
+        if node.type is None:
+            self.flag(
+                node,
+                "bare 'except:' catches everything including KeyboardInterrupt "
+                "and SystemExit: name the exception types this handler expects",
+            )
+        elif _names_broad_exception(node.type):
+            self.flag(
+                node,
+                "blanket 'except Exception' outside repro.resilience: catch "
+                "the specific error types, or move the isolation boundary "
+                "into the resilience package (pragma 'lint-ok: R5' for "
+                "sanctioned sites)",
+            )
+        self.generic_visit(node)
+
+
+# ---------------------------------------------------------------------------
 # per-module driver
 # ---------------------------------------------------------------------------
 
@@ -393,6 +460,10 @@ def _r1_applies(path: PurePosixPath) -> bool:
 
 def _r2_applies(path: PurePosixPath) -> bool:
     return bool(R2_STRICT_DIRS.intersection(path.parts))
+
+
+def _r5_applies(path: PurePosixPath) -> bool:
+    return not R5_EXEMPT_DIRS.intersection(path.parts)
 
 
 def check_module(tree: ast.AST, source: str, path: str) -> List[Finding]:
@@ -408,6 +479,8 @@ def check_module(tree: ast.AST, source: str, path: str) -> List[Finding]:
         visitors.append(R1RandomConstruction(path))
     if _r2_applies(posix):
         visitors.append(R2DtypeDiscipline(path))
+    if _r5_applies(posix):
+        visitors.append(R5ExceptionHygiene(path))
 
     findings: List[Finding] = []
     for visitor in visitors:

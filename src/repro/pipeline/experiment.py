@@ -81,6 +81,10 @@ def run_experiment(
     train_engine: Optional[str] = None,
     eval_engine: Optional[str] = None,
     batched_eval: Union[bool, object] = _BATCHED_EVAL_UNSET,
+    resume_from=None,
+    autosave=None,
+    sentinel=None,
+    on_engine_fault: str = "raise",
 ) -> ExperimentResult:
     """Train + evaluate one configuration on one dataset.
 
@@ -95,6 +99,12 @@ def run_experiment(
     ``"fused"`` for both — bit-identical to the reference loop under the
     config's seed).  ``batched_eval`` is the deprecated boolean alias for
     ``eval_engine="batched"``.
+
+    ``resume_from`` / ``autosave`` / ``sentinel`` / ``on_engine_fault``
+    forward to :meth:`~repro.pipeline.trainer.UnsupervisedTrainer.train` —
+    the resilience hooks (v2 checkpoint resume, periodic autosave, numeric
+    invariant monitoring, graceful engine degradation); see
+    :mod:`repro.resilience`.
     """
     if batched_eval is not _BATCHED_EVAL_UNSET:
         warnings.warn(
@@ -140,7 +150,15 @@ def run_experiment(
             probe_positions.append(image_index + 1)
             probe_errors.append(error)
 
-    log = trainer.train(dataset.train_images, epochs=epochs, on_image_end=on_image_end)
+    log = trainer.train(
+        dataset.train_images,
+        epochs=epochs,
+        on_image_end=on_image_end,
+        resume_from=resume_from,
+        autosave=autosave,
+        sentinel=sentinel,
+        on_engine_fault=on_engine_fault,
+    )
     evaluation = evaluator.evaluate(label_imgs, label_lbls, infer_imgs, infer_lbls)
 
     moving = None

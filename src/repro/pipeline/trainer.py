@@ -14,6 +14,20 @@ anything registered later); the config's
 :class:`~repro.config.parameters.EngineConfig` supplies the default.  The
 legacy ``fast=`` boolean flag is a deprecated alias onto the same registry
 names.
+
+Resilience hooks (all opt-in, zero cost when unused; see
+:mod:`repro.resilience`):
+
+- ``resume_from`` — continue a run bit-identically from a v2 checkpoint or
+  an in-memory :class:`~repro.resilience.run_state.TrainingRunState`;
+- ``autosave`` — an :class:`~repro.resilience.autosave.AutosavePolicy`
+  writing a v2 checkpoint every N presentation boundaries;
+- ``sentinel`` — a
+  :class:`~repro.resilience.sentinel.NumericHealthSentinel` checked at
+  boundaries *before* the autosave, so a poisoned state is never persisted;
+- ``on_engine_fault="degrade"`` — on an engine exception, roll back to the
+  boundary snapshot, fall down the engine ladder
+  (:data:`~repro.resilience.degrade.DEGRADATION_CHAIN`) and re-present.
 """
 
 from __future__ import annotations
@@ -21,15 +35,20 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Union
 
 import numpy as np
 
 from repro.engine.registry import create_training_engine
-from repro.errors import SimulationError
+from repro.errors import NumericHealthError, SimulationError
 from repro.learning.homeostasis import WeightNormalizer
 from repro.network.wta import WTANetwork
 from repro.pipeline.progress import NullProgress
+
+if TYPE_CHECKING:
+    from repro.resilience.autosave import AutosavePolicy
+    from repro.resilience.run_state import TrainingRunState
+    from repro.resilience.sentinel import NumericHealthSentinel
 
 #: Sentinel distinguishing "``fast`` not passed" from every legal value.
 _FAST_UNSET = object()
@@ -116,11 +135,17 @@ class UnsupervisedTrainer:
         on_image_end: Optional[Callable[[int, TrainingLog], None]] = None,
         fast: Union[bool, str, object] = _FAST_UNSET,
         engine: Optional[str] = None,
+        resume_from: Optional[Union[str, "TrainingRunState"]] = None,
+        autosave: Optional["AutosavePolicy"] = None,
+        sentinel: Optional["NumericHealthSentinel"] = None,
+        on_engine_fault: str = "raise",
     ) -> TrainingLog:
         """Learn from *images* (``(n, h, w)`` or ``(n, pixels)``).
 
         ``on_image_end(image_index, log)`` fires after each presentation —
-        the hook the moving-error-rate probe (Fig. 8c) uses.
+        the hook the moving-error-rate probe (Fig. 8c) uses.  It fires
+        *after* any autosave at the same boundary, so a crash inside the
+        hook never loses the checkpoint that boundary wrote.
 
         ``engine`` names the presentation engine, resolved through
         :mod:`repro.engine.registry` (the engine must declare
@@ -134,6 +159,22 @@ class UnsupervisedTrainer:
         ``"event"``); it emits a :class:`DeprecationWarning` and delegates
         to the registry.  ``scripts/bench_training.py`` records the
         measured engine trajectory.
+
+        ``resume_from`` is a v2 checkpoint path (or an in-memory
+        :class:`~repro.resilience.run_state.TrainingRunState`): the
+        trainer restores the network's learned state and RNG streams in
+        place and continues at the stored presentation index, producing
+        final weights bit-identical to the uninterrupted run.  The images
+        and ``epochs`` must describe the same schedule the checkpoint came
+        from.  ``log.wall_seconds`` counts this process's segment only.
+
+        ``on_engine_fault`` — ``"raise"`` propagates engine exceptions
+        (default); ``"degrade"`` rolls the network back to the boundary
+        snapshot, rebuilds the next engine down the degradation chain
+        (``event`` → ``fused`` → ``reference``), re-presents the image and
+        emits an :class:`~repro.resilience.degrade.EngineDegradedWarning`.
+        :class:`~repro.errors.NumericHealthError` is never degraded away —
+        a failed invariant means the state itself is suspect.
         """
         if fast is not _FAST_UNSET:
             warnings.warn(
@@ -147,6 +188,11 @@ class UnsupervisedTrainer:
                     "pass either engine= or the deprecated fast=, not both"
                 )
             engine = _engine_name_from_fast(fast)
+        if on_engine_fault not in ("raise", "degrade"):
+            raise SimulationError(
+                f"on_engine_fault must be 'raise' or 'degrade', "
+                f"got {on_engine_fault!r}"
+            )
 
         batch = np.asarray(images)
         if batch.ndim == 2:
@@ -161,34 +207,109 @@ class UnsupervisedTrainer:
         sim = self.network.config.simulation
         steps_per_image = sim.steps_per_image
         dt = sim.dt_ms
-        log = TrainingLog()
+        n_images = batch.shape[0]
+        total = n_images * epochs
 
-        self.progress.start(batch.shape[0] * epochs, "train")
-        start = time.perf_counter()
+        log = TrainingLog()
         t_ms = 0.0
         seen = 0
-        for _ in range(epochs):
-            for image in batch:
+        # Event-engine stats are absolute per kernel instance; a resumed or
+        # degraded run folds the pre-existing totals in via these offsets.
+        skipped_base = cells_base = active_base = 0
+        if resume_from is not None:
+            from repro.errors import CheckpointError
+            from repro.resilience.run_state import load_run_state
+
+            state = load_run_state(resume_from)
+            if state.n_images != n_images:
+                raise CheckpointError(
+                    f"checkpoint was taken from a run over {state.n_images} "
+                    f"images per epoch; got {n_images}"
+                )
+            if state.presentation_index > total:
+                raise CheckpointError(
+                    f"checkpoint is at presentation {state.presentation_index} "
+                    f"but this run has only {total} "
+                    f"({n_images} images x {epochs} epochs)"
+                )
+            state.restore_into(self.network, self.normalizer)
+            log = state.to_log()
+            t_ms = state.t_ms
+            seen = state.presentation_index
+            skipped_base = log.steps_skipped
+            cells_base = log.raster_cells
+            active_base = log.raster_active_cells
+
+        snapshot: Optional[Any] = None
+        self.progress.start(total, "train")
+        start = time.perf_counter()
+        while seen < total:
+            image = batch[seen % n_images]
+            if on_engine_fault == "degrade":
+                snapshot = (
+                    self.network.conductances.copy(),
+                    self.network.neurons.theta.copy(),
+                    self.network.rngs.state_dict(),
+                )
+            try:
                 spikes_this_image, t_ms = kernel.run(image, t_ms, steps_per_image, dt)
+            except Exception as exc:  # lint-ok: R5 — degradation must catch anything
+                if on_engine_fault != "degrade" or isinstance(exc, NumericHealthError):
+                    raise
+                from repro.resilience.degrade import EngineDegradedWarning, next_tier
+
+                fallback = next_tier(engine_name, kernel)
+                if fallback is None:
+                    raise
+                warnings.warn(
+                    f"engine {engine_name!r} faulted at presentation {seen} "
+                    f"({type(exc).__name__}: {exc}); degrading to {fallback!r} "
+                    f"and re-presenting",
+                    EngineDegradedWarning,
+                    stacklevel=2,
+                )
+                # Roll back to the boundary: the failed presentation may
+                # have mutated learned state and consumed stream draws.
+                snap_g, snap_theta, snap_rng = snapshot
+                np.copyto(self.network.synapses.g, snap_g)
+                np.copyto(self.network.neurons.theta, snap_theta)
+                self.network.rngs.load_state_dict(snap_rng)
                 self.network.rest()
-                t_ms += sim.t_rest_ms
+                # The dying kernel's counters are already folded into the
+                # log at the last successful boundary; rebase on those.
+                skipped_base = log.steps_skipped
+                cells_base = log.raster_cells
+                active_base = log.raster_active_cells
+                engine_name = fallback
+                kernel = create_training_engine(engine_name, self.network)
+                kernel_stats = getattr(kernel, "stats", None)
+                continue
+            self.network.rest()
+            t_ms += sim.t_rest_ms
+            if sentinel is not None:
+                sentinel.after_presentation(self.network, t_ms, seen)
 
-                if self.normalizer.after_image(self.network.synapses, self.network.rngs.rounding):
-                    log.normalizations += 1
+            if self.normalizer.after_image(self.network.synapses, self.network.rngs.rounding):
+                log.normalizations += 1
 
-                seen += 1
-                log.images_seen = seen
-                log.total_steps += steps_per_image
-                log.simulated_ms = seen * (sim.t_learn_ms + sim.t_rest_ms)
-                log.spikes_per_image.append(spikes_this_image)
-                if kernel_stats is not None:
-                    log.steps_skipped = kernel_stats.steps_skipped
-                    log.raster_cells = kernel_stats.raster_cells
-                    log.raster_active_cells = kernel_stats.raster_active_cells
-                log.wall_seconds = time.perf_counter() - start
-                self.progress.update(seen, f"{spikes_this_image} spikes")
-                if on_image_end is not None:
-                    on_image_end(seen - 1, log)
+            seen += 1
+            log.images_seen = seen
+            log.total_steps += steps_per_image
+            log.simulated_ms = seen * (sim.t_learn_ms + sim.t_rest_ms)
+            log.spikes_per_image.append(spikes_this_image)
+            if kernel_stats is not None:
+                log.steps_skipped = skipped_base + kernel_stats.steps_skipped
+                log.raster_cells = cells_base + kernel_stats.raster_cells
+                log.raster_active_cells = active_base + kernel_stats.raster_active_cells
+            log.wall_seconds = time.perf_counter() - start
+            if autosave is not None:
+                autosave.maybe_save(
+                    self.network, log, t_ms, seen, epochs, n_images,
+                    normalizer=self.normalizer,
+                )
+            self.progress.update(seen, f"{spikes_this_image} spikes")
+            if on_image_end is not None:
+                on_image_end(seen - 1, log)
         log.wall_seconds = time.perf_counter() - start
         self.progress.finish()
         return log

@@ -1,0 +1,36 @@
+"""Fault tolerance for long runs: checkpoint-resume, invariant monitoring,
+sweep recovery, graceful engine degradation, and the deterministic
+fault-injection harness that proves each mechanism works.
+
+Layering: this package may import the network/engine/pipeline layers at
+module level; the reverse edges (``pipeline`` → resilience, ``io`` →
+resilience) are function-local, so importing any single module here — or
+any module there — never cycles.
+"""
+
+from repro.resilience.autosave import AutosavePolicy
+from repro.resilience.degrade import (
+    DEGRADATION_CHAIN,
+    EngineDegradedWarning,
+    next_tier,
+)
+from repro.resilience.manifest import SweepManifest, cell_key
+from repro.resilience.run_state import (
+    RUN_STATE_VERSION,
+    TrainingRunState,
+    load_run_state,
+)
+from repro.resilience.sentinel import NumericHealthSentinel
+
+__all__ = [
+    "AutosavePolicy",
+    "DEGRADATION_CHAIN",
+    "EngineDegradedWarning",
+    "NumericHealthSentinel",
+    "RUN_STATE_VERSION",
+    "SweepManifest",
+    "TrainingRunState",
+    "cell_key",
+    "load_run_state",
+    "next_tier",
+]

@@ -1,0 +1,48 @@
+"""Graceful engine degradation: fall down the equivalence ladder, not over.
+
+The engine registry orders the sequential training engines by how
+aggressively they optimise the same semantics: ``event`` (sparse +
+closed-form jumps) → ``fused`` (dense single-kernel) → ``reference`` (the
+per-step oracle).  When a fast engine faults mid-run — a bug tickled by an
+unusual input, an injected fault from the test harness — aborting an
+hours-long training run is the worst available outcome: the *reference*
+semantics are still perfectly computable.
+
+:func:`next_tier` names each engine's fallback.  The trainer uses it
+(``on_engine_fault="degrade"``) to roll the network back to the last
+presentation-boundary snapshot, rebuild the next-tier engine and re-present
+the image, emitting an :class:`EngineDegradedWarning` so the downgrade is
+visible in logs.  Because ``fused`` is bit-identical to ``reference`` and
+``event`` is spike-trajectory-equivalent, a degraded run stays inside the
+published equivalence contract of the tier it lands on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Fallback order of the sequential training engines (most to least
+#: optimised).  ``reference`` has no fallback: a fault there is a real
+#: error and propagates.
+DEGRADATION_CHAIN = {
+    "event": "fused",
+    "fused": "reference",
+}
+
+
+class EngineDegradedWarning(UserWarning):
+    """A fast engine faulted and the run fell back to a safer tier."""
+
+
+def next_tier(engine_name: str, engine: Optional[object] = None) -> Optional[str]:
+    """The engine to fall back to when *engine_name* faults, or ``None``.
+
+    When the live *engine* object declares a ``degrade_to`` attribute (the
+    fault-injection wrappers do, naming the tier below the engine they
+    wrap), that takes precedence — a wrapped ``event`` engine degrades into
+    the real ``fused``, not into a chain lookup of its wrapper name.
+    """
+    declared = getattr(engine, "degrade_to", None)
+    if declared is not None:
+        return str(declared)
+    return DEGRADATION_CHAIN.get(engine_name)

@@ -1,0 +1,169 @@
+"""Persisted sweep-results manifest: finished cells survive a crashed sweep.
+
+A parameter sweep is a grid of independent ``(variant, seed)`` cells; when
+the orchestrating process dies after completing most of them, restarting
+from scratch throws away hours of work.  :class:`SweepManifest` is a small
+JSON ledger the sweep updates after **every** cell (atomically — temp file
+then ``os.replace``, the same protocol as the checkpoints): rerunning the
+sweep with the same manifest path skips cells already recorded as done and
+recomputes only the incomplete or failed ones.
+
+The ledger also doubles as the failure record — a cell that exhausts its
+retries is written with ``status="failed"`` and the error text, so one
+crashing worker no longer aborts the whole pool silently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import CheckpointError
+
+#: Manifest file-format version.
+MANIFEST_VERSION = 1
+
+#: Cell states a manifest records.
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+
+def cell_key(variant: str, seed: int) -> str:
+    """The manifest key for one sweep cell."""
+    return f"{variant}::{seed}"
+
+
+class SweepManifest:
+    """Atomic JSON ledger of per-cell sweep outcomes.
+
+    Construction loads any existing ledger at *path* (so a resumed sweep
+    sees prior results); a missing file starts empty.  All mutating calls
+    persist immediately — the on-disk state is never more than one cell
+    behind the in-memory state.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.cells: Dict[str, Dict[str, Any]] = {}
+        if self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"sweep manifest {self.path} is unreadable or not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or "cells" not in payload:
+            raise CheckpointError(
+                f"sweep manifest {self.path} is missing the 'cells' table"
+            )
+        version = payload.get("version")
+        if version != MANIFEST_VERSION:
+            raise CheckpointError(
+                f"sweep manifest {self.path} has version {version!r}; "
+                f"this build reads version {MANIFEST_VERSION}"
+            )
+        cells = payload["cells"]
+        if not isinstance(cells, dict):
+            raise CheckpointError(
+                f"sweep manifest {self.path}: 'cells' must be an object"
+            )
+        self.cells = {str(k): dict(v) for k, v in cells.items()}
+
+    def save(self) -> None:
+        """Atomically write the ledger (temp file + fsync + replace)."""
+        payload = {"version": MANIFEST_VERSION, "cells": self.cells}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            if tmp.exists():
+                tmp.unlink()
+            raise
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_done(
+        self, variant: str, seed: int, score: float, attempts: int = 1
+    ) -> None:
+        """A cell completed; persisted immediately."""
+        self.cells[cell_key(variant, seed)] = {
+            "status": STATUS_DONE,
+            "variant": variant,
+            "seed": int(seed),
+            "score": float(score),
+            "attempts": int(attempts),
+        }
+        self.save()
+
+    def record_failure(
+        self, variant: str, seed: int, error: str, attempts: int
+    ) -> None:
+        """A cell exhausted its retries; persisted immediately."""
+        self.cells[cell_key(variant, seed)] = {
+            "status": STATUS_FAILED,
+            "variant": variant,
+            "seed": int(seed),
+            "error": str(error),
+            "attempts": int(attempts),
+        }
+        self.save()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def get(self, variant: str, seed: int) -> Optional[Dict[str, Any]]:
+        return self.cells.get(cell_key(variant, seed))
+
+    def is_done(self, variant: str, seed: int) -> bool:
+        cell = self.get(variant, seed)
+        return cell is not None and cell.get("status") == STATUS_DONE
+
+    def score(self, variant: str, seed: int) -> float:
+        """The recorded score of a done cell (KeyError-free lookup is
+        :meth:`is_done` first)."""
+        cell = self.get(variant, seed)
+        if cell is None or cell.get("status") != STATUS_DONE:
+            raise CheckpointError(
+                f"sweep manifest has no completed result for "
+                f"({variant!r}, seed {seed})"
+            )
+        return float(cell["score"])
+
+    def failures(self) -> List[Dict[str, Any]]:
+        """All cells recorded as permanently failed."""
+        return [
+            dict(cell)
+            for _, cell in sorted(self.cells.items())
+            if cell.get("status") == STATUS_FAILED
+        ]
+
+    def done_count(self) -> int:
+        return sum(
+            1 for cell in self.cells.values() if cell.get("status") == STATUS_DONE
+        )
+
+    def pending(
+        self, variants: List[str], seeds: List[int]
+    ) -> Iterator[Tuple[str, int]]:
+        """Grid cells not yet recorded as done (failed cells are retried)."""
+        for variant in variants:
+            for seed in seeds:
+                if not self.is_done(variant, seed):
+                    yield variant, seed

@@ -1,0 +1,209 @@
+"""Numeric-health sentinel: invariant monitoring for running networks.
+
+Low-precision STDP runs can be silently poisoned by a single NaN membrane
+potential or an out-of-range conductance — learning continues, every
+subsequent update is garbage, and the failure only surfaces hours later as
+an inexplicable accuracy collapse.  :class:`NumericHealthSentinel` turns
+that silent corruption into a loud, diagnosable
+:class:`~repro.errors.NumericHealthError` raised within one cadence window
+of the violation, carrying a state snapshot for post-mortem inspection.
+
+Invariants checked (each against the live network state):
+
+- **finite-membrane** — membrane potentials and synaptic currents are all
+  finite;
+- **conductance-range** — conductances are finite and inside the active
+  quantiser range ``[g_min, g_max]`` (the Q-format's representable band,
+  with a small float tolerance);
+- **theta-health** — adaptive-threshold offsets are finite, non-negative
+  and below a configurable degeneracy ceiling (a runaway theta silences a
+  neuron permanently — homeostasis gone unstable).
+
+The sentinel attaches to any presentation engine
+(:meth:`~repro.engine.presentation.PresentationEngine.attach_sentinel`) and
+is invoked at presentation boundaries by the engine's evaluation loop and
+by the trainer; ``cadence`` sets how many presentations pass between
+checks (1 = every boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NumericHealthError
+from repro.network.wta import WTANetwork
+
+#: Absolute slack beyond [g_min, g_max] tolerated before a conductance
+#: counts as out of range (float accumulation noise, not corruption).
+RANGE_ATOL = 1e-9
+
+#: Default ceiling on any single theta offset before the adaptive
+#: threshold is declared degenerate.  The paper-scale theta_plus is ~0.05
+#: with a slow decay; an offset of 1e3 means a neuron has been driven
+#: orders of magnitude past any recoverable operating point.
+DEFAULT_THETA_CEILING = 1e3
+
+
+def _array_stats(arr: np.ndarray) -> Dict[str, Any]:
+    """Compact diagnostics for one state array (NaN-safe)."""
+    finite = np.isfinite(arr)
+    stats: Dict[str, Any] = {
+        "shape": list(arr.shape),
+        "n_nonfinite": int(arr.size - int(np.count_nonzero(finite))),
+    }
+    if finite.any():
+        stats["min"] = float(arr[finite].min())
+        stats["max"] = float(arr[finite].max())
+    return stats
+
+
+class NumericHealthSentinel:
+    """Configurable-cadence invariant monitor over a training/eval run."""
+
+    def __init__(
+        self,
+        cadence: int = 1,
+        theta_ceiling: float = DEFAULT_THETA_CEILING,
+        snapshot_arrays: bool = True,
+    ) -> None:
+        """*cadence* — presentations between checks (1 = every boundary).
+
+        *snapshot_arrays* — include copies of the offending state arrays in
+        the error snapshot (disable for very large networks where the
+        summary statistics are enough).
+        """
+        if cadence < 1:
+            raise ConfigurationError(f"sentinel cadence must be >= 1, got {cadence}")
+        if theta_ceiling <= 0.0:
+            raise ConfigurationError(
+                f"theta_ceiling must be positive, got {theta_ceiling}"
+            )
+        self.cadence = int(cadence)
+        self.theta_ceiling = float(theta_ceiling)
+        self.snapshot_arrays = snapshot_arrays
+        #: Presentations observed since construction (drives the cadence).
+        self.presentations_seen = 0
+        #: Checks actually executed.
+        self.checks_run = 0
+
+    # ------------------------------------------------------------------
+    # engine/trainer hook
+    # ------------------------------------------------------------------
+
+    def after_presentation(
+        self,
+        network: WTANetwork,
+        t_ms: float,
+        presentation_index: int,
+    ) -> None:
+        """Boundary hook: runs :meth:`check` every ``cadence`` presentations."""
+        self.presentations_seen += 1
+        if self.presentations_seen % self.cadence == 0:
+            self.check(network, t_ms=t_ms, presentation_index=presentation_index)
+
+    # ------------------------------------------------------------------
+    # the invariants
+    # ------------------------------------------------------------------
+
+    def check(
+        self,
+        network: WTANetwork,
+        t_ms: Optional[float] = None,
+        presentation_index: Optional[int] = None,
+    ) -> None:
+        """Verify every invariant now; raise :class:`NumericHealthError` if any fails."""
+        self.checks_run += 1
+        violations: List[str] = []
+        suspects: Dict[str, np.ndarray] = {}
+
+        v = network.neurons.v
+        if not np.isfinite(v).all():
+            violations.append(
+                f"finite-membrane: {int(np.count_nonzero(~np.isfinite(v)))} "
+                f"non-finite membrane potential(s)"
+            )
+            suspects["v"] = v
+        current = network._current
+        if not np.isfinite(current).all():
+            violations.append(
+                f"finite-membrane: {int(np.count_nonzero(~np.isfinite(current)))} "
+                f"non-finite synaptic current(s)"
+            )
+            suspects["current"] = current
+
+        g = network.conductances
+        g_min = network.synapses.g_min - RANGE_ATOL
+        g_max = network.synapses.g_max + RANGE_ATOL
+        finite_g = np.isfinite(g)
+        if not finite_g.all():
+            violations.append(
+                f"conductance-range: {int(np.count_nonzero(~finite_g))} "
+                f"non-finite conductance(s)"
+            )
+            suspects["conductances"] = g
+        else:
+            out = np.count_nonzero((g < g_min) | (g > g_max))
+            if out:
+                violations.append(
+                    f"conductance-range: {int(out)} conductance(s) outside the "
+                    f"active storage range [{network.synapses.g_min}, "
+                    f"{network.synapses.g_max}]"
+                )
+                suspects["conductances"] = g
+
+        theta = network.neurons.theta
+        finite_t = np.isfinite(theta)
+        if not finite_t.all():
+            violations.append(
+                f"theta-health: {int(np.count_nonzero(~finite_t))} "
+                f"non-finite threshold offset(s)"
+            )
+            suspects["theta"] = theta
+        else:
+            if (theta < 0.0).any():
+                violations.append(
+                    f"theta-health: negative threshold offset(s) "
+                    f"(min {float(theta.min()):.3e})"
+                )
+                suspects["theta"] = theta
+            if (theta > self.theta_ceiling).any():
+                violations.append(
+                    f"theta-health: threshold offset(s) above the degeneracy "
+                    f"ceiling {self.theta_ceiling:g} "
+                    f"(max {float(theta[finite_t].max()):.3e})"
+                )
+                suspects["theta"] = theta
+
+        if not violations:
+            return
+
+        snapshot: Dict[str, Any] = {
+            "violations": list(violations),
+            "t_ms": t_ms,
+            "presentation_index": presentation_index,
+            "checks_run": self.checks_run,
+            "stats": {
+                "v": _array_stats(v),
+                "current": _array_stats(current),
+                "conductances": _array_stats(g),
+                "theta": _array_stats(theta),
+            },
+        }
+        if self.snapshot_arrays:
+            snapshot["arrays"] = {
+                name: np.array(arr) for name, arr in suspects.items()
+            }
+        where = (
+            f" at presentation {presentation_index}"
+            if presentation_index is not None
+            else ""
+        )
+        raise NumericHealthError(
+            "numeric-health invariant violation"
+            + where
+            + ": "
+            + "; ".join(violations),
+            snapshot=snapshot,
+        )

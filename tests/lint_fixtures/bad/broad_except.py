@@ -1,0 +1,29 @@
+"""R5 fixture: every handler here swallows too much (4 findings)."""
+
+
+def swallow_everything(path):
+    try:
+        return open(path).read()
+    except:  # noqa: E722 — deliberately bare for the fixture
+        return None
+
+
+def swallow_exception(payload):
+    try:
+        return payload["score"]
+    except Exception:
+        return 0.0
+
+
+def swallow_via_tuple(items):
+    try:
+        return items.pop()
+    except (KeyError, Exception):
+        return None
+
+
+def bare_with_cleanup_but_no_reraise(handle):
+    try:
+        handle.flush()
+    except:  # noqa: E722 — cleanup without rethrow still swallows
+        handle.close()

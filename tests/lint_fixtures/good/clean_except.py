@@ -1,0 +1,24 @@
+"""R5 fixture: handlers that name their exceptions (zero findings)."""
+
+
+def read_optional(path):
+    try:
+        return open(path).read()
+    except (OSError, UnicodeDecodeError):
+        return None
+
+
+def score_or_default(payload):
+    try:
+        return payload["score"]
+    except KeyError:
+        return 0.0
+
+
+def atomic_write_cleanup(tmp_path, final_path, data):
+    tmp_path.write_bytes(data)
+    try:
+        tmp_path.replace(final_path)
+    except BaseException:
+        tmp_path.unlink()
+        raise

@@ -6,11 +6,13 @@ import pytest
 from repro.datasets.cache import (
     cache_key,
     cached_load_dataset,
+    dataset_digest,
     load_saved_dataset,
     save_dataset,
 )
 from repro.datasets.dataset import load_dataset
 from repro.errors import DatasetError
+from repro.resilience.faults import corrupt_file
 
 
 class TestKey:
@@ -42,6 +44,75 @@ class TestSaveLoad:
             load_saved_dataset(path)
 
 
+class TestIntegrityDigest:
+    def test_digest_is_stable(self):
+        ds = load_dataset("mnist", n_train=6, n_test=4, size=8, seed=0)
+        again = load_dataset("mnist", n_train=6, n_test=4, size=8, seed=0)
+        assert dataset_digest(ds) == dataset_digest(again)
+
+    def test_digest_is_content_sensitive(self):
+        ds = load_dataset("mnist", n_train=6, n_test=4, size=8, seed=0)
+        before = dataset_digest(ds)
+        ds.train_images[0, 0, 0] ^= 0xFF
+        assert dataset_digest(ds) != before
+
+    def test_stale_digest_detected_on_load(self, tmp_path):
+        """Corruption the zip layer cannot see — arrays rewritten with the
+        old digest left in place — must fail the digest comparison."""
+        ds = load_dataset("mnist", n_train=6, n_test=4, size=8, seed=0)
+        path = tmp_path / "ds.npz"
+        tampered = ds.train_images.copy()
+        tampered[0, 0, 0] ^= 0xFF
+        np.savez_compressed(
+            path,
+            name=np.array(ds.name),
+            train_images=tampered,
+            train_labels=ds.train_labels,
+            test_images=ds.test_images,
+            test_labels=ds.test_labels,
+            n_classes=np.array(ds.n_classes),
+            digest=np.array(dataset_digest(ds)),
+        )
+        with pytest.raises(DatasetError, match="integrity check"):
+            load_saved_dataset(path)
+
+    def test_torn_archive_raises_typed_error(self, tmp_path):
+        """Zip-level damage (bad CRC) surfaces as DatasetError, not
+        zipfile.BadZipFile."""
+        ds = load_dataset("mnist", n_train=6, n_test=4, size=8, seed=0)
+        path = tmp_path / "ds.npz"
+        save_dataset(path, ds)
+        corrupt_file(path, n_bytes=32, seed=0)
+        # Whichever layer notices first (zip directory, CRC, digest), the
+        # error must be the typed DatasetError, never a raw zipfile error.
+        with pytest.raises(DatasetError):
+            load_saved_dataset(path)
+
+    def test_pre_digest_entry_rejected(self, tmp_path):
+        """A v1-era entry without a stored digest cannot be trusted."""
+        ds = load_dataset("mnist", n_train=6, n_test=4, size=8, seed=0)
+        path = tmp_path / "old.npz"
+        np.savez_compressed(
+            path,
+            name=np.array(ds.name),
+            train_images=ds.train_images,
+            train_labels=ds.train_labels,
+            test_images=ds.test_images,
+            test_labels=ds.test_labels,
+            n_classes=np.array(ds.n_classes),
+        )
+        with pytest.raises(DatasetError, match="no integrity digest"):
+            load_saved_dataset(path)
+        assert load_saved_dataset(path, verify=False).name == ds.name
+
+    def test_saved_entry_carries_digest(self, tmp_path):
+        ds = load_dataset("mnist", n_train=6, n_test=4, size=8, seed=0)
+        path = tmp_path / "ds.npz"
+        save_dataset(path, ds)
+        with np.load(path) as data:
+            assert str(data["digest"]) == dataset_digest(ds)
+
+
 class TestCachedLoad:
     def test_populates_and_reuses(self, tmp_path):
         a = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
@@ -68,6 +139,19 @@ class TestCachedLoad:
         again = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
                                     cache_dir=tmp_path)
         assert np.array_equal(ds.train_images, again.train_images)
+
+    def test_digest_mismatch_regenerates(self, tmp_path):
+        """An entry that unzips but fails its digest is rebuilt, not fatal."""
+        ds = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
+                                 cache_dir=tmp_path)
+        entry = next(tmp_path.glob("mnist-*.npz"))
+        corrupt_file(entry, n_bytes=32, seed=0)
+        again = cached_load_dataset("mnist", n_train=6, n_test=4, size=8, seed=3,
+                                    cache_dir=tmp_path)
+        assert np.array_equal(ds.train_images, again.train_images)
+        # The rewritten entry verifies clean again.
+        fresh = load_saved_dataset(next(tmp_path.glob("mnist-*.npz")))
+        assert np.array_equal(fresh.train_images, ds.train_images)
 
     def test_no_cache_dir_falls_back(self, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

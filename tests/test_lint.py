@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` static-analysis package (rules R1-R4).
+"""Tests for the ``repro lint`` static-analysis package (rules R1-R5).
 
 Each rule is proven both ways against the fixture corpus in
 ``tests/lint_fixtures/``: the bad fixture must produce findings, the good
@@ -178,6 +178,54 @@ def test_r4_optional_annotations_are_accepted():
 
 
 # ---------------------------------------------------------------------------
+# R5: exception-handling hygiene
+# ---------------------------------------------------------------------------
+
+
+def test_r5_bad_fixture_is_flagged():
+    findings = _lint_fixture("bad/broad_except.py")
+    assert findings, "the R5 fixture must produce findings"
+    assert {f.rule for f in findings} == {"R5"}
+    messages = "\n".join(f.message for f in findings)
+    assert "bare 'except:'" in messages
+    assert "blanket 'except Exception'" in messages
+    assert len(findings) == 4
+
+
+def test_r5_good_fixture_is_clean():
+    assert _lint_fixture("good/clean_except.py") == []
+
+
+def test_r5_exempts_the_resilience_package():
+    source = FIXTURES.joinpath("bad/broad_except.py").read_text()
+    findings = lint_source(source, "src/repro/resilience/faults.py")
+    assert [f for f in findings if f.rule == "R5"] == []
+
+
+def test_r5_reraise_cleanup_is_not_flagged():
+    source = (
+        "def save(path):\n"
+        "    try:\n"
+        "        write(path)\n"
+        "    except BaseException:\n"
+        "        cleanup(path)\n"
+        "        raise\n"
+    )
+    assert lint_source(source, "pkg/mod.py") == []
+
+
+def test_r5_pragma_suppresses():
+    source = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:  # lint-ok: R5\n"
+        "        return None\n"
+    )
+    assert lint_source(source, "pkg/mod.py") == []
+
+
+# ---------------------------------------------------------------------------
 # pragma suppression
 # ---------------------------------------------------------------------------
 
@@ -220,10 +268,12 @@ def test_json_schema_is_stable():
         "summary",
         "findings",
     }
-    assert set(payload["rules"]) == set(RULE_DESCRIPTIONS) == {"R1", "R2", "R3", "R4"}
+    assert set(payload["rules"]) == set(RULE_DESCRIPTIONS) == {
+        "R1", "R2", "R3", "R4", "R5",
+    }
     assert payload["summary"]["total"] == len(payload["findings"]) > 0
     by_rule = payload["summary"]["by_rule"]
-    assert set(by_rule) >= {"R1", "R2", "R3", "R4"}  # zeros included
+    assert set(by_rule) >= {"R1", "R2", "R3", "R4", "R5"}  # zeros included
     assert by_rule["R3"] == 0
     for finding in payload["findings"]:
         assert set(finding) == {"rule", "path", "line", "col", "message"}

@@ -1,0 +1,176 @@
+"""Tests for the v2 (resumable) checkpoint format and atomic writes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.io.checkpoint import (
+    KNOWN_MAGICS,
+    atomic_savez,
+    checkpoint_magic,
+    load_checkpoint,
+    load_run_checkpoint,
+    save_checkpoint,
+    save_run_checkpoint,
+)
+from repro.network.wta import WTANetwork
+from repro.pipeline.trainer import UnsupervisedTrainer
+from repro.resilience.faults import corrupt_file, truncate_file
+from repro.resilience.run_state import RUN_STATE_VERSION, TrainingRunState
+
+
+@pytest.fixture
+def run_state(tiny_config, tiny_dataset):
+    """A mid-run state captured at presentation boundary 6."""
+    net = WTANetwork(tiny_config, 64)
+    trainer = UnsupervisedTrainer(net)
+    log = trainer.train(tiny_dataset.train_images[:6])
+    return TrainingRunState.capture(
+        net,
+        log,
+        t_ms=6 * 55.0,
+        presentation_index=6,
+        epochs=2,
+        n_images=6,
+        normalizer=trainer.normalizer,
+        extra={"dataset": "mnist", "n_train": 6},
+    )
+
+
+class TestV2RoundTrip:
+    def test_full_state_round_trips(self, tmp_path, run_state):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, run_state)
+        loaded = load_run_checkpoint(path)
+        assert np.array_equal(loaded.conductances, run_state.conductances)
+        assert np.array_equal(loaded.theta, run_state.theta)
+        assert loaded.rng_state == run_state.rng_state
+        assert loaded.presentation_index == 6
+        assert loaded.epochs == 2
+        assert loaded.n_images == 6
+        assert loaded.t_ms == run_state.t_ms
+        assert loaded.normalizer_images_seen == run_state.normalizer_images_seen
+        assert loaded.total_steps == run_state.total_steps
+        assert loaded.spikes_per_image == run_state.spikes_per_image
+        assert loaded.extra == {"dataset": "mnist", "n_train": 6}
+        assert loaded.source == str(path)
+
+    def test_magic_is_v2(self, tmp_path, run_state):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, run_state)
+        magic = checkpoint_magic(path)
+        assert magic.endswith("-v2")
+        assert magic in KNOWN_MAGICS
+
+    def test_v2_readable_by_plain_loader(self, tmp_path, run_state):
+        """A run checkpoint doubles as a learned-state checkpoint."""
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, run_state)
+        net, labels = load_checkpoint(path)
+        assert labels is None
+        assert np.array_equal(net.conductances, run_state.conductances)
+        assert np.array_equal(net.neurons.theta, run_state.theta)
+
+    def test_labels_travel(self, tmp_path, run_state):
+        run_state.neuron_labels = np.arange(8) % 3
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, run_state)
+        loaded = load_run_checkpoint(path)
+        assert np.array_equal(loaded.neuron_labels, run_state.neuron_labels)
+
+    def test_to_log_restores_counters(self, run_state):
+        log = run_state.to_log()
+        assert log.images_seen == 6
+        assert log.total_steps == run_state.total_steps
+        assert log.spikes_per_image == run_state.spikes_per_image
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_run_checkpoint(tmp_path / "nope.npz")
+
+    def test_v1_cannot_resume(self, tmp_path, tiny_config, tiny_dataset):
+        net = WTANetwork(tiny_config, 64)
+        UnsupervisedTrainer(net).train(tiny_dataset.train_images[:3])
+        path = tmp_path / "v1.npz"
+        save_checkpoint(path, net)
+        loaded, _ = load_checkpoint(path)  # v1 stays loadable
+        assert np.array_equal(loaded.conductances, net.conductances)
+        with pytest.raises(CheckpointError, match="learned state only"):
+            load_run_checkpoint(path)
+
+    def test_truncated_file(self, tmp_path, run_state):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, run_state)
+        truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_run_checkpoint(path)
+
+    def test_corrupted_file(self, tmp_path, run_state):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, run_state)
+        corrupt_file(path, n_bytes=64, seed=0)
+        with pytest.raises(CheckpointError):
+            load_run_checkpoint(path)
+
+    def test_unknown_magic(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(path, magic=np.array("repro-wta-checkpoint-v99"))
+        with pytest.raises(CheckpointError, match="unknown checkpoint magic"):
+            load_run_checkpoint(path)
+
+    def test_foreign_archive(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, weights=np.zeros(3))
+        with pytest.raises(CheckpointError, match="no format marker"):
+            load_run_checkpoint(path)
+
+    def test_unsupported_run_state_version(self):
+        with pytest.raises(CheckpointError, match="version"):
+            TrainingRunState.from_payload(
+                config=None,
+                n_pixels=4,
+                conductances=np.zeros((4, 2)),
+                theta=np.zeros(2),
+                rng_state={},
+                run={"version": RUN_STATE_VERSION + 1},
+                spikes_per_image=[],
+            )
+
+
+class TestAtomicity:
+    def test_failed_write_leaves_previous_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "state.npz"
+        atomic_savez(path, magic=np.array("x"), value=np.arange(3))
+        before = path.read_bytes()
+
+        def boom(handle, **payload):
+            handle.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.io.checkpoint.np.savez", boom)
+        with pytest.raises(OSError):
+            atomic_savez(path, magic=np.array("x"), value=np.arange(4))
+        assert path.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_no_temp_residue_on_success(self, tmp_path):
+        path = tmp_path / "state.npz"
+        atomic_savez(path, magic=np.array("x"), value=np.arange(3))
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestRestoreValidation:
+    def test_pixel_mismatch(self, run_state, tiny_config):
+        other = WTANetwork(tiny_config, 16)
+        with pytest.raises(CheckpointError, match="input pixels"):
+            run_state.restore_into(other)
+
+    def test_build_network_carries_state(self, run_state):
+        net = run_state.build_network()
+        assert np.array_equal(net.conductances, run_state.conductances)
+        assert np.array_equal(net.neurons.theta, run_state.theta)
+        assert net.rngs.state_dict() == run_state.rng_state
+        assert net.learning_enabled

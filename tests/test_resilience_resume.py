@@ -1,0 +1,224 @@
+"""Kill-and-resume bit-identity: the contract of the v2 checkpoint.
+
+A run killed after any presentation (the worst case: immediately after the
+boundary's autosave) and resumed from the checkpoint in a *fresh process*
+(modelled by a fresh network) must produce bit-identical final weights,
+thresholds and spike counts to the uninterrupted run — for every learning
+engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.io.checkpoint import load_run_checkpoint
+from repro.network.wta import WTANetwork
+from repro.pipeline.trainer import UnsupervisedTrainer
+from repro.resilience import AutosavePolicy
+from repro.resilience.faults import CrashFault, SimulatedCrash
+
+
+def _train_full(config, images, engine, epochs=1):
+    net = WTANetwork(config, images[0].size)
+    log = UnsupervisedTrainer(net).train(images, engine=engine, epochs=epochs)
+    return net, log
+
+
+def _crash_then_resume(config, images, engine, crash_at, path, epochs=1):
+    """Run with per-boundary autosave, crash, resume from the checkpoint."""
+    net = WTANetwork(config, images[0].size)
+    policy = AutosavePolicy(path, every_images=1)
+    fault = CrashFault(at_presentation=crash_at)
+    with pytest.raises(SimulatedCrash):
+        UnsupervisedTrainer(net).train(
+            images, engine=engine, epochs=epochs,
+            autosave=policy, on_image_end=fault,
+        )
+    assert fault.fired
+    assert policy.saves_written == crash_at
+
+    resumed = WTANetwork(config, images[0].size)  # fresh process stand-in
+    log = UnsupervisedTrainer(resumed).train(
+        images, engine=engine, epochs=epochs, resume_from=str(path)
+    )
+    return resumed, log
+
+
+class TestBitIdenticalResume:
+    @pytest.mark.parametrize("engine", ["fused", "event"])
+    @pytest.mark.parametrize("crash_at", [1, 4, 7])
+    def test_weights_and_log_match(
+        self, tmp_path, tiny_config, tiny_dataset, engine, crash_at
+    ):
+        images = tiny_dataset.train_images[:8]
+        baseline, base_log = _train_full(tiny_config, images, engine)
+        resumed, log = _crash_then_resume(
+            tiny_config, images, engine, crash_at, tmp_path / "auto.npz"
+        )
+        assert np.array_equal(resumed.conductances, baseline.conductances)
+        assert np.array_equal(resumed.neurons.theta, baseline.neurons.theta)
+        assert log.spikes_per_image == base_log.spikes_per_image
+        assert log.total_steps == base_log.total_steps
+        assert log.images_seen == base_log.images_seen
+        if engine == "event":
+            assert log.steps_skipped == base_log.steps_skipped
+
+    def test_resume_across_epoch_boundary(self, tmp_path, tiny_config, tiny_dataset):
+        """Crash in the second epoch: the flat presentation index resumes
+        at the right image of the right epoch."""
+        images = tiny_dataset.train_images[:5]
+        baseline, base_log = _train_full(tiny_config, images, "fused", epochs=2)
+        resumed, log = _crash_then_resume(
+            tiny_config, images, "fused", 7, tmp_path / "auto.npz", epochs=2
+        )
+        assert np.array_equal(resumed.conductances, baseline.conductances)
+        assert log.spikes_per_image == base_log.spikes_per_image
+        assert log.images_seen == 10
+
+    def test_resume_from_in_memory_state(self, tmp_path, tiny_config, tiny_dataset):
+        images = tiny_dataset.train_images[:6]
+        baseline, _ = _train_full(tiny_config, images, "fused")
+
+        net = WTANetwork(tiny_config, 64)
+        policy = AutosavePolicy(tmp_path / "auto.npz", every_images=1)
+        with pytest.raises(SimulatedCrash):
+            UnsupervisedTrainer(net).train(
+                images, engine="fused", autosave=policy,
+                on_image_end=CrashFault(at_presentation=3),
+            )
+        state = load_run_checkpoint(tmp_path / "auto.npz")
+        resumed = WTANetwork(tiny_config, 64)
+        UnsupervisedTrainer(resumed).train(images, engine="fused", resume_from=state)
+        assert np.array_equal(resumed.conductances, baseline.conductances)
+
+    def test_resumed_segment_counts_only_its_own_wall_time(
+        self, tmp_path, tiny_config, tiny_dataset
+    ):
+        images = tiny_dataset.train_images[:6]
+        _, log = _crash_then_resume(
+            tiny_config, images, "fused", 3, tmp_path / "auto.npz"
+        )
+        assert log.wall_seconds > 0.0
+
+
+class TestResumeValidation:
+    def test_wrong_image_count_rejected(self, tmp_path, tiny_config, tiny_dataset):
+        images = tiny_dataset.train_images[:6]
+        net = WTANetwork(tiny_config, 64)
+        policy = AutosavePolicy(tmp_path / "auto.npz", every_images=1)
+        with pytest.raises(SimulatedCrash):
+            UnsupervisedTrainer(net).train(
+                images, engine="fused", autosave=policy,
+                on_image_end=CrashFault(at_presentation=2),
+            )
+        fresh = WTANetwork(tiny_config, 64)
+        with pytest.raises(CheckpointError, match="images per epoch"):
+            UnsupervisedTrainer(fresh).train(
+                tiny_dataset.train_images[:4], engine="fused",
+                resume_from=str(tmp_path / "auto.npz"),
+            )
+
+    def test_checkpoint_past_schedule_rejected(
+        self, tmp_path, tiny_config, tiny_dataset
+    ):
+        images = tiny_dataset.train_images[:6]
+        net = WTANetwork(tiny_config, 64)
+        trainer = UnsupervisedTrainer(net)
+        policy = AutosavePolicy(tmp_path / "auto.npz", every_images=1)
+        log = trainer.train(images, engine="fused", epochs=2, autosave=policy)
+        assert log.images_seen == 12
+        fresh = WTANetwork(tiny_config, 64)
+        with pytest.raises(CheckpointError, match="only 6"):
+            UnsupervisedTrainer(fresh).train(
+                images, engine="fused", epochs=1,
+                resume_from=str(tmp_path / "auto.npz"),
+            )
+
+    def test_completed_run_resumes_to_noop(self, tmp_path, tiny_config, tiny_dataset):
+        """Resuming a finished run trains zero further presentations."""
+        images = tiny_dataset.train_images[:4]
+        net = WTANetwork(tiny_config, 64)
+        policy = AutosavePolicy(tmp_path / "auto.npz", every_images=1)
+        UnsupervisedTrainer(net).train(images, engine="fused", autosave=policy)
+        g_before = net.conductances.copy()
+        fresh = WTANetwork(tiny_config, 64)
+        log = UnsupervisedTrainer(fresh).train(
+            images, engine="fused", resume_from=str(tmp_path / "auto.npz")
+        )
+        assert log.images_seen == 4
+        assert np.array_equal(fresh.conductances, g_before)
+
+
+class TestAutosavePolicy:
+    def test_cadence(self, tmp_path, tiny_config, tiny_dataset):
+        images = tiny_dataset.train_images[:6]
+        net = WTANetwork(tiny_config, 64)
+        policy = AutosavePolicy(tmp_path / "auto.npz", every_images=3)
+        UnsupervisedTrainer(net).train(images, engine="fused", autosave=policy)
+        assert policy.saves_written == 2  # boundaries 3 and 6
+        assert policy.seconds_spent > 0.0
+        assert load_run_checkpoint(tmp_path / "auto.npz").presentation_index == 6
+
+    def test_invalid_cadence_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="every_images"):
+            AutosavePolicy(tmp_path / "x.npz", every_images=0)
+
+    def test_overhead_fraction(self, tmp_path):
+        policy = AutosavePolicy(tmp_path / "x.npz")
+        policy.seconds_spent = 0.5
+        assert policy.overhead_fraction(10.0) == pytest.approx(0.05)
+        assert policy.overhead_fraction(0.0) == 0.0
+
+    def test_extra_metadata_travels(self, tmp_path, tiny_config, tiny_dataset):
+        images = tiny_dataset.train_images[:3]
+        net = WTANetwork(tiny_config, 64)
+        policy = AutosavePolicy(
+            tmp_path / "auto.npz", every_images=1, extra={"dataset": "mnist"}
+        )
+        UnsupervisedTrainer(net).train(images, engine="fused", autosave=policy)
+        assert load_run_checkpoint(tmp_path / "auto.npz").extra == {
+            "dataset": "mnist"
+        }
+
+
+class TestCliResume:
+    def test_run_autosave_then_resume_matches(self, tmp_path, capsys):
+        """`repro run --autosave` then `repro resume` round-trips end to end."""
+        from repro.cli import main
+
+        ckpt = tmp_path / "cli.npz"
+        common = [
+            "--preset", "float32", "--dataset", "mnist",
+            "--n-train", "6", "--n-test", "6", "--n-labeling", "4",
+            "--neurons", "8", "--size", "8", "--epochs", "1",
+            "--seed", "0", "--quiet",
+        ]
+        assert main(["run", *common, "--autosave", str(ckpt),
+                     "--autosave-every", "2"]) == 0
+        first = capsys.readouterr().out
+        assert ckpt.exists()
+
+        assert main(["resume", str(ckpt), "--quiet", "--no-autosave"]) == 0
+        second = capsys.readouterr().out
+        # The checkpoint sits at the last boundary, so the resumed run
+        # replays nothing new and must land on the identical accuracy.
+        def accuracy_line(out):
+            return next(line for line in out.splitlines() if "accuracy" in line)
+
+        assert accuracy_line(first).split()[-1] == accuracy_line(second).split()[-1]
+
+    def test_resume_rejects_v1_checkpoint(
+        self, tmp_path, tiny_config, tiny_dataset, capsys
+    ):
+        from repro.cli import main
+        from repro.io.checkpoint import save_checkpoint
+
+        net = WTANetwork(tiny_config, 64)
+        UnsupervisedTrainer(net).train(tiny_dataset.train_images[:3])
+        path = tmp_path / "v1.npz"
+        save_checkpoint(path, net)
+        assert main(["resume", str(path), "--quiet"]) != 0
+        err = capsys.readouterr().err
+        assert "learned state only" in err
