@@ -24,7 +24,15 @@ at the repository root:
   seconds) both as measured and projected at the production cadence —
   ``--check`` warns when the projection exceeds
   ``AUTOSAVE_OVERHEAD_CEILING`` and fails if autosave perturbed the
-  trained weights;
+  trained weights.  A further **quantized** trajectory block re-runs the
+  workload under the paper's ``Q1.7``/stochastic low-precision config and
+  times the float-simulated quantized fused path against the
+  integer-native ``"qfused"`` tier (conductances held as uint8/uint16
+  Q-format codes, eq.-8 rounding fused into the STDP scatter) — qfused
+  must be spike-equivalent and conductance-exact against its float shadow
+  twin at matched rounding draws, bit-identical to fused under nearest
+  rounding, and its code array at most 16 bits wide; all three are
+  blocking under ``--check``;
 
 - **evaluation** — the plasticity-frozen label/infer loop on the trained
   network, once per sequential engine.  The fused and event engines must
@@ -82,12 +90,38 @@ AUTOSAVE_OVERHEAD_CEILING = 0.03
 #: The ``repro run --autosave-every`` default the projection assumes.
 DEFAULT_AUTOSAVE_EVERY = 50
 
+#: Q-format of the quantized trajectory rows; 8 total bits -> uint8 codes.
+QFUSED_FMT = "Q1.7"
+
+#: Rounding mode of the timed quantized rows.  Stochastic is the paper's
+#: eq. (8) learning mode and the slowest float-simulated path (the fused
+#: engine draws a full-matrix uniform per plasticity update), i.e. the
+#: regime the integer tier's >= 1.3x acceptance floor is defined over.
+QFUSED_ROUNDING = "stochastic"
+
 
 def _build(n_neurons: int, n_pixels: int, seed: int):
     from repro.config.presets import get_preset
     from repro.network.wta import WTANetwork
 
     config = get_preset("high_frequency", n_neurons=n_neurons, seed=seed)
+    return WTANetwork(config, n_pixels=n_pixels)
+
+
+def _build_quantized(n_neurons: int, n_pixels: int, seed: int, rounding: str):
+    import dataclasses
+
+    from repro.config.parameters import QuantizationConfig, RoundingMode
+    from repro.config.presets import get_preset
+    from repro.network.wta import WTANetwork
+
+    config = get_preset("high_frequency", n_neurons=n_neurons, seed=seed)
+    config = dataclasses.replace(
+        config,
+        quantization=QuantizationConfig(
+            fmt=QFUSED_FMT, rounding=RoundingMode(rounding)
+        ),
+    )
     return WTANetwork(config, n_pixels=n_pixels)
 
 
@@ -139,6 +173,106 @@ def bench_training(args, images) -> dict:
     results["conductance_max_abs_dev"] = g_dev
     results["conductance_atol"] = CONDUCTANCE_ATOL
     results["autosave"] = bench_autosave(args, images, state["fused"])
+    results["qfused"] = bench_qfused(args, images)
+    return results
+
+
+def bench_qfused(args, images) -> dict:
+    """Quantized trajectory block: the integer tier vs the float-simulated path.
+
+    Trains the same workload under the ``Q1.7``/stochastic quantization
+    config three ways — the fused engine (quantize -> dequantize round trip
+    in float), the integer-native qfused engine (uint8 codes end-to-end),
+    and qfused's float shadow twin (same algorithm and rounding draws, but
+    float64 code storage) — then re-checks the tier's contracts:
+
+    - qfused vs the twin at ``conductance_atol=0.0``: identical spike
+      counts *and* identical conductances prove integer storage changed
+      nothing but the representation;
+    - a nearest-rounding pair (fused vs qfused) must be fully
+      bit-identical — deterministic rounding consumes no RNG, so the two
+      paths compute the very same arithmetic;
+    - the live code matrix must be at most 16 bits wide.
+
+    All violations are blocking under ``--check``; the
+    ``qfused_over_fused`` speedup feeds the usual warning-tier floor.
+    """
+    from repro.engine.qfused import QFusedPresentation
+    from repro.engine.registry import check_equivalence, get_engine_spec
+    from repro.pipeline.trainer import UnsupervisedTrainer
+
+    results: dict = {}
+    state: dict = {}
+
+    def _row(key, rounding, engine_factory):
+        net = _build_quantized(args.neurons, images[0].size, args.seed, rounding)
+        t0 = time.perf_counter()
+        log = UnsupervisedTrainer(net).train(images, engine=engine_factory(net))
+        elapsed = time.perf_counter() - t0
+        results[key] = {
+            "seconds": elapsed,
+            "images": log.images_seen,
+            "total_spikes": int(sum(log.spikes_per_image)),
+        }
+        state[key] = {
+            "conductances": net.conductances.copy(),
+            "thetas": net.neurons.theta.copy(),
+            "spikes_per_image": list(log.spikes_per_image),
+        }
+
+    _row("fused", QFUSED_ROUNDING, lambda net: "fused")
+    _row("qfused", QFUSED_ROUNDING, lambda net: "qfused")
+    _row("float_twin", QFUSED_ROUNDING,
+         lambda net: QFusedPresentation(net, storage="float"))
+    _row("fused_nearest", "nearest", lambda net: "fused")
+    _row("qfused_nearest", "nearest", lambda net: "qfused")
+
+    # The declared contract at its tightest: spike-equivalent with zero
+    # conductance tolerance against the float twin (same draws from the
+    # dedicated qrounding stream, so any deviation is an arithmetic bug,
+    # not rounding noise).
+    twin_violations = check_equivalence(
+        get_engine_spec("qfused"), state["float_twin"], state["qfused"],
+        conductance_atol=0.0,
+    )
+    violations = list(twin_violations)
+    nearest_exact = bool(
+        np.array_equal(state["fused_nearest"]["conductances"],
+                       state["qfused_nearest"]["conductances"])
+        and np.array_equal(state["fused_nearest"]["thetas"],
+                           state["qfused_nearest"]["thetas"])
+        and state["fused_nearest"]["spikes_per_image"]
+        == state["qfused_nearest"]["spikes_per_image"]
+    )
+    if not nearest_exact:
+        violations.append(
+            "engine 'qfused': nearest-rounding training is no longer "
+            "bit-identical to the fused path"
+        )
+
+    # End-to-end width probe: the live code matrix of a freshly built
+    # kernel at this workload's scale and format.
+    probe = QFusedPresentation(
+        _build_quantized(args.neurons, images[0].size, args.seed, QFUSED_ROUNDING)
+    )
+    code_bits = int(probe.codes.dtype.itemsize) * 8
+    if probe.codes.dtype.kind != "u" or code_bits > 16:
+        violations.append(
+            f"engine 'qfused': conductance codes are {probe.codes.dtype} "
+            f"({code_bits} bits); the integer tier requires unsigned "
+            f"storage of at most 16 bits"
+        )
+
+    results["fmt"] = QFUSED_FMT
+    results["rounding"] = QFUSED_ROUNDING
+    results["code_dtype"] = str(probe.codes.dtype)
+    results["code_bits"] = code_bits
+    results["qfused_over_fused"] = (
+        results["fused"]["seconds"] / results["qfused"]["seconds"]
+    )
+    results["spike_equivalent"] = not twin_violations
+    results["nearest_bit_exact"] = nearest_exact
+    results["contract_violations"] = violations
     return results
 
 
@@ -261,6 +395,12 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
             "training with autosave enabled is no longer bit-identical to "
             "plain fused training: checkpointing perturbed the run"
         )
+    qfused = training.get("qfused")
+    if qfused is not None:
+        # The integer tier's contracts (float-twin equivalence, nearest
+        # bit-identity, <= 16-bit codes) are correctness statements, so
+        # their violations block like the float-tier contracts above.
+        failures.extend(qfused.get("contract_violations", []))
     if not evaluation["bit_identical"]:
         failures.append(
             "fast-path evaluation (fused/event) is no longer bit-identical "
@@ -307,6 +447,16 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
                     warnings.append(
                         f"{label} speedup {measured:.2f}x fell below the floor "
                         f"{floor:.2f}x ({CHECK_FLOOR_FRACTION:.0%} of committed {committed:.2f}x)"
+                    )
+            committed_q = baseline.get("qfused", {}).get("qfused_over_fused")
+            if committed_q is not None and qfused is not None:
+                floor = committed_q * CHECK_FLOOR_FRACTION
+                measured = qfused["qfused_over_fused"]
+                if measured < floor:
+                    warnings.append(
+                        f"qfused-over-fused speedup {measured:.2f}x fell below "
+                        f"the floor {floor:.2f}x ({CHECK_FLOOR_FRACTION:.0%} of "
+                        f"committed {committed_q:.2f}x)"
                     )
             baseline_eval = baseline_payload.get("evaluation", {})
             for key, label in (
@@ -373,6 +523,10 @@ def main() -> int:
     for engine in ("fused", "event"):
         warm = _build(args.neurons, data.train_images[0].size, args.seed)
         UnsupervisedTrainer(warm).train(data.train_images[:1], engine=engine)
+    for engine in ("fused", "qfused"):
+        warm = _build_quantized(args.neurons, data.train_images[0].size,
+                                args.seed, QFUSED_ROUNDING)
+        UnsupervisedTrainer(warm).train(data.train_images[:1], engine=engine)
 
     training = bench_training(args, data.train_images)
     trained_net = _build(args.neurons, data.train_images[0].size, args.seed)
@@ -388,6 +542,11 @@ def main() -> int:
             "seed": args.seed,
             "quick": args.quick,
             "preset": "high_frequency",
+            # Precision of the quantized trajectory block (the float-tier
+            # rows above it run the preset's unquantized float64 config).
+            "qfused_fmt": QFUSED_FMT,
+            "qfused_rounding": QFUSED_ROUNDING,
+            "qfused_code_dtype": training["qfused"]["code_dtype"],
         },
         "training": training,
         "evaluation": evaluation,
@@ -419,6 +578,14 @@ def main() -> int:
           f"projected@{autosave['projected_every_images']} "
           f"{autosave['projected_run_fraction']:.2%}  "
           f"bit_identical={autosave['bit_identical']}")
+    qf = training["qfused"]
+    print(f"qfused   : fused {qf['fused']['seconds']:.3f}s  "
+          f"qfused {qf['qfused']['seconds']:.3f}s  "
+          f"twin {qf['float_twin']['seconds']:.3f}s  "
+          f"[{qf['fmt']}/{qf['rounding']}, codes {qf['code_dtype']}]")
+    print(f"           qfused/fused {qf['qfused_over_fused']:.2f}x  "
+          f"spike_equivalent={qf['spike_equivalent']}  "
+          f"nearest_bit_exact={qf['nearest_bit_exact']}")
     print(f"evaluation: reference {evaluation['reference_seconds']:.3f}s  "
           f"fused {evaluation['fused_seconds']:.3f}s  "
           f"event {evaluation['event_seconds']:.3f}s")

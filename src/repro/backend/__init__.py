@@ -29,7 +29,7 @@ Helpers:
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy
 
@@ -80,7 +80,7 @@ def _resolve(name: str):
     )
 
 
-def available_backends() -> tuple:
+def available_backends() -> Tuple[str, ...]:
     """Backends that can actually be activated in this process."""
     names = ["numpy"]
     try:
@@ -117,9 +117,14 @@ def get_array_module():
 
 
 def backend_name() -> str:
-    """Name of the module :func:`get_array_module` currently resolves to."""
+    """Name of the module :func:`get_array_module` currently resolves to.
+
+    Derived from the resolved module itself rather than assuming "anything
+    that is not numpy must be cupy" — a third backend registered in
+    ``_modules`` reports its own name.
+    """
     module = get_array_module()
-    return "cupy" if module is not numpy else "numpy"
+    return str(module.__name__).partition(".")[0]
 
 
 def asnumpy(array):

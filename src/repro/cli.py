@@ -221,7 +221,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.save:
         network = build_network(config, dataset.n_pixels)
-        network.synapses.set_conductances(result.conductances)
+        # Trained conductances are already on the quantization grid; the
+        # rounding stream makes the re-snap well-defined under
+        # rounding=stochastic (where quantizing without an RNG raises).
+        network.synapses.set_conductances(result.conductances, network.rngs.rounding)
         save_checkpoint(args.save, network, result.evaluation.neuron_labels)
         print(f"checkpoint written to {args.save}")
     return 0
@@ -337,7 +340,7 @@ def _cmd_presets(_args: argparse.Namespace) -> int:
 def _cmd_engines(_args: argparse.Namespace) -> int:
     print(
         format_table(
-            ["engine", "learning", "batch", "equivalence", "backends", "summary"],
+            ["engine", "learning", "batch", "equivalence", "precision", "backends", "summary"],
             capability_rows(),
             title="Registered presentation engines",
         )

@@ -428,6 +428,44 @@ class ExperimentConfig:
         _require(
             isinstance(self.engine, EngineConfig), "engine must be an EngineConfig"
         )
+        self._validate_engine_precisions()
+
+    def _validate_engine_precisions(self) -> None:
+        """Cross-check engine precision declarations against the quantization.
+
+        Engines whose :class:`~repro.engine.registry.EngineSpec` declares
+        only integer storage dtypes (no ``"float64"``) hold conductances as
+        Q-format codes, so the config must select a fixed-point format that
+        fits the widest declared dtype.  Checked here — at construction —
+        rather than when the engine is instantiated mid-run.
+        """
+        from repro.engine.registry import get_engine_spec
+
+        for phase in ("train", "eval"):
+            engine_name = getattr(self.engine, phase)
+            spec = get_engine_spec(engine_name)
+            if "float64" in spec.precisions:
+                continue
+            codes = "/".join(spec.precisions)
+            if self.quantization.fmt is None:
+                raise ConfigurationError(
+                    f"engine {engine_name!r} ({phase}) stores conductances as "
+                    f"integer codes ({codes}) and requires a fixed-point "
+                    f"quantization.fmt (e.g. fmt='Q1.7'); floating point needs "
+                    f"a float64-capable engine such as 'fused'"
+                )
+            import numpy as np
+
+            from repro.quantization.qformat import parse_qformat
+
+            fmt = parse_qformat(self.quantization.fmt)
+            max_bits = max(np.dtype(p).itemsize for p in spec.precisions) * 8
+            _require(
+                fmt.total_bits <= max_bits,
+                f"engine {engine_name!r} ({phase}) stores codes in at most "
+                f"{max_bits} bits ({codes}), but quantization.fmt={fmt} is "
+                f"{fmt.total_bits} bits wide",
+            )
 
     def describe(self) -> str:
         """One-line summary used by progress reporting and bench tables."""

@@ -41,6 +41,7 @@ from repro.quantization.quantizer import FloatQuantizer
 
 if TYPE_CHECKING:
     from repro.network.wta import WTANetwork
+    from repro.quantization.codec import QCodec
     from repro.synapses.conductance import ConductanceMatrix
     from repro.synapses.traces import SpikeTimers
 
@@ -118,3 +119,79 @@ def deterministic_rule_columns(
     dg_dep = depression_magnitude(g_cols, rule.params)
     delta_cols = np.where(recent[:, None], dg_pot, -dg_dep)
     synapses.apply_delta_columns(cols, delta_cols, rng)
+
+
+# ----------------------------------------------------------------------
+# code-domain variants (the integer ``qfused`` tier)
+# ----------------------------------------------------------------------
+#
+# Same column restriction, generalised over the storage dtype: conductances
+# live as Q-format *codes* (uint8/uint16 — or integer-valued float64 for the
+# shadow-twin storage used by equivalence checks) and the delta is rounded
+# straight to signed code increments by ``QCodec.delta_codes``, fusing eq.-8
+# stochastic rounding into the scatter as an integer compare-against-random.
+# The rounding draws come from the dedicated ``qrounding`` stream — one
+# uniform per *changed* synapse instead of the full-matrix draw the
+# float-simulated path burns inside ``Quantizer.quantize`` — while the
+# Bernoulli LTP/LTD draws consume the ``learning`` stream with exactly the
+# reference shapes, keeping that stream's position bit-identical.
+
+
+def quantized_stochastic_columns(
+    rule: StochasticSTDP,
+    codes: np.ndarray,
+    codec: QCodec,
+    timers: SpikeTimers,
+    post: np.ndarray,
+    t_ms: float,
+    rng: np.random.Generator,
+    rng_rounding: np.random.Generator,
+    conn_mask: Optional[np.ndarray] = None,
+) -> None:
+    """:func:`stochastic_rule_columns` operating on Q-format codes."""
+    elapsed = timers.elapsed_pre(t_ms)
+    p_pot = potentiation_probability(elapsed, rule.params)
+    cols = np.flatnonzero(post)
+    draws = rng.random(size=(elapsed.shape[0], cols.size))
+    pot_mask = draws < p_pot[:, None]
+
+    p_dep = depression_probability(elapsed, rule.params)
+    dep_draws = rng.random(size=pot_mask.shape)
+    dep_mask = ~pot_mask & (dep_draws < p_dep[:, None])
+    if not pot_mask.any() and not dep_mask.any():
+        return
+
+    g_cols = codec.decode(codes[:, cols])
+    dg_pot = potentiation_magnitude(g_cols, rule.magnitudes)
+    dg_dep = depression_magnitude(g_cols, rule.magnitudes)
+    delta_cols = np.where(pot_mask, dg_pot, 0.0) - np.where(dep_mask, dg_dep, 0.0)
+    delta_codes = np.where(
+        delta_cols != 0.0, codec.delta_codes(delta_cols, rng_rounding), 0.0
+    )
+    mask_cols = None if conn_mask is None else conn_mask[:, cols]
+    codec.apply_delta_codes(codes, cols, delta_codes, mask_cols)
+
+
+def quantized_deterministic_columns(
+    rule: DeterministicSTDP,
+    codes: np.ndarray,
+    codec: QCodec,
+    timers: SpikeTimers,
+    post: np.ndarray,
+    t_ms: float,
+    rng_rounding: np.random.Generator,
+    conn_mask: Optional[np.ndarray] = None,
+) -> None:
+    """:func:`deterministic_rule_columns` operating on Q-format codes."""
+    elapsed = timers.elapsed_pre(t_ms)
+    recent = elapsed <= rule.params.window_ms
+    cols = np.flatnonzero(post)
+    g_cols = codec.decode(codes[:, cols])
+    dg_pot = potentiation_magnitude(g_cols, rule.params)
+    dg_dep = depression_magnitude(g_cols, rule.params)
+    delta_cols = np.where(recent[:, None], dg_pot, -dg_dep)
+    delta_codes = np.where(
+        delta_cols != 0.0, codec.delta_codes(delta_cols, rng_rounding), 0.0
+    )
+    mask_cols = None if conn_mask is None else conn_mask[:, cols]
+    codec.apply_delta_codes(codes, cols, delta_codes, mask_cols)

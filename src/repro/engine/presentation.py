@@ -237,6 +237,44 @@ class EventEngine(PresentationEngine):
         )
 
 
+class QFusedEngine(PresentationEngine):
+    """The integer-native kernel (:class:`~repro.engine.qfused.QFusedPresentation`).
+
+    Conductances live as uint8/uint16 Q-format codes for the whole
+    presentation (requires a fixed-point quantization config of at most 16
+    total bits).  Bit-identical to the fused path under truncate/nearest
+    rounding and in evaluation; under stochastic rounding the eq.-8 draws
+    move to the dedicated ``qrounding`` stream, so the declared tier is
+    spike-equivalence, verified against the kernel's float shadow twin.
+    """
+
+    name = "qfused"
+
+    def __init__(self, network: WTANetwork) -> None:
+        super().__init__(network)
+        from repro.engine.qfused import QFusedPresentation
+
+        self._kernel = QFusedPresentation(network)
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The live Q-format code matrix of the underlying kernel."""
+        return self._kernel.codes
+
+    def run(
+        self,
+        image: np.ndarray,
+        t_ms: float,
+        n_steps: int,
+        dt_ms: float,
+        profiler: Optional[StepProfiler] = None,
+        out_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
+        return self._kernel.run(
+            image, t_ms, n_steps, dt_ms, profiler=profiler, out_counts=out_counts
+        )
+
+
 class BatchedEngine(PresentationEngine):
     """Image-parallel frozen inference (:class:`~repro.engine.batched.BatchedInference`).
 

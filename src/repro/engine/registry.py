@@ -67,6 +67,12 @@ class EngineSpec:
     #: Array backends the engine executes on (``"numpy"``, ``"cupy"`` ...).
     backends: Tuple[str, ...]
     summary: str
+    #: Conductance storage dtypes the engine runs on.  ``"float64"`` means
+    #: full-precision arrays (fixed-point formats *simulated* on floats);
+    #: integer dtypes (``"uint8"``, ``"uint16"``) mean native Q-format code
+    #: storage — those engines require a fixed-point quantization config
+    #: narrow enough to fit (validated by ``ExperimentConfig``).
+    precisions: Tuple[str, ...] = ("float64",)
 
     def create(self, network: Any) -> Any:
         """Instantiate the engine for *network* (imports the module now)."""
@@ -143,13 +149,14 @@ def create_training_engine(name: str, network: Any) -> Any:
 
 
 def capability_rows() -> List[List[object]]:
-    """``[name, learning, batch, equivalence, backends, summary]`` rows."""
+    """``[name, learning, batch, equivalence, precision, backends, summary]`` rows."""
     return [
         [
             spec.name,
             "yes" if spec.supports_learning else "no",
             "yes" if spec.supports_batch else "no",
             spec.equivalence.value,
+            "+".join(spec.precisions),
             "+".join(spec.backends),
             spec.summary,
         ]
@@ -259,4 +266,14 @@ register_engine(EngineSpec(
     equivalence=Equivalence.STATISTICAL,
     backends=("numpy", "cupy"),
     summary="image-parallel frozen inference (GPU batch-mode substitute)",
+))
+register_engine(EngineSpec(
+    name="qfused",
+    factory="repro.engine.presentation:QFusedEngine",
+    supports_learning=True,
+    supports_batch=False,
+    equivalence=Equivalence.SPIKE_EQUIVALENT,
+    backends=("numpy",),
+    summary="integer-native fused kernel: uint8/uint16 Q-format codes, fused eq.-8 rounding",
+    precisions=("uint8", "uint16"),
 ))

@@ -19,7 +19,17 @@ import numpy as np
 from repro.errors import SimulationError
 
 #: Stream names handed out in a fixed order so seeding is reproducible.
-STREAM_NAMES = ("init", "encoding", "learning", "rounding", "dataset", "misc")
+#: ``qrounding`` (the integer ``qfused`` tier's dedicated eq.-8 rounding
+#: stream) is appended last: ``SeedSequence.spawn`` children are
+#: prefix-stable, so the original six streams draw exactly the sequences
+#: they always did.
+STREAM_NAMES = ("init", "encoding", "learning", "rounding", "dataset", "misc", "qrounding")
+
+#: Streams that may be absent from stored state dicts (added after the
+#: checkpoint v2 format shipped).  :meth:`RngStreams.load_state_dict` keeps
+#: the freshly derived state for these instead of erroring, so pre-existing
+#: checkpoints remain loadable.
+OPTIONAL_STREAMS = frozenset({"qrounding"})
 
 #: Decorrelation salt mixed with the master seed to derive the batched
 #: evaluation stream (see :meth:`RngStreams.batched_eval`).  Previously an
@@ -116,11 +126,16 @@ class RngStreams:
                 f"'streams', got {state!r}"
             ) from exc
         self._build(int(seed))
-        missing = [name for name in STREAM_NAMES if name not in streams]
+        missing = [
+            name
+            for name in STREAM_NAMES
+            if name not in streams and name not in OPTIONAL_STREAMS
+        ]
         if missing:
             raise SimulationError(
                 f"RngStreams state is missing streams {missing}; have "
                 f"{sorted(streams)}"
             )
         for name in STREAM_NAMES:
-            self._streams[name].bit_generator.state = streams[name]
+            if name in streams:
+                self._streams[name].bit_generator.state = streams[name]

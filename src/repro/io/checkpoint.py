@@ -143,12 +143,37 @@ def save_checkpoint(
     atomic_savez(Path(path), **payload)
 
 
+def _decode_conductances(payload: Dict[str, np.ndarray], path: Path) -> np.ndarray:
+    """The stored conductance matrix, from either representation.
+
+    Fixed-point checkpoints of at most 16 total bits store the raw
+    uint8/uint16 Q-format codes (``g_codes``) plus the format's fractional
+    bit count; decoding multiplies by the exact power-of-two resolution, so
+    the round trip is bit-identical for on-grid values.  Everything else
+    stores plain float64 ``conductances``.
+    """
+    if "g_codes" not in payload:
+        return np.array(payload["conductances"], dtype=np.float64)
+    codes = payload["g_codes"]
+    if codes.dtype.kind != "u" or codes.dtype.itemsize > 2:
+        raise CheckpointError(
+            f"{path}: g_codes must be uint8/uint16 Q-format codes, got "
+            f"dtype {codes.dtype}"
+        )
+    frac_bits = int(payload["g_frac_bits"])
+    if not 1 <= frac_bits <= 16:
+        raise CheckpointError(
+            f"{path}: g_frac_bits must be in [1, 16], got {frac_bits}"
+        )
+    return np.multiply(codes, 2.0 ** -frac_bits, dtype=np.float64)
+
+
 def _decode_common(payload: Dict[str, np.ndarray], path: Path) -> Dict[str, Any]:
     """Fields shared by both formats, decoded and type-checked."""
     try:
         config = config_from_dict(json.loads(str(payload["config_json"])))
         n_pixels = int(payload["n_pixels"])
-        conductances = np.array(payload["conductances"], dtype=np.float64)
+        conductances = _decode_conductances(payload, path)
         theta = np.array(payload["theta"], dtype=np.float64)
     except (KeyError, ValueError, TypeError) as exc:
         raise CheckpointError(
@@ -217,12 +242,25 @@ def save_run_checkpoint(path: Union[str, Path], state: "TrainingRunState") -> No
         "magic": np.array(_MAGIC_V2),
         "config_json": np.array(json.dumps(config_to_dict(state.config))),
         "n_pixels": np.array(state.n_pixels),
-        "conductances": state.conductances,
         "theta": state.theta,
         "rng_json": np.array(json.dumps(state.rng_state)),
         "run_json": np.array(json.dumps(state.run_fields())),
         "spikes_per_image": np.asarray(state.spikes_per_image, dtype=np.int64),
     }
+    # Fixed-point runs of <= 16 total bits persist the integer Q-format
+    # codes themselves — the checkpoint stores the learned state at its
+    # native width (a 4x-8x smaller array), and the decode in
+    # ``_decode_conductances`` restores the on-grid float values bit for
+    # bit.  Wider/float configs keep the float64 representation.
+    from repro.quantization.codec import codec_for
+    from repro.quantization.quantizer import make_quantizer
+
+    codec = codec_for(make_quantizer(state.config.quantization))
+    if codec is not None:
+        payload["g_codes"] = codec.encode(state.conductances)
+        payload["g_frac_bits"] = np.array(codec.fmt.frac_bits)
+    else:
+        payload["conductances"] = state.conductances
     if state.neuron_labels is not None:
         payload["neuron_labels"] = _validate_labels(
             state.neuron_labels, state.config.wta.n_neurons

@@ -118,6 +118,10 @@ def _check_spec(spec, base: type, equivalence_enum: type) -> List[Finding]:
         )
     if not spec.backends or not all(isinstance(b, str) and b for b in spec.backends):
         cflag("backends must be a non-empty tuple of backend names")
+    if not spec.precisions or not all(
+        isinstance(p, str) and p for p in spec.precisions
+    ):
+        cflag("precisions must be a non-empty tuple of dtype names")
     if not spec.summary:
         cflag("summary must be a non-empty capability description")
     return findings

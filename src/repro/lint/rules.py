@@ -30,6 +30,14 @@ R1_EXEMPT_SUFFIXES: Tuple[str, ...] = ("engine/rng.py",)
 #: Directory names whose files count as dtype-strict hot paths for R2.
 R2_STRICT_DIRS: FrozenSet[str] = frozenset({"engine", "quantization"})
 
+#: Paths where R2 additionally polices silent float64 *upcasts*: the
+#: integer-native qfused kernel and the whole quantization layer, where a
+#: dtype-less ``np.asarray``/``np.array`` or an ``astype(float)`` quietly
+#: promotes uint8/uint16 code arrays back to full-precision floats — the
+#: exact round trip the integer tier exists to eliminate.
+R2_INT_NATIVE_SUFFIXES: Tuple[str, ...] = ("engine/qfused.py",)
+R2_INT_NATIVE_DIRS: FrozenSet[str] = frozenset({"quantization"})
+
 _PRAGMA_RE = re.compile(r"#\s*lint-ok(?:\s*:\s*(?P<rules>[A-Za-z0-9,\s]+))?")
 
 
@@ -258,14 +266,35 @@ def _expression_precision(node: ast.AST) -> Optional[str]:
     return None
 
 
+#: ``astype`` arguments that silently select a platform-default width.
+_BUILTIN_CAST_NAMES = frozenset({"float", "int"})
+
+
+def _builtin_cast_tag(expr: ast.expr) -> Optional[str]:
+    """``"float"``/``"int"`` when *expr* is the builtin or its string name."""
+    if isinstance(expr, ast.Name) and expr.id in _BUILTIN_CAST_NAMES:
+        return expr.id
+    if isinstance(expr, ast.Constant) and expr.value in _BUILTIN_CAST_NAMES:
+        return str(expr.value)
+    return None
+
+
 class R2DtypeDiscipline(_RuleVisitor):
-    """Allocations in hot paths must pin a dtype; no 32/64-bit mixing."""
+    """Allocations in hot paths must pin a dtype; no 32/64-bit mixing.
+
+    With *int_native* set (the qfused kernel and the quantization layer),
+    additionally flags silent float64 upcasts: dtype-less
+    ``np.asarray``/``np.array`` conversions and ``astype(float)`` /
+    ``astype(int)`` casts, which widen integer code arrays to a
+    platform-default dtype without saying so.
+    """
 
     rule = "R2"
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, int_native: bool = False) -> None:
         super().__init__(path)
         self._seen_binops: set = set()
+        self._int_native = int_native
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
@@ -285,6 +314,27 @@ class R2DtypeDiscipline(_RuleVisitor):
                     f"{func.value.id}.{func.attr}(...) without an explicit "
                     "dtype in an engine/quantization hot path: pin the dtype "
                     "so precision does not drift with numpy defaults",
+                )
+            if (
+                self._int_native
+                and func.attr in ("asarray", "array")
+                and len(node.args) <= 1
+                and not any(kw.arg == "dtype" for kw in node.keywords)
+            ):
+                self.flag(
+                    node,
+                    f"{func.value.id}.{func.attr}(...) without an explicit "
+                    "dtype in an integer-native path: the conversion silently "
+                    "promotes Q-format code arrays (pass dtype=...)",
+                )
+        if self._int_native and isinstance(func, ast.Attribute) and func.attr == "astype":
+            tag = _builtin_cast_tag(node.args[0]) if node.args else None
+            if tag is not None:
+                self.flag(
+                    node,
+                    f"astype({tag}) in an integer-native path selects the "
+                    f"platform-default width (a silent float64/int64 upcast): "
+                    f"name the numpy dtype explicitly",
                 )
         self.generic_visit(node)
 
@@ -462,6 +512,12 @@ def _r2_applies(path: PurePosixPath) -> bool:
     return bool(R2_STRICT_DIRS.intersection(path.parts))
 
 
+def _r2_int_native(path: PurePosixPath) -> bool:
+    return str(path).endswith(R2_INT_NATIVE_SUFFIXES) or bool(
+        R2_INT_NATIVE_DIRS.intersection(path.parts)
+    )
+
+
 def _r5_applies(path: PurePosixPath) -> bool:
     return not R5_EXEMPT_DIRS.intersection(path.parts)
 
@@ -478,7 +534,7 @@ def check_module(tree: ast.AST, source: str, path: str) -> List[Finding]:
     if _r1_applies(posix):
         visitors.append(R1RandomConstruction(path))
     if _r2_applies(posix):
-        visitors.append(R2DtypeDiscipline(path))
+        visitors.append(R2DtypeDiscipline(path, int_native=_r2_int_native(posix)))
     if _r5_applies(posix):
         visitors.append(R5ExceptionHygiene(path))
 

@@ -134,7 +134,7 @@ class UnsupervisedTrainer:
         epochs: int = 1,
         on_image_end: Optional[Callable[[int, TrainingLog], None]] = None,
         fast: Union[bool, str, object] = _FAST_UNSET,
-        engine: Optional[str] = None,
+        engine: Optional[Union[str, Any]] = None,
         resume_from: Optional[Union[str, "TrainingRunState"]] = None,
         autosave: Optional["AutosavePolicy"] = None,
         sentinel: Optional["NumericHealthSentinel"] = None,
@@ -153,6 +153,9 @@ class UnsupervisedTrainer:
         trainer's ``engine``, then the config's ``engine.train`` (default
         ``"fused"`` — bit-identical to ``"reference"`` under the same
         seeds, several times faster; see the registry's capability table).
+        A pre-built engine *instance* (anything with the
+        ``run(image, t_ms, n_steps, dt_ms)`` presentation protocol) is also
+        accepted and used as-is, bypassing registry resolution.
 
         ``fast`` is the deprecated boolean/str alias for the same choice
         (``False`` → ``"reference"``, ``True`` → ``"fused"``, ``"event"`` →
@@ -200,8 +203,17 @@ class UnsupervisedTrainer:
         if batch.ndim != 3:
             raise SimulationError(f"images must be 2-D or 3-D, got shape {batch.shape}")
 
-        engine_name = engine or self.engine or self.network.config.engine.train
-        kernel = create_training_engine(engine_name, self.network)
+        engine_choice = engine or self.engine or self.network.config.engine.train
+        if isinstance(engine_choice, str):
+            engine_name = engine_choice
+            kernel = create_training_engine(engine_name, self.network)
+        else:
+            # A pre-built engine instance (anything implementing run());
+            # used by the bench harness and equivalence tests to drive
+            # configured kernels (e.g. the qfused float shadow twin) that
+            # have no registry name of their own.
+            kernel = engine_choice
+            engine_name = getattr(kernel, "name", "") or type(kernel).__name__
         kernel_stats = getattr(kernel, "stats", None)
 
         sim = self.network.config.simulation

@@ -8,8 +8,13 @@
   learning module uses: it owns a format + rounding mode, exposes the
   per-event ``delta_g`` (the fixed ``1/2^n`` LSB for <= 8 total bits) and
   quantises conductance arrays in place.
+- :mod:`repro.quantization.codec` — :class:`QCodec`, the integer code-domain
+  view of a format for the ``qfused`` engine tier: uint8/uint16 storage,
+  exact encode/decode scale factors and eq.-8 rounding fused into integer
+  code increments.
 """
 
+from repro.quantization.codec import MAX_CODE_BITS, QCodec, code_dtype, codec_for
 from repro.quantization.qformat import QFormat, parse_qformat
 from repro.quantization.rounding import (
     round_nearest,
@@ -20,7 +25,11 @@ from repro.quantization.rounding import (
 from repro.quantization.quantizer import FloatQuantizer, Quantizer, make_quantizer
 
 __all__ = [
+    "MAX_CODE_BITS",
+    "QCodec",
     "QFormat",
+    "code_dtype",
+    "codec_for",
     "parse_qformat",
     "round_nearest",
     "round_stochastic",

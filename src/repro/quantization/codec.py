@@ -1,0 +1,225 @@
+"""Integer code-domain kernels for Q-format storage.
+
+A conductance in format ``Qm.n`` is a *code* — the integer ``k`` such that
+``G = k * 2^-n``.  The float-simulated quantisation path
+(:mod:`repro.quantization.quantizer`) stores the decoded float64 values and
+re-snaps them after every update; :class:`QCodec` instead gives the engines
+a direct integer representation:
+
+- :meth:`QCodec.encode` / :meth:`QCodec.decode` map between float
+  conductances and ``uint8``/``uint16`` codes.  Both directions are *exact*
+  for on-grid values: every representable ``k * 2^-n`` (``n <= 15``) is a
+  dyadic rational with an exact float64 image, so
+  ``decode(encode(g)) == g`` bit for bit whenever ``g`` lies on the grid —
+  the invariant the integer engine tier and the checkpoint round-trip rely
+  on.
+- :meth:`QCodec.delta_codes` is the code-domain image of
+  ``Quantizer.quantize_delta``: the fixed-LSB fast path (±1 code for
+  formats of 8 total bits or fewer) and, for wider formats, the three
+  rounding options with eq. (8) stochastic rounding fused into an integer
+  compare-against-random — one uniform draw per *changed* synapse, from
+  whatever dedicated stream the caller supplies.
+
+Formats wider than :data:`MAX_CODE_BITS` (16) have no integer storage tier
+here; :func:`code_dtype` raises for them and callers fall back to the
+float-simulated path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.config.parameters import RoundingMode
+from repro.errors import QuantizationError
+from repro.quantization.qformat import QFormat
+from repro.quantization.quantizer import FIXED_LSB_MAX_BITS, Quantizer
+
+#: Widest format the integer code representation serves (``uint16``).
+MAX_CODE_BITS = 16
+
+
+def code_dtype(fmt: QFormat) -> "np.dtype[Any]":
+    """The narrowest unsigned storage dtype holding *fmt*'s codes.
+
+    ``uint8`` for formats of 8 total bits or fewer, ``uint16`` up to 16;
+    wider formats raise — they stay on the float-simulated path.
+    """
+    if fmt.total_bits > MAX_CODE_BITS:
+        raise QuantizationError(
+            f"{fmt} is {fmt.total_bits} bits wide; integer code storage "
+            f"supports at most {MAX_CODE_BITS} bits"
+        )
+    if fmt.total_bits <= 8:
+        return np.dtype(np.uint8)
+    return np.dtype(np.uint16)
+
+
+@dataclass(frozen=True)
+class QCodec:
+    """Precomputed scale factors and kernels for one format + rounding mode.
+
+    ``max_code`` is the code of the quantiser's conductance ceiling
+    (``min(fmt.max_value, 1.0)``, the Table I cap), so clipping codes to
+    ``[0, max_code]`` is exactly the float path's ``[g_min, g_max]`` clamp.
+    """
+
+    fmt: QFormat
+    rounding: RoundingMode
+    #: ``2^-n`` — the decode scale factor (one LSB).
+    resolution: float
+    #: ``2^n`` — the encode scale factor (exact float64 power of two).
+    inv_resolution: float
+    #: Code of the largest storable conductance.
+    max_code: int
+    #: Unsigned storage dtype (``uint8`` or ``uint16``).
+    dtype: "np.dtype[Any]"
+    #: Whether updates use the fixed ±1-LSB step (<= 8 total bits).
+    fixed_lsb: bool
+
+    @classmethod
+    def from_quantizer(cls, quantizer: Quantizer) -> "QCodec":
+        """Build the codec matching a fixed-point :class:`Quantizer`."""
+        fmt = quantizer.fmt
+        resolution = fmt.resolution
+        inv_resolution = 1.0 / resolution
+        return cls(
+            fmt=fmt,
+            rounding=quantizer.rounding,
+            resolution=resolution,
+            inv_resolution=inv_resolution,
+            max_code=int(round(quantizer.g_max * inv_resolution)),
+            dtype=code_dtype(fmt),
+            fixed_lsb=quantizer.uses_fixed_lsb,
+        )
+
+    @property
+    def code_bits(self) -> int:
+        """Storage width of one code in bits (8 or 16)."""
+        return int(self.dtype.itemsize) * 8
+
+    # ------------------------------------------------------------------
+    # code <-> value kernels
+    # ------------------------------------------------------------------
+
+    def encode(
+        self, values: np.ndarray, dtype: Optional["np.dtype[Any]"] = None
+    ) -> np.ndarray:
+        """Float conductances -> integer codes, clipped to ``[0, max_code]``.
+
+        Exact (pure rescaling, no rounding error) for values already on the
+        storage grid; off-grid values snap to the nearest code.  *dtype*
+        overrides the storage dtype — the float shadow twin passes
+        ``float64`` to keep integer-valued codes in float storage.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        codes = np.rint(arr * self.inv_resolution)
+        np.clip(codes, 0.0, float(self.max_code), out=codes)
+        return codes.astype(self.dtype if dtype is None else dtype)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Integer codes -> float64 conductances (exact: ``k * 2^-n``)."""
+        return np.multiply(codes, self.resolution, dtype=np.float64)
+
+    def decode_into(self, codes: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """:meth:`decode` writing into a preallocated float64 array."""
+        return np.multiply(codes, self.resolution, out=out, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # fused delta rounding (the eq.-8 integer kernel)
+    # ------------------------------------------------------------------
+
+    def delta_codes(
+        self,
+        delta: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Code-domain image of ``Quantizer.quantize_delta`` for *delta*.
+
+        Returns an integer-valued float64 array of signed code increments.
+        In the fixed-LSB regime the computed magnitude is replaced by
+        ``sign(delta)`` — one LSB per event, zero RNG draws (Section
+        III-C).  Wider formats scale by ``2^n`` and round: truncate and
+        nearest are deterministic; stochastic rounding is eq. (8) as an
+        integer compare-against-random, drawing **one uniform per changed
+        entry** (``delta != 0``) from *rng* in C order — the quantity the
+        float-simulated path spends a full-matrix draw on.
+        """
+        arr = np.asarray(delta, dtype=np.float64)
+        if self.fixed_lsb:
+            return np.sign(arr)
+        scaled = arr * self.inv_resolution
+        if self.rounding is RoundingMode.TRUNCATE:
+            return np.floor(scaled)
+        if self.rounding is RoundingMode.NEAREST:
+            return np.floor(scaled + 0.5)
+        down = np.floor(scaled)
+        frac = scaled - down
+        changed = np.flatnonzero(arr)
+        if changed.size:
+            if rng is None:
+                raise QuantizationError(
+                    "stochastic rounding requires a seeded RNG stream: the "
+                    "config selected rounding=stochastic (eq. 8), which "
+                    "draws one uniform per changed synapse; pass the "
+                    "dedicated 'qrounding' stream (RngStreams.qrounding)"
+                )
+            draws = rng.random(size=changed.size)
+            flat = down.reshape(-1)
+            flat[changed] += draws < frac.reshape(-1)[changed]
+        return down
+
+    def apply_delta_codes(
+        self,
+        codes: np.ndarray,
+        cols: np.ndarray,
+        delta_codes: np.ndarray,
+        mask_cols: Optional[np.ndarray] = None,
+    ) -> None:
+        """Scatter signed code increments onto the *cols* columns of *codes*.
+
+        Generalised over the storage dtype: unsigned-integer storage
+        widens to ``int64`` for the add (no wraparound), saturates into
+        ``[0, max_code]`` and narrows back; the float shadow twin's
+        ``float64`` code array takes the same arithmetic directly.  Both
+        produce identical integer values — the dtype-equivalence contract
+        of the ``qfused`` tier.  *mask_cols* (connectivity restricted to
+        *cols*) zeroes permanently-absent synapses, matching
+        ``ConductanceMatrix.apply_delta_columns``.
+        """
+        if codes.dtype.kind == "u":
+            updated = codes[:, cols].astype(np.int64)
+            updated += delta_codes.astype(np.int64)
+            np.clip(updated, 0, self.max_code, out=updated)
+            updated = updated.astype(codes.dtype)
+        else:
+            updated = codes[:, cols] + delta_codes
+            np.clip(updated, 0.0, float(self.max_code), out=updated)
+        if mask_cols is not None:
+            updated = np.where(mask_cols, updated, 0)
+        codes[:, cols] = updated
+
+
+def codec_for(quantizer: object) -> Optional[QCodec]:
+    """The :class:`QCodec` serving *quantizer*, or ``None``.
+
+    ``None`` when the quantiser is floating point or the format is wider
+    than :data:`MAX_CODE_BITS` — the callers' signal to stay on the
+    float-simulated path.
+    """
+    if not isinstance(quantizer, Quantizer):
+        return None
+    if quantizer.fmt.total_bits > MAX_CODE_BITS:
+        return None
+    return QCodec.from_quantizer(quantizer)
+
+
+__all__ = [
+    "FIXED_LSB_MAX_BITS",
+    "MAX_CODE_BITS",
+    "QCodec",
+    "code_dtype",
+    "codec_for",
+]

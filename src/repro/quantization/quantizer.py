@@ -108,8 +108,6 @@ class Quantizer:
             return round_truncate(values, res)
         if self._rounding is RoundingMode.NEAREST:
             return round_nearest(values, res)
-        if rng is None:
-            raise QuantizationError("stochastic rounding requires an RNG")
         return round_stochastic(values, res, rng)
 
     def quantize(self, values: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:

@@ -18,7 +18,7 @@ handling belongs to the quantiser.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -60,7 +60,7 @@ def stochastic_round_up_probability(values: ArrayLike, resolution: float) -> np.
 
 
 def round_stochastic(
-    values: ArrayLike, resolution: float, rng: np.random.Generator
+    values: ArrayLike, resolution: float, rng: Optional[np.random.Generator]
 ) -> np.ndarray:
     """Stochastically round *values* onto the grid (eq. 8).
 
@@ -69,6 +69,13 @@ def round_stochastic(
     expectation: ``E[round(x)] = x``.
     """
     _check_resolution(resolution)
+    if rng is None:
+        raise QuantizationError(
+            "rounding=stochastic requires a seeded RNG stream: eq. (8) draws "
+            "one uniform per rounded value, so pass a generator (e.g. the "
+            "'rounding' stream of RngStreams) or set rounding=nearest/"
+            "truncate in QuantizationConfig"
+        )
     arr = np.asarray(values, dtype=np.float64)
     down = np.floor(arr / resolution)
     p_up = arr / resolution - down

@@ -1,0 +1,25 @@
+"""R2 int-native fixture: silent float64/int64 upcasts of code arrays.
+
+Expected findings (4): two dtype-less conversions (``np.asarray`` /
+``np.array``) and two platform-default-width casts (``astype(float)`` /
+``astype("int")``).  The on-grid decode with an explicit dtype is clean.
+"""
+
+import numpy as np
+
+
+def widen(codes: np.ndarray) -> np.ndarray:
+    converted = np.asarray(codes)
+    copied = np.array(codes)
+    return converted + copied
+
+
+def cast(codes: np.ndarray) -> np.ndarray:
+    as_float = codes.astype(float)
+    as_int = codes.astype("int")
+    return as_float + as_int
+
+
+def clean(codes: np.ndarray) -> np.ndarray:
+    decoded = np.asarray(codes, dtype=np.float64)
+    return decoded.astype(np.int64)

@@ -32,6 +32,18 @@ class TestSelection:
     def test_name_is_normalised(self):
         assert backend.set_backend("  NumPy ") is np
 
+    def test_available_backends_is_a_string_tuple(self):
+        names = backend.available_backends()
+        assert isinstance(names, tuple)
+        assert all(isinstance(name, str) for name in names)
+        assert "numpy" in names
+
+    def test_backend_name_derives_from_resolved_module(self):
+        """The name comes from the module actually in use, not the request
+        string: the top-level package name of ``get_array_module()``."""
+        backend.set_backend("  NumPy ")
+        assert backend.backend_name() == np.__name__.partition(".")[0]
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError):
             backend.set_backend("tensorflow")

@@ -103,14 +103,35 @@ class TestEngines:
     def test_engines_command_lists_capability_table(self, capsys):
         assert main(["engines"]) == 0
         out = capsys.readouterr().out
-        for name in ("reference", "fused", "event", "batched"):
+        for name in ("reference", "fused", "qfused", "event", "batched"):
             assert name in out
         for tier in ("bit_exact", "spike_equivalent", "statistical"):
             assert tier in out
+        assert "precision" in out
+        assert "uint8+uint16" in out
 
     def test_run_accepts_engine_flags(self, capsys):
         code = main(self._TINY + ["--engine", "event", "--eval-engine", "batched"])
         assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_run_quantized_preset_with_qfused_engine(self, capsys):
+        code = main(self._TINY + ["--preset", "8bit", "--engine", "qfused"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_run_quantized_preset_saves_loadable_checkpoint(self, capsys, tmp_path):
+        """--save must work under stochastic rounding (the quantizer needs
+        an RNG to re-snap the trained, already-on-grid conductances)."""
+        ckpt = tmp_path / "qfused.npz"
+        code = main(self._TINY + [
+            "--preset", "8bit", "--engine", "qfused", "--save", str(ckpt),
+        ])
+        assert code == 0
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(["evaluate", str(ckpt), "--n-test", "12",
+                     "--n-labeling", "4", "--size", "8"]) == 0
         assert "accuracy" in capsys.readouterr().out
 
     def test_run_rejects_unregistered_engine_name(self):

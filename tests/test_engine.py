@@ -48,6 +48,31 @@ class TestRngStreams:
         with pytest.raises(SimulationError):
             RngStreams(1.5)
 
+    def test_state_dict_covers_every_stream(self):
+        state = RngStreams(0).state_dict()
+        assert sorted(state["streams"]) == sorted(STREAM_NAMES)
+
+    def test_load_tolerates_checkpoints_predating_qrounding(self):
+        """Old v2 checkpoints lack the (optional) qrounding stream: they
+        must still load, with qrounding freshly reseeded from the seed."""
+        streams = RngStreams(5)
+        state = streams.state_dict()
+        del state["streams"]["qrounding"]
+        restored = RngStreams(0)
+        restored.load_state_dict(state)
+        assert np.array_equal(
+            restored.learning.random(4), RngStreams(5).learning.random(4)
+        )
+        assert np.array_equal(
+            restored.qrounding.random(4), RngStreams(5).qrounding.random(4)
+        )
+
+    def test_load_still_requires_the_mandatory_streams(self):
+        state = RngStreams(5).state_dict()
+        del state["streams"]["learning"]
+        with pytest.raises(SimulationError, match="learning"):
+            RngStreams(0).load_state_dict(state)
+
 
 class TestClock:
     def test_advance(self):

@@ -32,7 +32,9 @@ def tiny_network(tiny_config):
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert available_engines() == ("batched", "event", "fused", "reference")
+        assert available_engines() == (
+            "batched", "event", "fused", "qfused", "reference"
+        )
 
     def test_unknown_name_lists_registered_engines(self):
         with pytest.raises(ConfigurationError, match="batched.*event.*fused.*reference"):
@@ -65,13 +67,25 @@ class TestRegistry:
             create_training_engine("batched", tiny_network)
 
     def test_training_engine_error_lists_learners(self, tiny_network):
-        with pytest.raises(ConfigurationError, match="event, fused, reference"):
+        with pytest.raises(ConfigurationError, match="event, fused, qfused, reference"):
             create_training_engine("batched", tiny_network)
 
     def test_capability_rows_cover_all_engines(self):
         rows = capability_rows()
         assert [row[0] for row in rows] == list(available_engines())
-        assert all(len(row) == 6 for row in rows)
+        assert all(len(row) == 7 for row in rows)
+
+    def test_capability_rows_report_precisions(self):
+        by_name = {row[0]: row for row in capability_rows()}
+        assert by_name["fused"][4] == "float64"
+        assert by_name["qfused"][4] == "uint8+uint16"
+
+    def test_qfused_spec_declares_integer_tier(self):
+        spec = get_engine_spec("qfused")
+        assert spec.supports_learning
+        assert spec.equivalence is Equivalence.SPIKE_EQUIVALENT
+        assert spec.precisions == ("uint8", "uint16")
+        assert "float64" not in spec.precisions
 
     def test_duplicate_registration_rejected(self):
         spec = get_engine_spec("fused")

@@ -100,6 +100,25 @@ def test_r2_scoped_to_hot_path_directories():
     assert [f for f in findings if f.rule == "R2"] == []
 
 
+def test_r2_int_native_flags_silent_upcasts():
+    findings = _lint_fixture("quantization/bad_upcast.py")
+    assert findings, "the int-native R2 fixture must produce findings"
+    assert {f.rule for f in findings} == {"R2"}
+    messages = "\n".join(f.message for f in findings)
+    assert "integer-native" in messages
+    assert "silently promotes" in messages
+    assert "platform-default width" in messages
+    assert len(findings) == 4
+
+
+def test_r2_int_native_applies_to_the_qfused_kernel():
+    source = "import numpy as np\n\n\ndef f(codes):\n    return np.asarray(codes)\n"
+    findings = lint_source(source, "src/repro/engine/qfused.py")
+    assert [f.rule for f in findings] == ["R2"]
+    # The same conversion outside the integer-native scope is fine.
+    assert lint_source(source, "src/repro/engine/fused.py") == []
+
+
 # ---------------------------------------------------------------------------
 # R3: engine-registry contract conformance
 # ---------------------------------------------------------------------------
@@ -148,7 +167,7 @@ def test_r3_registered_engines_flow_into_the_report():
         unregister_engine(_BAD_SPEC.name)
     assert report.exit_code == 1
     assert all(f.rule == "R3" for f in report.findings)
-    assert report.contracts_checked == 5  # four built-ins + the bad fixture
+    assert report.contracts_checked == 6  # five built-ins + the bad fixture
 
 
 # ---------------------------------------------------------------------------

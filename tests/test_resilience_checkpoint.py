@@ -85,6 +85,102 @@ class TestV2RoundTrip:
         assert log.spikes_per_image == run_state.spikes_per_image
 
 
+@pytest.fixture
+def quantized_run_state(tiny_config, tiny_dataset):
+    """A mid-run state under the Q1.7 fixed-point config (uint8 codes)."""
+    from dataclasses import replace
+
+    from repro.config.parameters import QuantizationConfig, RoundingMode
+
+    config = replace(
+        tiny_config,
+        quantization=QuantizationConfig(
+            fmt="Q1.7", rounding=RoundingMode.STOCHASTIC
+        ),
+    )
+    net = WTANetwork(config, 64)
+    trainer = UnsupervisedTrainer(net)
+    log = trainer.train(tiny_dataset.train_images[:4], engine="qfused")
+    return TrainingRunState.capture(
+        net, log, t_ms=4 * 55.0, presentation_index=4, epochs=1, n_images=4,
+        normalizer=trainer.normalizer,
+    )
+
+
+class TestIntegerCodeStorage:
+    def test_fixed_point_checkpoints_store_codes_not_floats(
+        self, tmp_path, quantized_run_state
+    ):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, quantized_run_state)
+        with np.load(path) as data:
+            assert "conductances" not in data.files
+            assert data["g_codes"].dtype == np.uint8
+            assert int(data["g_frac_bits"]) == 7
+
+    def test_codes_round_trip_bit_identically(self, tmp_path, quantized_run_state):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, quantized_run_state)
+        loaded = load_run_checkpoint(path)
+        assert np.array_equal(loaded.conductances, quantized_run_state.conductances)
+        assert loaded.rng_state == quantized_run_state.rng_state
+
+    def test_code_checkpoint_readable_by_plain_loader(
+        self, tmp_path, quantized_run_state
+    ):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, quantized_run_state)
+        net, _ = load_checkpoint(path)
+        assert np.array_equal(net.conductances, quantized_run_state.conductances)
+
+    def test_float_config_keeps_float_storage(self, tmp_path, run_state):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, run_state)
+        with np.load(path) as data:
+            assert "conductances" in data.files
+            assert "g_codes" not in data.files
+
+    def test_malformed_code_dtype_rejected(self, tmp_path, quantized_run_state):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, quantized_run_state)
+        with np.load(path) as data:
+            payload = {name: data[name] for name in data.files}
+        payload["g_codes"] = payload["g_codes"].astype(np.int32)
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="uint8/uint16"):
+            load_run_checkpoint(path)
+
+    def test_out_of_range_frac_bits_rejected(self, tmp_path, quantized_run_state):
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, quantized_run_state)
+        with np.load(path) as data:
+            payload = {name: data[name] for name in data.files}
+        payload["g_frac_bits"] = np.array(40)
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="g_frac_bits"):
+            load_run_checkpoint(path)
+
+    def test_checkpoint_predating_qrounding_stream_loads(
+        self, tmp_path, run_state
+    ):
+        """v2 files written before the qrounding stream existed must stay
+        loadable: the stream is optional and reseeds from the run seed."""
+        import json
+
+        path = tmp_path / "run.npz"
+        save_run_checkpoint(path, run_state)
+        with np.load(path) as data:
+            payload = {name: data[name] for name in data.files}
+        rng_state = json.loads(str(payload["rng_json"]))
+        del rng_state["streams"]["qrounding"]
+        payload["rng_json"] = np.array(json.dumps(rng_state))
+        np.savez(path, **payload)
+        loaded = load_run_checkpoint(path)
+        net = loaded.build_network()
+        assert "qrounding" not in loaded.rng_state["streams"]
+        assert np.array_equal(net.conductances, run_state.conductances)
+
+
 class TestRejection:
     def test_missing_file(self, tmp_path):
         with pytest.raises(CheckpointError, match="not found"):

@@ -61,6 +61,63 @@ class TestStochasticRounding:
         grid = np.arange(8) * RES
         assert np.allclose(round_stochastic(grid, RES, rng), grid)
 
+    def test_missing_rng_error_names_the_config_knob(self):
+        """The error must tell the user *which setting* to change."""
+        with pytest.raises(QuantizationError) as err:
+            round_stochastic(np.array([0.3]), RES, None)
+        message = str(err.value)
+        assert "QuantizationConfig" in message
+        assert "rounding" in message
+        assert "RngStreams" in message
+
+
+@settings(max_examples=50)
+@given(
+    code=st.integers(min_value=0, max_value=250),
+    frac_bits=st.integers(min_value=1, max_value=15),
+)
+def test_up_probability_is_zero_exactly_on_lsb_boundaries(code, frac_bits):
+    """Eq. (8) at the grid points themselves: P_up(k * 2^-n) == 0."""
+    res = 2.0**-frac_bits
+    p = stochastic_round_up_probability(np.array([code * res]), res)
+    assert p[0] == 0.0
+
+
+@settings(max_examples=50)
+@given(
+    code=st.integers(min_value=0, max_value=250),
+    frac_bits=st.integers(min_value=1, max_value=15),
+    sixteenths=st.integers(min_value=1, max_value=15),
+)
+def test_up_probability_matches_fractional_lsb_position(code, frac_bits, sixteenths):
+    """Eq. (8) between grid points: P_up = (x - trunc(x)) * 2^n, exactly.
+
+    The probe offsets are sixteenths of one LSB — dyadic, so both the value
+    and the expected probability are exact in float64 and the assertion can
+    be equality rather than approximate.
+    """
+    res = 2.0**-frac_bits
+    value = (code + sixteenths / 16.0) * res
+    p = stochastic_round_up_probability(np.array([value]), res)
+    assert p[0] == sixteenths / 16.0
+
+
+@settings(max_examples=25)
+@given(
+    code=st.integers(min_value=0, max_value=100),
+    sixteenths=st.integers(min_value=0, max_value=15),
+)
+def test_stochastic_rounding_unbiased_in_expectation(code, sixteenths):
+    """E[round(x)] == x for any fractional position (eq. 8's design goal)."""
+    res = 0.125
+    value = (code + sixteenths / 16.0) * res
+    rng = np.random.default_rng(code * 16 + sixteenths)
+    out = round_stochastic(np.full(4000, value), res, rng)
+    # Standard error of the mean is res * sqrt(p(1-p)/n) <= res/(2*sqrt(n));
+    # five sigma keeps the property test deterministic in practice.
+    tol = 5 * res / (2 * np.sqrt(4000)) + 1e-12
+    assert abs(out.mean() - value) <= tol
+
 
 @given(
     value=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
