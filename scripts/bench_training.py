@@ -28,11 +28,15 @@ at the repository root:
   workload under the paper's ``Q1.7``/stochastic low-precision config and
   times the float-simulated quantized fused path against the
   integer-native ``"qfused"`` tier (conductances held as uint8/uint16
-  Q-format codes, eq.-8 rounding fused into the STDP scatter) — qfused
-  must be spike-equivalent and conductance-exact against its float shadow
-  twin at matched rounding draws, bit-identical to fused under nearest
-  rounding, and its code array at most 16 bits wide; all three are
-  blocking under ``--check``;
+  Q-format codes, eq.-8 rounding fused into the STDP scatter) and the
+  event-driven ``"qevent"`` tier (the same codes driven through sparse
+  gathers and closed-form jumps) — qfused must be spike-equivalent and
+  conductance-exact against its float shadow twin at matched rounding
+  draws, bit-identical to fused under nearest rounding, and its code
+  array at most 16 bits wide; qevent must reproduce qfused's codes **bit
+  for bit** (and its own float twin at ``conductance_atol=0.0``), with
+  the nearest-rounding pair bit-identical too; all are blocking under
+  ``--check``;
 
 - **evaluation** — the plasticity-frozen label/infer loop on the trained
   network, once per sequential engine.  The fused and event engines must
@@ -42,7 +46,10 @@ at the repository root:
   fast evaluation the default;
 
 - **inference** — the sequential evaluator against the image-parallel
-  ``"batched"`` engine (statistical tier: speed only, no bit comparison).
+  ``"batched"`` engine (statistical tier: speed only, no bit comparison),
+  plus the code-native ``"qbatched"`` tier on a quantized network, whose
+  response matrices (and hence predicted labels) must be bit-identical to
+  the float batched evaluator — blocking under ``--check``.
 
 The default workload mirrors the Fig. 4 comparison scale at the Table I
 high-frequency rates: 1000 output neurons on 16x16 inputs with 5-78 Hz
@@ -194,9 +201,19 @@ def bench_qfused(args, images) -> dict:
       paths compute the very same arithmetic;
     - the live code matrix must be at most 16 bits wide.
 
+    The event-driven ``qevent`` rows extend the ladder: qevent's codes
+    must be **bit-identical** to the dense qfused kernel's (code updates
+    are pure integer functions of the spike trajectory, which the
+    conservative crossing predictor preserves; thetas carry the float
+    event tier's jump-rearrangement tolerance), its own float shadow twin
+    must match at ``conductance_atol=0.0``, and the nearest-rounding
+    qevent/qfused pair must produce identical codes too.
+
     All violations are blocking under ``--check``; the
-    ``qfused_over_fused`` speedup feeds the usual warning-tier floor.
+    ``qfused_over_fused`` and ``qevent_over_qfused`` speedups feed the
+    usual warning-tier floors.
     """
+    from repro.engine.qevent import QEventPresentation
     from repro.engine.qfused import QFusedPresentation
     from repro.engine.registry import check_equivalence, get_engine_spec
     from repro.pipeline.trainer import UnsupervisedTrainer
@@ -204,7 +221,7 @@ def bench_qfused(args, images) -> dict:
     results: dict = {}
     state: dict = {}
 
-    def _row(key, rounding, engine_factory):
+    def _row(key, rounding, engine_factory, event_stats=False):
         net = _build_quantized(args.neurons, images[0].size, args.seed, rounding)
         t0 = time.perf_counter()
         log = UnsupervisedTrainer(net).train(images, engine=engine_factory(net))
@@ -214,6 +231,10 @@ def bench_qfused(args, images) -> dict:
             "images": log.images_seen,
             "total_spikes": int(sum(log.spikes_per_image)),
         }
+        if event_stats:
+            results[key]["steps_skipped"] = log.steps_skipped
+            results[key]["skipped_fraction"] = log.skipped_fraction
+            results[key]["raster_cell_occupancy"] = log.raster_occupancy
         state[key] = {
             "conductances": net.conductances.copy(),
             "thetas": net.neurons.theta.copy(),
@@ -226,6 +247,10 @@ def bench_qfused(args, images) -> dict:
          lambda net: QFusedPresentation(net, storage="float"))
     _row("fused_nearest", "nearest", lambda net: "fused")
     _row("qfused_nearest", "nearest", lambda net: "qfused")
+    _row("qevent", QFUSED_ROUNDING, lambda net: "qevent", event_stats=True)
+    _row("qevent_twin", QFUSED_ROUNDING,
+         lambda net: QEventPresentation(net, storage="float"))
+    _row("qevent_nearest", "nearest", lambda net: "qevent")
 
     # The declared contract at its tightest: spike-equivalent with zero
     # conductance tolerance against the float twin (same draws from the
@@ -250,6 +275,40 @@ def bench_qfused(args, images) -> dict:
             "bit-identical to the fused path"
         )
 
+    # The event-driven tier against the dense kernel: codes bit-identical
+    # (zero tolerance on conductances), thetas within the float event
+    # tier's jump-rearrangement tolerance (the default CONDUCTANCE_ATOL).
+    def _sans_thetas(row):
+        return {k: v for k, v in row.items() if k != "thetas"}
+
+    qevent_violations = check_equivalence(
+        get_engine_spec("qevent"), _sans_thetas(state["qfused"]),
+        _sans_thetas(state["qevent"]), conductance_atol=0.0,
+    )
+    qevent_violations += check_equivalence(
+        get_engine_spec("qevent"),
+        {"thetas": state["qfused"]["thetas"]},
+        {"thetas": state["qevent"]["thetas"]},
+    )
+    # The sparse kernel's own float shadow twin runs the identical jump
+    # math on the identical draws: everything matches bit for bit.
+    qevent_twin_violations = check_equivalence(
+        get_engine_spec("qevent"), state["qevent_twin"], state["qevent"],
+        conductance_atol=0.0,
+    )
+    violations += qevent_violations + qevent_twin_violations
+    qevent_nearest_exact = bool(
+        np.array_equal(state["qfused_nearest"]["conductances"],
+                       state["qevent_nearest"]["conductances"])
+        and state["qfused_nearest"]["spikes_per_image"]
+        == state["qevent_nearest"]["spikes_per_image"]
+    )
+    if not qevent_nearest_exact:
+        violations.append(
+            "engine 'qevent': nearest-rounding training no longer produces "
+            "bit-identical codes to the dense qfused kernel"
+        )
+
     # End-to-end width probe: the live code matrix of a freshly built
     # kernel at this workload's scale and format.
     probe = QFusedPresentation(
@@ -270,8 +329,16 @@ def bench_qfused(args, images) -> dict:
     results["qfused_over_fused"] = (
         results["fused"]["seconds"] / results["qfused"]["seconds"]
     )
+    results["qevent_over_qfused"] = (
+        results["qfused"]["seconds"] / results["qevent"]["seconds"]
+    )
+    results["qevent_over_fused"] = (
+        results["fused"]["seconds"] / results["qevent"]["seconds"]
+    )
     results["spike_equivalent"] = not twin_violations
     results["nearest_bit_exact"] = nearest_exact
+    results["qevent_code_exact"] = not (qevent_violations or qevent_twin_violations)
+    results["qevent_nearest_bit_exact"] = qevent_nearest_exact
     results["contract_violations"] = violations
     return results
 
@@ -368,6 +435,68 @@ def bench_inference(args, net, images) -> dict:
     }
 
 
+def bench_qbatched(args, train_images, test_images) -> dict:
+    """Code-native batched inference vs the float batched evaluator.
+
+    Trains a quantized network with the qfused engine, freezes it, then
+    collects batched responses twice through the registry engines —
+    ``"batched"`` (float64 matmul) and ``"qbatched"`` (uint8/uint16 codes,
+    int64-accumulating matmul scaled once).  Both draw from the restarted
+    salted ``batched_eval`` stream, so the response matrices — and hence
+    the argmax labels — must be **bit-identical** (every partial sum of
+    on-grid dyadic values is exact in float64); violations block under
+    ``--check``.  The speedup is reported for the record (statistical
+    tier: no speed floor).
+    """
+    from repro.pipeline.evaluator import Evaluator
+    from repro.pipeline.trainer import UnsupervisedTrainer
+
+    net = _build_quantized(args.neurons, train_images[0].size, args.seed,
+                           QFUSED_ROUNDING)
+    UnsupervisedTrainer(net).train(train_images, engine="qfused")
+    net.freeze()
+
+    t_present = 100.0
+    results: dict = {}
+    responses = {}
+    for engine in ("batched", "qbatched"):
+        evaluator = Evaluator(net, t_present_ms=t_present, engine=engine)
+        t0 = time.perf_counter()
+        responses[engine] = evaluator.collect_responses(test_images)
+        results[engine + "_seconds"] = time.perf_counter() - t0
+
+    identical = bool(np.array_equal(responses["batched"], responses["qbatched"]))
+    labels_identical = bool(np.array_equal(
+        responses["batched"].argmax(axis=1),
+        responses["qbatched"].argmax(axis=1),
+    ))
+    violations = []
+    if not identical:
+        violations.append(
+            "engine 'qbatched': integer-code batched responses are no "
+            "longer bit-identical to the float batched evaluator"
+        )
+    elif int(responses["batched"].sum()) == 0:
+        violations.append(
+            "engine 'qbatched': the batched comparison produced zero "
+            "spikes — the bit-identity contract was checked vacuously"
+        )
+    if not labels_identical:
+        violations.append(
+            "engine 'qbatched': predicted labels diverged from the float "
+            "batched evaluator"
+        )
+    results["speedup"] = results["batched_seconds"] / results["qbatched_seconds"]
+    results["bit_identical"] = identical
+    results["labels_identical"] = labels_identical
+    results["total_spikes"] = int(responses["batched"].sum())
+    results["images"] = int(np.asarray(test_images).shape[0])
+    results["t_present_ms"] = t_present
+    results["fmt"] = QFUSED_FMT
+    results["contract_violations"] = violations
+    return results
+
+
 def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: bool) -> int:
     """Compare a fresh run to the committed baseline; return an exit code.
 
@@ -398,9 +527,13 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
     qfused = training.get("qfused")
     if qfused is not None:
         # The integer tier's contracts (float-twin equivalence, nearest
-        # bit-identity, <= 16-bit codes) are correctness statements, so
-        # their violations block like the float-tier contracts above.
+        # bit-identity, <= 16-bit codes, qevent/qfused code bit-identity)
+        # are correctness statements, so their violations block like the
+        # float-tier contracts above.
         failures.extend(qfused.get("contract_violations", []))
+    qbatched = payload.get("inference", {}).get("qbatched")
+    if qbatched is not None:
+        failures.extend(qbatched.get("contract_violations", []))
     if not evaluation["bit_identical"]:
         failures.append(
             "fast-path evaluation (fused/event) is no longer bit-identical "
@@ -448,13 +581,18 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
                         f"{label} speedup {measured:.2f}x fell below the floor "
                         f"{floor:.2f}x ({CHECK_FLOOR_FRACTION:.0%} of committed {committed:.2f}x)"
                     )
-            committed_q = baseline.get("qfused", {}).get("qfused_over_fused")
-            if committed_q is not None and qfused is not None:
+            for key, label in (
+                ("qfused_over_fused", "qfused-over-fused"),
+                ("qevent_over_qfused", "qevent-over-qfused"),
+            ):
+                committed_q = baseline.get("qfused", {}).get(key)
+                if committed_q is None or qfused is None:
+                    continue
                 floor = committed_q * CHECK_FLOOR_FRACTION
-                measured = qfused["qfused_over_fused"]
+                measured = qfused[key]
                 if measured < floor:
                     warnings.append(
-                        f"qfused-over-fused speedup {measured:.2f}x fell below "
+                        f"{label} speedup {measured:.2f}x fell below "
                         f"the floor {floor:.2f}x ({CHECK_FLOOR_FRACTION:.0%} of "
                         f"committed {committed_q:.2f}x)"
                     )
@@ -514,6 +652,7 @@ def main() -> int:
 
     from repro.backend import backend_name
     from repro.datasets.dataset import load_dataset
+    from repro.quantization.qformat import parse_qformat
 
     data = load_dataset("mnist", n_train=args.images, n_test=args.images,
                         size=args.size, seed=args.seed)
@@ -523,7 +662,7 @@ def main() -> int:
     for engine in ("fused", "event"):
         warm = _build(args.neurons, data.train_images[0].size, args.seed)
         UnsupervisedTrainer(warm).train(data.train_images[:1], engine=engine)
-    for engine in ("fused", "qfused"):
+    for engine in ("fused", "qfused", "qevent"):
         warm = _build_quantized(args.neurons, data.train_images[0].size,
                                 args.seed, QFUSED_ROUNDING)
         UnsupervisedTrainer(warm).train(data.train_images[:1], engine=engine)
@@ -533,6 +672,7 @@ def main() -> int:
     UnsupervisedTrainer(trained_net).train(data.train_images, engine="fused")
     evaluation = bench_evaluation(args, trained_net, data.test_images)
     inference = bench_inference(args, trained_net, data.test_images)
+    inference["qbatched"] = bench_qbatched(args, data.train_images, data.test_images)
 
     payload = {
         "workload": {
@@ -547,6 +687,22 @@ def main() -> int:
             "qfused_fmt": QFUSED_FMT,
             "qfused_rounding": QFUSED_ROUNDING,
             "qfused_code_dtype": training["qfused"]["code_dtype"],
+            # Self-describing precision/sparsity metadata: enough to
+            # reproduce the quantized rows without reading the source.
+            "quantized": {
+                "fmt": QFUSED_FMT,
+                "code_bits": training["qfused"]["code_bits"],
+                "int_bits": parse_qformat(QFUSED_FMT).int_bits,
+                "frac_bits": parse_qformat(QFUSED_FMT).frac_bits,
+                "rounding": QFUSED_ROUNDING,
+                "code_dtype": training["qfused"]["code_dtype"],
+                # Measured on this workload's rasters by the qevent row —
+                # the occupancy regime the sparse integer path won at.
+                "raster_cell_occupancy":
+                    training["qfused"]["qevent"]["raster_cell_occupancy"],
+                "steps_skipped_fraction":
+                    training["qfused"]["qevent"]["skipped_fraction"],
+            },
         },
         "training": training,
         "evaluation": evaluation,
@@ -586,6 +742,15 @@ def main() -> int:
     print(f"           qfused/fused {qf['qfused_over_fused']:.2f}x  "
           f"spike_equivalent={qf['spike_equivalent']}  "
           f"nearest_bit_exact={qf['nearest_bit_exact']}")
+    print(f"qevent   : qevent {qf['qevent']['seconds']:.3f}s  "
+          f"qevent/qfused {qf['qevent_over_qfused']:.2f}x  "
+          f"qevent/fused {qf['qevent_over_fused']:.2f}x  "
+          f"code_exact={qf['qevent_code_exact']}  "
+          f"nearest_bit_exact={qf['qevent_nearest_bit_exact']}")
+    print(f"           raster occupancy "
+          f"{qf['qevent']['raster_cell_occupancy']:.4f}  "
+          f"steps skipped {qf['qevent']['steps_skipped']} "
+          f"({qf['qevent']['skipped_fraction']:.1%})")
     print(f"evaluation: reference {evaluation['reference_seconds']:.3f}s  "
           f"fused {evaluation['fused_seconds']:.3f}s  "
           f"event {evaluation['event_seconds']:.3f}s")
@@ -595,6 +760,12 @@ def main() -> int:
     print(f"inference: sequential {inference['sequential_seconds']:.3f}s  "
           f"batched {inference['batched_seconds']:.3f}s  "
           f"speedup {inference['speedup']:.2f}x")
+    qb = inference["qbatched"]
+    print(f"qbatched : batched {qb['batched_seconds']:.3f}s  "
+          f"qbatched {qb['qbatched_seconds']:.3f}s  "
+          f"speedup {qb['speedup']:.2f}x  "
+          f"bit_identical={qb['bit_identical']}  "
+          f"labels_identical={qb['labels_identical']}")
 
     if args.check:
         return check_against_baseline(payload, args.baseline, args.strict_speed)

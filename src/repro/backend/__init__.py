@@ -52,19 +52,27 @@ _selected: Optional[str] = None
 #: Cache of successfully imported backend modules, keyed by name.
 _modules = {"numpy": numpy}
 
+#: Cached CuPy probe failure (message), or None when CuPy has not been
+#: probed yet / imported fine.  Without it every ``available_backends()``
+#: call — the CLI renders the capability table on each invocation — would
+#: re-pay the failed import machinery (path scans, ImportError raising).
+_cupy_unavailable: Optional[str] = None
+
 
 def _import_cupy():
-    """Import CuPy and verify a CUDA device answers; cache on success."""
+    """Import CuPy and verify a CUDA device answers; cache either outcome."""
+    global _cupy_unavailable
     if "cupy" in _modules:
         return _modules["cupy"]
+    if _cupy_unavailable is not None:
+        raise ConfigurationError(_cupy_unavailable)
     try:
         import cupy  # noqa: F401 — optional dependency, never installed here
 
         cupy.cuda.runtime.getDeviceCount()
     except Exception as exc:  # lint-ok: R5 — any import failure means "unavailable"
-        raise ConfigurationError(
-            f"backend 'cupy' requested but unavailable: {exc!r}"
-        ) from exc
+        _cupy_unavailable = f"backend 'cupy' requested but unavailable: {exc!r}"
+        raise ConfigurationError(_cupy_unavailable) from exc
     _modules["cupy"] = cupy
     return cupy
 

@@ -28,6 +28,17 @@ captured the arrays at construction, which silently served *stale* weights
 whenever further training or normalisation replaced the network's buffers —
 an inference engine built once and reused across training checkpoints must
 always see the current weights.
+
+With ``storage="int"`` (the ``qbatched`` engine tier) the frozen
+conductances are encoded once per call into uint8/uint16 Q-format codes
+(:class:`~repro.quantization.codec.QCodec`) and the per-step batched matmul
+runs as **integer accumulation** scaled once by ``resolution * amplitude``
+(:meth:`QCodec.batched_drive`).  On-grid code sums below ``2^53`` are exact
+and the scale factor is a power-of-two multiple of the amplitude, so the
+response matrices — and hence the predicted labels — are **bit-identical**
+to the float path under the same draws, at a quarter (uint16) to an eighth
+(uint8) of the matmul's weight-matrix memory traffic.  The integer path
+requires a fixed-point quantization config and the numpy backend.
 """
 
 from __future__ import annotations
@@ -36,18 +47,37 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.backend import asnumpy, get_array_module
+from repro.backend import asnumpy, backend_name, get_array_module
 from repro.config.parameters import ExperimentConfig
 from repro.encoding.rate import intensity_to_frequency
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.network.wta import WTANetwork
+from repro.quantization.codec import QCodec, require_codec
+
+#: Conductance storage modes: ``"float"`` is the original float64 matmul
+#: path; ``"int"`` drives the matmul with Q-format codes (``qbatched``).
+STORAGE_MODES = ("float", "int")
 
 
 class BatchedInference:
     """Frozen-network inference over many images simultaneously."""
 
-    def __init__(self, network: WTANetwork) -> None:
+    def __init__(self, network: WTANetwork, storage: str = "float") -> None:
+        if storage not in STORAGE_MODES:
+            raise ConfigurationError(
+                f"batched storage must be one of {STORAGE_MODES}, got {storage!r}"
+            )
+        self.codec: Optional[QCodec] = None
+        if storage == "int":
+            if get_array_module() is not np:
+                raise ConfigurationError(
+                    f"the qbatched integer inference path requires the numpy "
+                    f"backend (the int64-accumulating matmul is a numpy "
+                    f"kernel); active backend is {backend_name()!r}."
+                )
+            self.codec = require_codec(network.synapses.quantizer, "qbatched")
         self.network = network
+        self.storage = storage
         self.config: ExperimentConfig = network.config
         self.n_pixels = network.n_pixels
         self.amplitude = network.amplitude
@@ -59,7 +89,7 @@ class BatchedInference:
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Per-image output spike counts, shape ``(n_images, n_neurons)``."""
-        batch = np.asarray(images)
+        batch = np.asarray(images, dtype=np.float64)
         if batch.ndim == 2:
             batch = batch[None]
         if batch.ndim != 3:
@@ -91,12 +121,21 @@ class BatchedInference:
         lif = cfg.lif
         wta = cfg.wta
 
-        # Learned state, read fresh from the network for every call.
-        g = xp.asarray(self.network.conductances)
-        theta = xp.asarray(self.network.neurons.theta)
+        # Learned state, read fresh from the network for every call.  The
+        # integer path re-encodes the frozen float view into codes once per
+        # call (exact: live conductances sit on the storage grid), so the
+        # per-step matmul reads uint8/uint16 instead of float64.
+        codec = self.codec
+        if codec is not None:
+            g_codes = codec.encode(self.network.conductances)
+            inj_scale = codec.resolution * self.amplitude
+        else:
+            g = xp.asarray(self.network.conductances, dtype=xp.float64)
+        theta = xp.asarray(self.network.neurons.theta, dtype=xp.float64)
 
         spike_prob = xp.asarray(
-            intensity_to_frequency(flat, cfg.encoding) * (dt / 1000.0)
+            intensity_to_frequency(flat, cfg.encoding) * (dt / 1000.0),
+            dtype=xp.float64,
         )
 
         v = xp.full((n_images, n_neurons), lif.v_init, dtype=xp.float64)
@@ -110,7 +149,10 @@ class BatchedInference:
 
         for _ in range(n_steps):
             input_spikes = draw(spike_prob.shape) < spike_prob
-            injected = (input_spikes @ g) * self.amplitude
+            if codec is not None:
+                injected = codec.batched_drive(input_spikes, g_codes, inj_scale)
+            else:
+                injected = (input_spikes @ g) * self.amplitude
             if wta.synapse_model == "conductance":
                 scale = (wta.e_excitatory - v) / (wta.e_excitatory - lif.v_reset)
                 injected = injected * xp.maximum(scale, 0.0)

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.config.parameters import RoundingMode
+from repro.errors import ConfigurationError
 from repro.learning.deterministic import DeterministicSTDP
 from repro.learning.stochastic import LTDMode, StochasticSTDP
 from repro.learning.updates import (
@@ -121,8 +122,32 @@ def deterministic_rule_columns(
     synapses.apply_delta_columns(cols, delta_cols, rng)
 
 
+def resolve_quantized_rule(network: WTANetwork) -> str:
+    """Which code-domain column path serves *network*'s rule, or raise.
+
+    The integer-native training kernels (``qfused``, ``qevent``) serve
+    exactly the column-restricted rules: plain deterministic STDP, or
+    stochastic STDP with post-event LTD.  The pair-LTD modes touch the
+    learning stream at pre-spike steps through the full-matrix reference
+    path and have no code-domain equivalent, so — unlike
+    :func:`resolve_fast_rule`'s ``None``-means-fallback contract — an
+    unsupported rule is a configuration error here.
+    """
+    rule = network.rule
+    if isinstance(rule, DeterministicSTDP):
+        return "deterministic"
+    if isinstance(rule, StochasticSTDP) and rule.ltd_mode is LTDMode.POST_EVENT:
+        return "stochastic"
+    raise ConfigurationError(
+        "the integer-native engines serve the column-restricted STDP rules "
+        "only (stdp.kind='deterministic', or 'stochastic' with "
+        "ltd_mode='post_event'); pair-LTD modes need the full-matrix "
+        "reference path of the 'fused' engine"
+    )
+
+
 # ----------------------------------------------------------------------
-# code-domain variants (the integer ``qfused`` tier)
+# code-domain variants (the integer ``qfused``/``qevent`` tier)
 # ----------------------------------------------------------------------
 #
 # Same column restriction, generalised over the storage dtype: conductances

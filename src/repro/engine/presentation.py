@@ -275,6 +275,49 @@ class QFusedEngine(PresentationEngine):
         )
 
 
+class QEventEngine(PresentationEngine):
+    """The event-driven integer kernel (:class:`~repro.engine.qevent.QEventPresentation`).
+
+    Composes the event tier's sparse-event/closed-form-jump loop with the
+    qfused tier's uint8/uint16 code storage (requires a fixed-point
+    quantization config of at most 16 total bits).  Spike-trajectory
+    equivalent to — and in practice code-bit-identical with — the dense
+    ``qfused`` kernel; the float shadow twin (``storage="float"``) remains
+    the stochastic-rounding oracle.  Exposes the kernel's
+    :class:`~repro.engine.event_train.EventTrainStats` as :attr:`stats`.
+    """
+
+    name = "qevent"
+
+    def __init__(self, network: WTANetwork) -> None:
+        super().__init__(network)
+        from repro.engine.qevent import QEventPresentation
+
+        self._kernel = QEventPresentation(network)
+
+    @property
+    def stats(self) -> EventTrainStats:
+        return self._kernel.stats
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The live Q-format code matrix of the underlying kernel."""
+        return self._kernel.codes
+
+    def run(
+        self,
+        image: np.ndarray,
+        t_ms: float,
+        n_steps: int,
+        dt_ms: float,
+        profiler: Optional[StepProfiler] = None,
+        out_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
+        return self._kernel.run(
+            image, t_ms, n_steps, dt_ms, profiler=profiler, out_counts=out_counts
+        )
+
+
 class BatchedEngine(PresentationEngine):
     """Image-parallel frozen inference (:class:`~repro.engine.batched.BatchedInference`).
 
@@ -286,6 +329,10 @@ class BatchedEngine(PresentationEngine):
 
     name = "batched"
 
+    #: Conductance storage handed to :class:`BatchedInference` — the
+    #: ``qbatched`` subclass selects the integer code path.
+    storage = "float"
+
     def collect_responses(
         self,
         images: np.ndarray,
@@ -295,7 +342,9 @@ class BatchedEngine(PresentationEngine):
     ) -> np.ndarray:
         from repro.engine.batched import BatchedInference
 
-        responses = BatchedInference(self.network).collect_responses(
+        responses = BatchedInference(
+            self.network, storage=self.storage
+        ).collect_responses(
             images,
             t_present_ms=t_present_ms,
             rng=self.network.rngs.batched_eval(),
@@ -305,3 +354,22 @@ class BatchedEngine(PresentationEngine):
             # a single post-batch invariant check.
             self.sentinel.check(self.network)
         return responses
+
+
+class QBatchedEngine(BatchedEngine):
+    """Code-native image-parallel inference (``qbatched``).
+
+    :class:`BatchedEngine` with integer conductance storage: the frozen
+    weights are encoded once into uint8/uint16 Q-format codes and the
+    per-step batched matmul accumulates in int64 with a single
+    ``resolution * amplitude`` scale.  Responses — and hence predicted
+    labels — are **bit-identical** to the float ``batched`` engine under
+    the same ``batched_eval`` draws (both draw from the restarted salted
+    stream, so the pairing is automatic); versus the *sequential* engines
+    the tier remains statistical, exactly like ``batched``.  Requires a
+    fixed-point quantization config and the numpy backend.
+    """
+
+    name = "qbatched"
+
+    storage = "int"

@@ -1,0 +1,632 @@
+"""Event-driven integer-native training: sparse events over Q-format codes.
+
+The two fastest training tiers in this repo optimise along orthogonal axes.
+The event kernel (:mod:`repro.engine.event_train`) exploits *temporal*
+sparsity: per-step event column lists instead of dense rasters, closed-form
+LIF/current/theta jumps across quiescent spans, integer expiry-step timers.
+The qfused kernel (:mod:`repro.engine.qfused`) exploits *numeric* redundancy:
+conductances held as uint8/uint16 Q-format codes end to end, with eq.-(8)
+stochastic rounding fused into the STDP scatter as an integer
+compare-against-random.  This module composes the two — the regime where the
+lazy/event-driven plasticity literature (PAPERS.md) and the integer-SIMD
+inference engines say the optimisations *multiply* rather than add:
+
+- **sparse integer drive** — at an input-event step the synaptic drive is a
+  row gather over the *code* matrix (:meth:`~repro.quantization.codec.QCodec.gather_drive`):
+  an int64 column sum over the few spiking rows, scaled once by
+  ``resolution * amplitude``.  On-grid code sums below ``2^53`` are exact and
+  the scale factor is a power-of-two multiple of the amplitude, so the drive
+  is bit-identical to both the dense qfused gather and the float path's
+  ``(raster @ g) * amplitude`` — while touching an eighth (uint8) of the
+  memory the float gather reads;
+- **closed-form jumps** — membranes, currents and thresholds are float64
+  state in every tier, so the event kernel's analytic jumps, conservative
+  crossing predictor and integer expiry-step timers carry over unchanged
+  (the jump math never reads the conductances);
+- **lazy code-domain plasticity** — STDP lands only at post-spike steps,
+  only on the spiking columns, directly in the code domain
+  (:func:`~repro.engine.plasticity.quantized_stochastic_columns` /
+  :func:`~repro.engine.plasticity.quantized_deterministic_columns`): eq.-(8)
+  stochastic rounding draws **one uniform per changed synapse** from the
+  dedicated ``qrounding`` stream — the same stream discipline as qfused, so
+  the sparse path consumes exactly as many rounding draws as the dense path
+  on the same spike trajectory, and qfused's float shadow twin remains the
+  oracle here too (``storage="float"`` runs the identical algorithm with
+  integer-valued float64 codes).
+
+Equivalence contract (``tests/test_qevent.py`` and the
+``bench_training --check`` gate): identical spike trains to the dense
+``qfused`` kernel under pinned seeds, and — because code updates are pure
+integer functions of spike times, timers and the ``learning``/``qrounding``
+streams — **bit-identical conductance codes**, across every supported
+format width and rounding mode.  The declared registry tier is
+spike-equivalence (membranes deviate at the float-rearrangement level, as
+for the float event kernel); the code matrix is checked at
+``conductance_atol=0.0``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from itertools import accumulate, chain, repeat
+from typing import TYPE_CHECKING, Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.backend import backend_name, get_array_module
+from repro.encoding.events import sparsify
+from repro.engine.event_train import (
+    CROSSING_MARGIN,
+    EventTrainStats,
+    _expiry_steps,
+)
+from repro.engine.plasticity import (
+    quantized_deterministic_columns,
+    quantized_stochastic_columns,
+    resolve_quantized_rule,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.network.wta import WTANetwork
+from repro.quantization.codec import require_codec
+
+if TYPE_CHECKING:
+    from repro.engine.profiler import StepProfiler
+
+#: Storage modes: ``"int"`` is the real tier; ``"float"`` is the shadow
+#: twin used as the stochastic-rounding equivalence oracle (same contract
+#: as :data:`repro.engine.qfused.STORAGE_MODES`).
+STORAGE_MODES = ("int", "float")
+
+#: Shortest quiescent span worth offering to the crossing predictor.  The
+#: predictor's bound costs about as much as one dense step, so a one-step
+#: jump can never pay for itself; at high input occupancy (mostly one-step
+#: gaps) skipping those attempts is what keeps the sparse path ahead of
+#: the dense qfused kernel.  Jumping or stepping a span is semantically
+#: interchangeable — dense stepping *is* the reference semantics.
+JUMP_MIN_SPAN = 2
+
+
+class QEventPresentation:
+    """Event-driven presentation kernel over integer Q-format codes.
+
+    Construct once per training run and call :meth:`run` once per image.
+    Between presentations ``network.synapses.g`` stays authoritative (codes
+    are re-encoded at entry and decoded back at exit, as in the qfused
+    kernel); during a presentation the code array is the live learned state
+    and the float membrane/current/theta state advances by the event
+    kernel's closed-form jumps.
+    """
+
+    def __init__(self, network: WTANetwork, storage: str = "int") -> None:
+        if get_array_module() is not np:
+            raise ConfigurationError(
+                f"the qevent training kernel requires the numpy backend "
+                f"(STDP rules and eq.-8 rounding draw from numpy RNG "
+                f"streams); active backend is {backend_name()!r}."
+            )
+        if storage not in STORAGE_MODES:
+            raise ConfigurationError(
+                f"qevent storage must be one of {STORAGE_MODES}, got {storage!r}"
+            )
+        if network.config.lif.b >= 0.0:
+            raise ConfigurationError(
+                "event-accelerated stepping requires a leaky membrane (b < 0): "
+                "the closed forms and the crossing predictor rely on a stable "
+                f"fixed point, got b={network.config.lif.b}"
+            )
+        self._stochastic_rule = resolve_quantized_rule(network) == "stochastic"
+
+        self.net = network
+        self.storage = storage
+        self.codec = require_codec(network.synapses.quantizer, "qevent")
+        cfg = network.config
+        self._wta = cfg.wta
+        self._lif = cfg.lif
+        n = cfg.wta.n_neurons
+
+        # Loop-invariant constants (see the qfused kernel: `resolution *
+        # amplitude` only shifts the amplitude's exponent, so it is exact).
+        self._inj_scale = self.codec.resolution * network.amplitude
+        self._conductance_model = cfg.wta.synapse_model == "conductance"
+        self._scale_denom = cfg.wta.e_excitatory - cfg.lif.v_reset
+        self._subtractive = network.neurons.inhibition_strength > 0.0
+
+        # The live code matrix (uint8/uint16, or float64 for the twin).
+        g_shape = network.synapses.g.shape
+        code_dtype = self.codec.dtype if storage == "int" else np.dtype(np.float64)
+        self._codes = np.zeros(g_shape, dtype=code_dtype)
+        self._acc_dtype = np.dtype(np.int64) if storage == "int" else np.dtype(np.float64)
+
+        self.stats = EventTrainStats()
+
+        # Preallocated work buffers (the event kernel's set).
+        self._inj = np.empty(n, dtype=np.float64)
+        self._scale = np.empty(n, dtype=np.float64)
+        self._eff = np.empty(n, dtype=np.float64)
+        self._dv = np.empty(n, dtype=np.float64)
+        self._tmp = np.empty(n, dtype=np.float64)
+        self._thr = np.empty(n, dtype=np.float64)
+        self._blocked = np.empty(n, dtype=bool)
+        self._inh_mask = np.empty(n, dtype=bool)
+        self._spikes = np.empty(n, dtype=bool)
+        self._danger = np.empty(n, dtype=bool)
+        self._losers = np.empty(n, dtype=bool)
+        self._ref_end = np.zeros(n, dtype=np.int64)
+        self._inh_end = np.zeros(n, dtype=np.int64)
+        self._inh_scratch = np.empty(n, dtype=np.int64)
+        self._inh_vec = np.empty(n, dtype=np.float64)
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The Q-format code matrix (live during a presentation)."""
+        return self._codes
+
+    # ------------------------------------------------------------------
+    # kernel
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        image: np.ndarray,
+        t_ms: float,
+        n_steps: int,
+        dt_ms: float,
+        profiler: Optional[StepProfiler] = None,
+        out_counts: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
+        """Present *image* for *n_steps* steps of *dt_ms*, starting at *t_ms*.
+
+        Returns ``(total_output_spikes, t_ms_after)`` — the protocol shared
+        by every presentation kernel.  Conductance codes are refreshed from
+        ``synapses.g`` on entry and decoded back on exit (the float view is
+        authoritative between presentations); spike times handed to the
+        STDP timers come from the same repeated ``+ dt_ms`` accumulation
+        the dense loops perform.
+        """
+        if n_steps < 0:
+            raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
+        net = self.net
+        lif = self._lif
+        wta = self._wta
+        clock = time.perf_counter
+        codec = self.codec
+        codes = self._codes
+        acc_dtype = self._acc_dtype
+        conn_mask = net.synapses.connectivity
+
+        beta = 1.0 + lif.b * dt_ms
+        if not 0.0 < beta < 1.0:
+            raise SimulationError(
+                f"event-accelerated stepping needs a stable Euler step "
+                f"(0 < 1 + b*dt < 1), got 1 + ({lif.b})*({dt_ms}) = {beta}"
+            )
+
+        # Boundary sync in: live float values are on the storage grid, so
+        # the encode is an exact rescaling (qfused kernel contract).
+        g = net.synapses.g
+        np.copyto(codes, codec.encode(g, dtype=codes.dtype))
+
+        if profiler is not None:
+            _t0 = clock()
+        net.present_image(image)
+        raster = net.encoder.generate_train(n_steps, dt_ms, net.rngs.encoding)
+        sparse = sparsify(raster)
+        # The spike-time grid: the same float accumulation as the dense
+        # loops, precomputed so jumps can land mid-presentation exactly.
+        # Kept as Python floats — per-step numpy indexing would box a
+        # fresh scalar on every explicit step.  ``accumulate`` performs the
+        # identical left-fold of repeated ``+ dt_ms`` additions.
+        t_grid = list(accumulate(chain((t_ms,), repeat(dt_ms, n_steps))))
+        if profiler is not None:
+            profiler.add("encode", clock() - _t0)
+
+        neurons = net.neurons
+        timers = net.timers
+        has_decay = wta.current_tau_ms > 0.0
+        gamma = net.current_decay(dt_ms) if has_decay else 0.0
+        theta_decay = neurons.theta_decay(dt_ms)
+        adapting = neurons.adaptation.enabled
+        theta_plus = neurons.adaptation.theta_plus
+        learning = net.learning_enabled
+        inh_strength = neurons.inhibition_strength
+        t_inh = wta.t_inh_ms
+        single_winner = wta.single_winner
+        stochastic_rule = self._stochastic_rule
+        rng_learning = net.rngs.learning
+        rng_rounding = net.rngs.qrounding
+        ref_steps = _expiry_steps(lif.refractory_ms, dt_ms)
+        # Inhibition is applied after the dense loop's timer decrement, so
+        # it survives one step longer than its raw duration.
+        inh_steps = _expiry_steps(t_inh, dt_ms) + 1
+        a, b, c = lif.a, lif.b, lif.c
+        v_reset, v_threshold = lif.v_reset, lif.v_threshold
+        neg_b_inv = 1.0 / (-b)
+
+        # Live state arrays, mutated in place.
+        current = net._current
+        v = neurons._v
+        theta = neurons._theta
+        rule = net.rule
+
+        inj = self._inj
+        scale = self._scale
+        eff = self._eff
+        dv = self._dv
+        tmp = self._tmp
+        thr = self._thr
+        blocked = self._blocked
+        inh_mask = self._inh_mask
+        spikes = self._spikes
+        danger = self._danger
+        losers = self._losers
+        ref_end = self._ref_end
+        inh_end = self._inh_end
+        inh_vec = self._inh_vec
+        inh_scratch = self._inh_scratch
+        inj_scale = self._inj_scale
+        scale_denom = self._scale_denom
+        e_excitatory = wta.e_excitatory
+        # The timer arrays are bound once at trace construction, never
+        # reassigned, so hoisting the attribute chain out of the loop is
+        # safe (and saves two lookups per event/spike step).
+        last_pre = timers._last_pre
+        last_post = timers._last_post
+
+        # Import the float timers into integer expiry steps (step indices
+        # relative to this presentation; ``end > j``  <=>  flagged at j).
+        np.ceil(neurons._refractory_left / dt_ms - 1e-12, out=tmp)
+        np.maximum(tmp, 0.0, out=tmp)
+        ref_end[:] = tmp.astype(np.int64)
+        np.ceil(neurons._inhibited_left / dt_ms - 1e-12, out=tmp)
+        np.maximum(tmp, 0.0, out=tmp)
+        inh_end[:] = tmp.astype(np.int64)
+
+        # Sentinel expiry beyond every reachable timer end (late spikes set
+        # ends past ``n_steps``), so a masked minimum equal to ``big``
+        # certifies the mask is empty.
+        big = n_steps + max(ref_steps, inh_steps, 1) + 1
+        subtractive = self._subtractive
+        conductance_model = self._conductance_model
+
+        stats = self.stats
+        stats.steps_total += n_steps
+        stats.input_event_steps += int(sparse.event_steps.size)
+        stats.raster_cells += n_steps * sparse.n_channels
+        stats.raster_active_cells += sparse.n_events
+
+        # Plain Python ints everywhere the loop reads per-step metadata:
+        # numpy scalar indexing would pay a boxing conversion per
+        # iteration.  ``rows_at[j]`` holds each step's spiking-row view
+        # (the shared ``empty_rows`` object on quiescent steps, so the loop
+        # classifies a step with one identity test); ``next_event_at[j]``
+        # is the first event step >= j (``n_steps`` when none remain),
+        # precomputed in one vectorised searchsorted instead of an in-loop
+        # event-pointer scan.
+        offsets = sparse.offsets.tolist()
+        channels = sparse.channels
+        empty_rows = channels[:0]
+        rows_at = [empty_rows] * n_steps
+        for s in sparse.event_steps.tolist():
+            rows_at[s] = channels[offsets[s] : offsets[s + 1]]
+        next_event_at = np.append(sparse.event_steps, n_steps)[
+            np.searchsorted(sparse.event_steps, np.arange(n_steps))
+        ].tolist()
+
+        total_spikes = 0
+        j = 0
+
+        # Initial regime state at step 0 (``end > 0``  <=>  flagged now).
+        # A mask is non-empty exactly when its masked minimum beat the
+        # sentinel — no separate ``any`` reductions needed; the raw
+        # ``ufunc.reduce`` calls skip the ``np.min`` dispatch layer.
+        np.greater(ref_end, 0, out=blocked)
+        nr = int(np.minimum.reduce(ref_end, initial=big, where=blocked))
+        np.greater(inh_end, 0, out=inh_mask)
+        ni = int(np.minimum.reduce(inh_end, initial=big, where=inh_mask))
+        inh_any = ni < big
+        if not subtractive:
+            np.logical_or(blocked, inh_mask, out=blocked)
+            blocked_any = nr < big or inh_any
+        else:
+            blocked_any = nr < big
+        next_inh = ni
+        next_ref = nr
+        next_expiry = min(nr, ni)
+        # Subtractive inhibition keeps the refractory set tiny — a handful
+        # of recent contenders — so it is carried as a small *index* array
+        # ``blk`` (fancy assignment through a short int array beats a full
+        # boolean mask pass) whose expiries live in a FIFO of ``(end,
+        # indices)`` entries with ends pushed in increasing order.  With
+        # blocking inhibition the coupled mask stays dense and boolean, and
+        # ``blk`` simply aliases it: every consumer indexes through ``blk``
+        # either way.  When ``blocked_any`` is false ``blk`` may be stale —
+        # every use is guarded.
+        ref_fifo: Deque[Tuple[int, np.ndarray]] = deque()
+        if subtractive:
+            blk = np.flatnonzero(blocked)
+            if blk.size:
+                ends = ref_end[blk]
+                for k in np.argsort(ends, kind="stable").tolist():
+                    ref_fifo.append((int(ends[k]), blk[k : k + 1]))
+            # The cached inhibition drive: ``inh_strength`` on inhibited
+            # neurons, exactly 0.0 elsewhere, rebuilt only when the mask
+            # changes.  Subtracting it elementwise is bit-identical to the
+            # masked in-place subtract (``x - 0.0 == x`` for every float)
+            # and replaces a gather/scatter pass with one dense ufunc.
+            np.multiply(inh_mask, inh_strength, out=inh_vec)
+        else:
+            blk = blocked
+
+        # Once the predictor flags a span, step it densely without
+        # re-predicting every step; an output spike resets the flag.
+        no_jump_until = 0
+        while j < n_steps:
+            if j >= next_expiry:
+                if subtractive:
+                    if j >= next_ref:
+                        while ref_fifo and ref_fifo[0][0] <= j:
+                            ref_fifo.popleft()
+                        if ref_fifo:
+                            next_ref = ref_fifo[0][0]
+                            blk = (
+                                ref_fifo[0][1]
+                                if len(ref_fifo) == 1
+                                else np.concatenate([e[1] for e in ref_fifo])
+                            )
+                        else:
+                            blocked_any = False
+                            next_ref = big
+                    if j >= next_inh:
+                        # Inhibition expiries are rare (spike-step
+                        # extensions keep pushing the earliest masked end
+                        # forward), so the dense recompute only runs when
+                        # one actually lapses.
+                        np.greater(inh_end, j, out=inh_mask)
+                        ni = int(
+                            np.minimum.reduce(
+                                inh_end, initial=big, where=inh_mask
+                            )
+                        )
+                        inh_any = ni < big
+                        next_inh = ni
+                        np.multiply(inh_mask, inh_strength, out=inh_vec)
+                    next_expiry = min(next_ref, next_inh)
+                else:
+                    # Full regime refresh — with blocking inhibition the
+                    # masks are coupled, so both are recomputed at any timer
+                    # expiry (output spikes still extend them incrementally
+                    # below).
+                    np.greater(ref_end, j, out=blocked)
+                    nr = int(
+                        np.minimum.reduce(ref_end, initial=big, where=blocked)
+                    )
+                    np.greater(inh_end, j, out=inh_mask)
+                    ni = int(
+                        np.minimum.reduce(inh_end, initial=big, where=inh_mask)
+                    )
+                    inh_any = ni < big
+                    np.logical_or(blocked, inh_mask, out=blocked)
+                    blocked_any = nr < big or inh_any
+                    next_expiry = min(nr, ni)
+
+            rows = rows_at[j]
+
+            if rows is empty_rows and j >= no_jump_until:
+                seg_end = next_event_at[j]
+                if next_expiry < seg_end:
+                    seg_end = next_expiry
+                m = seg_end - j
+                if m >= JUMP_MIN_SPAN:
+                    # --- quiescent span [j, seg_end): jump or step densely
+                    if profiler is not None:
+                        _t0 = clock()
+                    beta_m = beta**m
+                    # Conservative crossing predictor: bound every membrane
+                    # over the span by max(v, fixed point of the strongest
+                    # drive) and compare against the lowest reachable
+                    # threshold.
+                    theta_floor = float(theta.min()) * (
+                        theta_decay ** (m - 1) if adapting else 1.0
+                    )
+                    thr_floor = v_threshold + theta_floor - CROSSING_MARGIN
+                    np.multiply(current, c * gamma, out=tmp)
+                    tmp += a
+                    tmp *= neg_b_inv
+                    np.maximum(tmp, v, out=tmp)
+                    np.greater_equal(tmp, thr_floor, out=danger)
+                    if blocked_any:
+                        danger[blk] = False
+                    if not danger.any():
+                        # --- closed-form jump over m steps ----------------
+                        s_sum = (1.0 - beta_m) / (1.0 - beta)
+                        v *= beta_m
+                        v += a * dt_ms * s_sum
+                        if has_decay:
+                            gamma_m = gamma**m
+                            if abs(beta - gamma) > 1e-12:
+                                geom = (beta_m - gamma_m) / (beta - gamma)
+                            else:
+                                geom = m * beta ** (m - 1)
+                            np.multiply(
+                                current, (c * dt_ms * gamma) * geom, out=tmp
+                            )
+                            v += tmp
+                            current *= gamma_m
+                        else:
+                            current.fill(0.0)
+                        if subtractive and inh_any:
+                            v[inh_mask] -= (inh_strength * c * dt_ms) * s_sum
+                        if blocked_any:
+                            v[blk] = v_reset
+                        np.maximum(v, v_reset, out=v)
+                        if adapting:
+                            theta *= theta_decay**m
+                        stats.steps_skipped += m
+                        stats.jumps += 1
+                        j = seg_end
+                        if profiler is not None:
+                            profiler.add("integrate", clock() - _t0)
+                        continue
+                    if profiler is not None:
+                        profiler.add("integrate", clock() - _t0, calls=0)
+                    # A crossing is possible: fall through and step this
+                    # span densely, one step at a time, with exact spike
+                    # detection.
+                    no_jump_until = seg_end
+
+            # --- one explicit step (input event or dangerous span) -------
+            if profiler is not None:
+                _t0 = clock()
+            if rows is not empty_rows:
+                t_now = t_grid[j]
+                last_pre[rows] = t_now
+                # Sparse integer drive: gather + int64 sum over the spiking
+                # rows of the code matrix, one exact power-of-two scale.
+                codec.gather_drive(codes, rows, inj_scale, inj, acc_dtype)
+                if conductance_model:
+                    np.subtract(e_excitatory, v, out=scale)
+                    scale /= scale_denom
+                    np.maximum(scale, 0.0, out=scale)
+                    inj *= scale
+                if has_decay:
+                    current *= gamma
+                    current += inj
+                else:
+                    np.copyto(current, inj)
+            elif has_decay:
+                current *= gamma
+            else:
+                current.fill(0.0)
+
+            np.copyto(eff, current)
+            if blocked_any:
+                eff[blk] = 0.0
+            if subtractive and inh_any:
+                np.subtract(eff, inh_vec, out=eff)
+
+            np.multiply(v, b, out=dv)
+            dv += a
+            np.multiply(eff, c, out=tmp)
+            dv += tmp
+            dv *= dt_ms
+            v += dv
+            if blocked_any:
+                v[blk] = v_reset
+            np.maximum(v, v_reset, out=v)
+
+            np.add(theta, v_threshold, out=thr)
+            np.greater_equal(v, thr, out=spikes)
+            if blocked_any:
+                spikes[blk] = False
+            n_fired = int(np.count_nonzero(spikes))
+            if n_fired:
+                t_now = t_grid[j]
+                v[spikes] = v_reset
+                ref_end[spikes] = j + ref_steps
+                # Refractoriness lands on every contender *before* WTA
+                # arbitration (the dense kernels set their timers here too),
+                # so the blocked set must grow from the pre-WTA spike set.
+                if ref_steps > 1:
+                    if subtractive:
+                        fired = np.flatnonzero(spikes)
+                        ref_fifo.append((j + ref_steps, fired))
+                        blk = (
+                            np.concatenate((blk, fired))
+                            if blocked_any
+                            else fired
+                        )
+                        next_ref = min(next_ref, j + ref_steps)
+                    else:
+                        np.logical_or(blocked, spikes, out=blocked)
+                    next_expiry = min(next_expiry, j + ref_steps)
+                    blocked_any = True
+
+            if adapting:
+                theta *= theta_decay
+                if n_fired:
+                    theta[spikes] += theta_plus
+            if profiler is not None:
+                _t1 = clock()
+                profiler.add("integrate", _t1 - _t0, calls=0)
+
+            if single_winner and n_fired > 1:
+                contenders = np.flatnonzero(spikes)
+                winner = contenders[np.argmax(current[contenders])]
+                spikes.fill(False)
+                spikes[winner] = True
+                n_fired = 1
+            if profiler is not None:
+                _t2 = clock()
+                profiler.add("wta", _t2 - _t1, calls=0)
+
+            # --- lazy code-domain plasticity ----------------------------
+            # The column-restricted scatter touches only the spiking
+            # columns, rounding each changed synapse with one qrounding
+            # draw — the same draws, in the same order, as the dense
+            # qfused kernel on the same spike trajectory.
+            if learning and n_fired:
+                if stochastic_rule:
+                    quantized_stochastic_columns(
+                        rule, codes, codec, timers, spikes, t_now,
+                        rng_learning, rng_rounding, conn_mask,
+                    )
+                else:
+                    quantized_deterministic_columns(
+                        rule, codes, codec, timers, spikes, t_now,
+                        rng_rounding, conn_mask,
+                    )
+            if n_fired:
+                last_post[spikes] = t_now
+                if out_counts is not None:
+                    out_counts[spikes] += 1
+            if profiler is not None:
+                _t3 = clock()
+                profiler.add("stdp", _t3 - _t2)
+
+            if n_fired:
+                # Incremental regime update: the WTA losers (inhibited) are
+                # exactly the new inhibition-mask members, so the masks grow
+                # in place — no full refresh (the refractory mask already
+                # grew from the pre-WTA contender set above).  One-step
+                # timers (`end == j + 1`) never enter a mask: they are
+                # already expired by the time step ``j + 1`` reads it.
+                # ``next_expiry`` keeps the earliest *masked* end so stale
+                # entries are always purged by a full refresh in time.
+                if t_inh > 0.0:
+                    np.logical_not(spikes, out=losers)
+                    np.multiply(losers, j + inh_steps, out=inh_scratch)
+                    np.maximum(inh_end, inh_scratch, out=inh_end)
+                    if inh_steps > 1:
+                        np.logical_or(inh_mask, losers, out=inh_mask)
+                        inh_any = True
+                        if subtractive:
+                            np.multiply(inh_mask, inh_strength, out=inh_vec)
+                        else:
+                            np.logical_or(blocked, losers, out=blocked)
+                            blocked_any = True
+                        next_expiry = min(next_expiry, j + inh_steps)
+                        next_inh = min(next_inh, j + inh_steps)
+                no_jump_until = 0
+                stats.spike_steps += 1
+            if profiler is not None:
+                profiler.add("wta", clock() - _t3)
+
+            total_spikes += n_fired
+            stats.steps_stepped += 1
+            j += 1
+
+        # Export the integer timers back into the float state so the dense
+        # engines (and `rest()`) see exactly what per-step decrements would
+        # have left behind.
+        np.subtract(ref_end, n_steps, out=ref_end)
+        np.maximum(ref_end, 0, out=ref_end)
+        np.multiply(ref_end, dt_ms, out=neurons._refractory_left, casting="unsafe")
+        np.subtract(inh_end, n_steps, out=inh_end)
+        np.maximum(inh_end, 0, out=inh_end)
+        np.multiply(inh_end, dt_ms, out=neurons._inhibited_left, casting="unsafe")
+
+        # Boundary sync out: the decoded float view becomes authoritative
+        # again for everything that runs between presentations.
+        codec.decode_into(codes, g)
+        return total_spikes, t_grid[n_steps]

@@ -54,13 +54,11 @@ from repro.backend import backend_name, get_array_module
 from repro.engine.plasticity import (
     quantized_deterministic_columns,
     quantized_stochastic_columns,
+    resolve_quantized_rule,
 )
 from repro.errors import ConfigurationError, SimulationError
-from repro.learning.deterministic import DeterministicSTDP
-from repro.learning.stochastic import LTDMode, StochasticSTDP
 from repro.network.wta import WTANetwork
-from repro.quantization.codec import MAX_CODE_BITS, QCodec
-from repro.quantization.quantizer import Quantizer
+from repro.quantization.codec import require_codec
 
 if TYPE_CHECKING:
     from repro.engine.profiler import StepProfiler
@@ -90,36 +88,11 @@ class QFusedPresentation:
             raise ConfigurationError(
                 f"qfused storage must be one of {STORAGE_MODES}, got {storage!r}"
             )
-        quantizer = network.synapses.quantizer
-        if not isinstance(quantizer, Quantizer):
-            raise ConfigurationError(
-                "the qfused engine stores conductances as fixed-point codes "
-                "and needs a Q-format config; set quantization.fmt (e.g. "
-                "fmt='Q1.7') or use the 'fused' engine for floating point"
-            )
-        if quantizer.fmt.total_bits > MAX_CODE_BITS:
-            raise ConfigurationError(
-                f"qfused stores codes in at most {MAX_CODE_BITS} bits, but "
-                f"quantization.fmt={quantizer.fmt} is "
-                f"{quantizer.fmt.total_bits} bits wide; choose a format of "
-                f"{MAX_CODE_BITS} bits or fewer, or use the 'fused' engine"
-            )
-        rule = network.rule
-        if isinstance(rule, DeterministicSTDP):
-            self._stochastic_rule = False
-        elif isinstance(rule, StochasticSTDP) and rule.ltd_mode is LTDMode.POST_EVENT:
-            self._stochastic_rule = True
-        else:
-            raise ConfigurationError(
-                "the qfused engine serves the column-restricted STDP rules "
-                "only (stdp.kind='deterministic', or 'stochastic' with "
-                "ltd_mode='post_event'); pair-LTD modes need the full-matrix "
-                "reference path of the 'fused' engine"
-            )
+        self._stochastic_rule = resolve_quantized_rule(network) == "stochastic"
 
         self.net = network
         self.storage = storage
-        self.codec = QCodec.from_quantizer(quantizer)
+        self.codec = require_codec(network.synapses.quantizer, "qfused")
         cfg = network.config
         self._wta = cfg.wta
         self._lif = cfg.lif
@@ -253,8 +226,7 @@ class QFusedPresentation:
                 # by `resolution * amplitude`.  Exactly the float path's
                 # `(raster @ g) * amplitude` (module docstring).
                 idx = np.flatnonzero(input_spikes)
-                acc = codes[idx].sum(axis=0, dtype=acc_dtype)
-                np.multiply(acc, self._inj_scale, out=injected)
+                codec.gather_drive(codes, idx, self._inj_scale, injected, acc_dtype)
                 if self._conductance_model:
                     np.subtract(wta.e_excitatory, v, out=scale)
                     scale /= self._scale_denom

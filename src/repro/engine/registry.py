@@ -277,3 +277,23 @@ register_engine(EngineSpec(
     summary="integer-native fused kernel: uint8/uint16 Q-format codes, fused eq.-8 rounding",
     precisions=("uint8", "uint16"),
 ))
+register_engine(EngineSpec(
+    name="qevent",
+    factory="repro.engine.presentation:QEventEngine",
+    supports_learning=True,
+    supports_batch=False,
+    equivalence=Equivalence.SPIKE_EQUIVALENT,
+    backends=("numpy",),
+    summary="event-driven integer kernel: sparse gathers + closed-form jumps on Q-format codes",
+    precisions=("uint8", "uint16"),
+))
+register_engine(EngineSpec(
+    name="qbatched",
+    factory="repro.engine.presentation:QBatchedEngine",
+    supports_learning=False,
+    supports_batch=True,
+    equivalence=Equivalence.STATISTICAL,
+    backends=("numpy",),
+    summary="image-parallel inference on integer codes (bit-identical to 'batched')",
+    precisions=("uint8", "uint16"),
+))

@@ -31,11 +31,17 @@ R1_EXEMPT_SUFFIXES: Tuple[str, ...] = ("engine/rng.py",)
 R2_STRICT_DIRS: FrozenSet[str] = frozenset({"engine", "quantization"})
 
 #: Paths where R2 additionally polices silent float64 *upcasts*: the
-#: integer-native qfused kernel and the whole quantization layer, where a
-#: dtype-less ``np.asarray``/``np.array`` or an ``astype(float)`` quietly
-#: promotes uint8/uint16 code arrays back to full-precision floats — the
-#: exact round trip the integer tier exists to eliminate.
-R2_INT_NATIVE_SUFFIXES: Tuple[str, ...] = ("engine/qfused.py",)
+#: integer-native kernels (the dense and event-driven code-storage
+#: engines, and the batched engine whose qbatched path carries frozen
+#: codes) plus the whole quantization layer, where a dtype-less
+#: ``np.asarray``/``np.array`` or an ``astype(float)`` quietly promotes
+#: uint8/uint16 code arrays back to full-precision floats — the exact
+#: round trip the integer tier exists to eliminate.
+R2_INT_NATIVE_SUFFIXES: Tuple[str, ...] = (
+    "engine/qfused.py",
+    "engine/qevent.py",
+    "engine/batched.py",
+)
 R2_INT_NATIVE_DIRS: FrozenSet[str] = frozenset({"quantization"})
 
 _PRAGMA_RE = re.compile(r"#\s*lint-ok(?:\s*:\s*(?P<rules>[A-Za-z0-9,\s]+))?")

@@ -33,7 +33,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.config.parameters import RoundingMode
-from repro.errors import QuantizationError
+from repro.errors import ConfigurationError, QuantizationError
 from repro.quantization.qformat import QFormat
 from repro.quantization.quantizer import FIXED_LSB_MAX_BITS, Quantizer
 
@@ -128,6 +128,52 @@ class QCodec:
         return np.multiply(codes, self.resolution, out=out, dtype=np.float64)
 
     # ------------------------------------------------------------------
+    # code-domain synaptic drive (the integer gather/matmul paths)
+    # ------------------------------------------------------------------
+
+    def gather_drive(
+        self,
+        codes: np.ndarray,
+        rows: np.ndarray,
+        scale: float,
+        out: np.ndarray,
+        acc_dtype: "np.dtype[Any]",
+    ) -> np.ndarray:
+        """Sparse row-gather drive: sum the *rows* of *codes*, scale into *out*.
+
+        The code-domain image of the float kernels' ``(raster @ g) *
+        amplitude`` restricted to the spiking rows: the column sum runs in
+        *acc_dtype* (``int64`` for integer storage, ``float64`` for the
+        shadow twin — single-row and on-grid sums are exact either way) and
+        *scale* is the caller's precomputed ``resolution * amplitude``, so
+        the one multiply is the only rounding, of the very same real product
+        the float path rounds.  The single-row fast path skips the
+        reduction; a one-element sum is exact in both dtypes, so the result
+        is bit-identical to the general path.
+        """
+        if rows.size == 1:
+            return np.multiply(codes[rows[0]], scale, out=out)
+        acc = codes[rows].sum(axis=0, dtype=acc_dtype)
+        return np.multiply(acc, scale, out=out)
+
+    def batched_drive(
+        self, spikes: np.ndarray, codes: np.ndarray, scale: float
+    ) -> np.ndarray:
+        """Image-parallel drive: ``(spikes @ codes) * scale`` on integer codes.
+
+        *spikes* is a boolean ``(n_images, n_pre)`` raster slice and *codes*
+        the frozen ``(n_pre, n_neurons)`` code matrix; the matmul
+        accumulates in ``int64`` (no uint8/uint16 wraparound) and the single
+        *scale* multiply (``resolution * amplitude``) per presentation step
+        is the only rounding.  Code sums stay below ``2^53``, so the result
+        is bit-identical to the float path's ``(spikes @ g) * amplitude``
+        while moving a quarter (uint16) to an eighth (uint8) of the memory
+        traffic through the matmul.
+        """
+        acc = np.matmul(spikes.astype(np.uint8), codes, dtype=np.int64)
+        return np.multiply(acc, scale, dtype=np.float64)
+
+    # ------------------------------------------------------------------
     # fused delta rounding (the eq.-8 integer kernel)
     # ------------------------------------------------------------------
 
@@ -202,6 +248,30 @@ class QCodec:
         codes[:, cols] = updated
 
 
+def require_codec(quantizer: object, engine: str) -> QCodec:
+    """The :class:`QCodec` for an integer-native *engine*, or a config error.
+
+    The integer tiers (``qfused``, ``qevent``, ``qbatched``) share the same
+    two admission requirements: a fixed-point quantization config, narrow
+    enough for the unsigned code storage.  Violations raise
+    :class:`~repro.errors.ConfigurationError` naming the engine and the fix.
+    """
+    if not isinstance(quantizer, Quantizer):
+        raise ConfigurationError(
+            f"the {engine} engine stores conductances as fixed-point codes "
+            f"and needs a Q-format config; set quantization.fmt (e.g. "
+            f"fmt='Q1.7') or use a float64-capable engine"
+        )
+    if quantizer.fmt.total_bits > MAX_CODE_BITS:
+        raise ConfigurationError(
+            f"{engine} stores codes in at most {MAX_CODE_BITS} bits, but "
+            f"quantization.fmt={quantizer.fmt} is "
+            f"{quantizer.fmt.total_bits} bits wide; choose a format of "
+            f"{MAX_CODE_BITS} bits or fewer, or use a float64-capable engine"
+        )
+    return QCodec.from_quantizer(quantizer)
+
+
 def codec_for(quantizer: object) -> Optional[QCodec]:
     """The :class:`QCodec` serving *quantizer*, or ``None``.
 
@@ -222,4 +292,5 @@ __all__ = [
     "QCodec",
     "code_dtype",
     "codec_for",
+    "require_codec",
 ]

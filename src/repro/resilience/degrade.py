@@ -23,8 +23,13 @@ from typing import Optional
 
 #: Fallback order of the sequential training engines (most to least
 #: optimised).  ``reference`` has no fallback: a fault there is a real
-#: error and propagates.
+#: error and propagates.  The integer tiers degrade within their own
+#: ladder first — ``qevent`` (sparse + jumps on codes) falls back to the
+#: dense ``qfused`` kernel, which falls back to ``fused`` (the same
+#: Q-format *simulated* on float64, valid for any quantization config).
 DEGRADATION_CHAIN = {
+    "qevent": "qfused",
+    "qfused": "fused",
     "event": "fused",
     "fused": "reference",
 }

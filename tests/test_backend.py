@@ -1,5 +1,8 @@
 """Tests for the array-backend selection shim (:mod:`repro.backend`)."""
 
+import sys
+import types
+
 import numpy as np
 import pytest
 
@@ -74,6 +77,51 @@ class TestSelection:
             pytest.skip("CuPy actually available in this environment")
         with pytest.raises(ConfigurationError):
             backend.set_backend("cupy")
+
+
+class TestCupyProbeCache:
+    """The negative CuPy probe is paid once per process, not per call."""
+
+    def _install_failing_cupy(self, monkeypatch, calls):
+        def get_device_count():
+            calls.append(1)
+            raise RuntimeError("no CUDA device answered")
+
+        fake = types.ModuleType("cupy")
+        fake.cuda = types.SimpleNamespace(
+            runtime=types.SimpleNamespace(getDeviceCount=get_device_count)
+        )
+        monkeypatch.setitem(sys.modules, "cupy", fake)
+        monkeypatch.setattr(backend, "_modules", dict(backend._modules))
+        monkeypatch.setattr(backend, "_cupy_unavailable", None)
+
+    def test_negative_probe_runs_once(self, monkeypatch):
+        calls = []
+        self._install_failing_cupy(monkeypatch, calls)
+        assert backend.available_backends() == ("numpy",)
+        assert backend.available_backends() == ("numpy",)
+        assert backend.available_backends() == ("numpy",)
+        assert len(calls) == 1
+
+    def test_cached_failure_message_is_reraised(self, monkeypatch):
+        calls = []
+        self._install_failing_cupy(monkeypatch, calls)
+        with pytest.raises(ConfigurationError, match="no CUDA device answered"):
+            backend.set_backend("cupy")
+        with pytest.raises(ConfigurationError, match="no CUDA device answered"):
+            backend.set_backend("cupy")
+        assert len(calls) == 1
+
+    def test_successful_import_is_not_cached_as_failure(self, monkeypatch):
+        fake = types.ModuleType("cupy")
+        fake.cuda = types.SimpleNamespace(
+            runtime=types.SimpleNamespace(getDeviceCount=lambda: 1)
+        )
+        monkeypatch.setitem(sys.modules, "cupy", fake)
+        monkeypatch.setattr(backend, "_modules", dict(backend._modules))
+        monkeypatch.setattr(backend, "_cupy_unavailable", None)
+        assert backend.available_backends() == ("numpy", "cupy")
+        assert backend._cupy_unavailable is None
 
 
 class TestHelpers:

@@ -33,7 +33,7 @@ def tiny_network(tiny_config):
 class TestRegistry:
     def test_builtin_engines_registered(self):
         assert available_engines() == (
-            "batched", "event", "fused", "qfused", "reference"
+            "batched", "event", "fused", "qbatched", "qevent", "qfused", "reference"
         )
 
     def test_unknown_name_lists_registered_engines(self):
@@ -67,7 +67,9 @@ class TestRegistry:
             create_training_engine("batched", tiny_network)
 
     def test_training_engine_error_lists_learners(self, tiny_network):
-        with pytest.raises(ConfigurationError, match="event, fused, qfused, reference"):
+        with pytest.raises(
+            ConfigurationError, match="event, fused, qevent, qfused, reference"
+        ):
             create_training_engine("batched", tiny_network)
 
     def test_capability_rows_cover_all_engines(self):
@@ -86,6 +88,21 @@ class TestRegistry:
         assert spec.equivalence is Equivalence.SPIKE_EQUIVALENT
         assert spec.precisions == ("uint8", "uint16")
         assert "float64" not in spec.precisions
+
+    def test_qevent_spec_declares_integer_event_tier(self):
+        spec = get_engine_spec("qevent")
+        assert spec.supports_learning
+        assert not spec.supports_batch
+        assert spec.equivalence is Equivalence.SPIKE_EQUIVALENT
+        assert spec.precisions == ("uint8", "uint16")
+
+    def test_qbatched_spec_declares_integer_batch_tier(self):
+        spec = get_engine_spec("qbatched")
+        assert not spec.supports_learning
+        assert spec.supports_batch
+        assert spec.equivalence is Equivalence.STATISTICAL
+        assert spec.precisions == ("uint8", "uint16")
+        assert spec.backends == ("numpy",)
 
     def test_duplicate_registration_rejected(self):
         spec = get_engine_spec("fused")

@@ -119,6 +119,20 @@ def test_r2_int_native_applies_to_the_qfused_kernel():
     assert lint_source(source, "src/repro/engine/fused.py") == []
 
 
+def test_r2_int_native_applies_to_the_qevent_and_qbatched_kernels():
+    """The event-driven code engine and the batched engine (whose qbatched
+    path carries frozen codes) sit in the same int-native R2 scope as
+    qfused: the full bad-upcast fixture must fire at both paths."""
+    source = FIXTURES.joinpath("quantization/bad_upcast.py").read_text()
+    for path in ("src/repro/engine/qevent.py", "src/repro/engine/batched.py"):
+        findings = lint_source(source, path)
+        assert {f.rule for f in findings} == {"R2"}, path
+        assert len(findings) == 4, path
+    # A float-only engine in the same directory sees plain R2 scoping, where
+    # dtype-less asarray/astype(float) upcasts are not policed.
+    assert lint_source(source, "src/repro/engine/event_train.py") == []
+
+
 # ---------------------------------------------------------------------------
 # R3: engine-registry contract conformance
 # ---------------------------------------------------------------------------
@@ -167,7 +181,7 @@ def test_r3_registered_engines_flow_into_the_report():
         unregister_engine(_BAD_SPEC.name)
     assert report.exit_code == 1
     assert all(f.rule == "R3" for f in report.findings)
-    assert report.contracts_checked == 6  # five built-ins + the bad fixture
+    assert report.contracts_checked == 8  # seven built-ins + the bad fixture
 
 
 # ---------------------------------------------------------------------------

@@ -30,7 +30,14 @@ from repro.resilience.faults import (
 
 class TestNextTier:
     def test_chain(self):
-        assert DEGRADATION_CHAIN == {"event": "fused", "fused": "reference"}
+        assert DEGRADATION_CHAIN == {
+            "qevent": "qfused",
+            "qfused": "fused",
+            "event": "fused",
+            "fused": "reference",
+        }
+        assert next_tier("qevent") == "qfused"
+        assert next_tier("qfused") == "fused"
         assert next_tier("event") == "fused"
         assert next_tier("fused") == "reference"
         assert next_tier("reference") is None
