@@ -49,7 +49,17 @@ at the repository root:
   ``"batched"`` engine (statistical tier: speed only, no bit comparison),
   plus the code-native ``"qbatched"`` tier on a quantized network, whose
   response matrices (and hence predicted labels) must be bit-identical to
-  the float batched evaluator — blocking under ``--check``.
+  the float batched evaluator — blocking under ``--check``;
+
+- **backend** — the device-discipline rows: every training engine re-runs
+  a short slice of the workload on the ``guard`` backend (the
+  NumPy-wrapping array module of :mod:`repro.backend.guard` that marks
+  arrays device-resident and counts allocations and host↔device
+  transfers) and must produce a **bit-identical** trajectory to its numpy
+  run with **zero** implicit-mixing violations — both blocking under
+  ``--check``.  The per-engine transfer counts land in the workload
+  metadata, so BENCH_train.json also documents how much host↔device
+  traffic each kernel would generate on a real GPU.
 
 The default workload mirrors the Fig. 4 comparison scale at the Table I
 high-frequency rates: 1000 output neurons on 16x16 inputs with 5-78 Hz
@@ -96,6 +106,20 @@ AUTOSAVE_OVERHEAD_CEILING = 0.03
 
 #: The ``repro run --autosave-every`` default the projection assumes.
 DEFAULT_AUTOSAVE_EVERY = 50
+
+#: Engines exercised by the guard-backend discipline rows; the second
+#: element selects the quantized workload config for the integer tiers.
+BACKEND_CHECK_ENGINES = (
+    ("reference", False),
+    ("fused", False),
+    ("event", False),
+    ("qfused", True),
+    ("qevent", True),
+)
+
+#: Images per guard-backend row — discipline/bit-identity checks, not
+#: timing rows, so a short slice of the workload carries the contract.
+BACKEND_CHECK_IMAGES = 3
 
 #: Q-format of the quantized trajectory rows; 8 total bits -> uint8 codes.
 QFUSED_FMT = "Q1.7"
@@ -497,6 +521,69 @@ def bench_qbatched(args, train_images, test_images) -> dict:
     return results
 
 
+def bench_backend(args, images) -> dict:
+    """Guard-backend discipline rows: device residency checked without a GPU.
+
+    Re-trains a short slice of the workload per engine twice — once on the
+    numpy backend, once on ``guard`` — then requires the guard trajectory
+    to be bit-identical to the numpy one
+    (:func:`repro.engine.registry.check_backend_equivalence`) and the
+    guard's implicit-mixing violation counter to be zero.  Both block under
+    ``--check``: together they are the CI-testable statement that backend
+    selection is an execution detail (never a result) and that the kernels
+    keep host and device arrays apart the way CuPy would force them to.
+    The per-engine transfer counters (h2d/d2h/allocations) are reported so
+    the committed baseline documents each kernel's boundary traffic.
+    """
+    from repro.backend import use_backend
+    from repro.backend.guard import reset_counters, transfer_stats
+    from repro.engine.registry import check_backend_equivalence, get_engine_spec
+    from repro.pipeline.trainer import UnsupervisedTrainer
+
+    slice_images = images[: min(len(images), BACKEND_CHECK_IMAGES)]
+    violations: list = []
+    transfers: dict = {}
+
+    for engine, quantized in BACKEND_CHECK_ENGINES:
+        spec = get_engine_spec(engine)
+        state = {}
+        for backend in ("numpy", "guard"):
+            if quantized:
+                net = _build_quantized(
+                    args.neurons, images[0].size, args.seed, QFUSED_ROUNDING
+                )
+            else:
+                net = _build(args.neurons, images[0].size, args.seed)
+            reset_counters()
+            with use_backend(backend):
+                log = UnsupervisedTrainer(net).train(slice_images, engine=engine)
+            state[backend] = {
+                "conductances": net.conductances.copy(),
+                "thetas": net.neurons.theta.copy(),
+                "spikes_per_image": list(log.spikes_per_image),
+            }
+            if backend == "guard":
+                stats = transfer_stats()
+                transfers[engine] = stats.as_dict()
+                if stats.violations:
+                    violations.append(
+                        f"engine {engine!r}: guard backend counted "
+                        f"{stats.violations} implicit host/device mixing "
+                        f"violation(s)"
+                    )
+        violations.extend(
+            check_backend_equivalence(spec, "guard", state["numpy"], state["guard"])
+        )
+
+    return {
+        "images": int(len(slice_images)),
+        "engines": [name for name, _ in BACKEND_CHECK_ENGINES],
+        "transfers": transfers,
+        "bit_identical": not violations,
+        "contract_violations": violations,
+    }
+
+
 def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: bool) -> int:
     """Compare a fresh run to the committed baseline; return an exit code.
 
@@ -534,6 +621,12 @@ def check_against_baseline(payload: dict, baseline_path: Path, strict_speed: boo
     qbatched = payload.get("inference", {}).get("qbatched")
     if qbatched is not None:
         failures.extend(qbatched.get("contract_violations", []))
+    backend_rows = payload.get("backend")
+    if backend_rows is not None:
+        # Guard-backend rows: bit-identity across backends and zero
+        # implicit-mixing violations are correctness statements, blocking
+        # like the equivalence tiers above.
+        failures.extend(backend_rows.get("contract_violations", []))
     if not evaluation["bit_identical"]:
         failures.append(
             "fast-path evaluation (fused/event) is no longer bit-identical "
@@ -673,6 +766,7 @@ def main() -> int:
     evaluation = bench_evaluation(args, trained_net, data.test_images)
     inference = bench_inference(args, trained_net, data.test_images)
     inference["qbatched"] = bench_qbatched(args, data.train_images, data.test_images)
+    backend_rows = bench_backend(args, data.train_images)
 
     payload = {
         "workload": {
@@ -703,10 +797,16 @@ def main() -> int:
                 "steps_skipped_fraction":
                     training["qfused"]["qevent"]["skipped_fraction"],
             },
+            # Array backend the timed rows ran on, plus each engine's
+            # host↔device boundary traffic measured by the guard rows —
+            # the transfer budget a real GPU backend would pay.
+            "backend": backend_name(),
+            "backend_transfers": backend_rows["transfers"],
         },
         "training": training,
         "evaluation": evaluation,
         "inference": inference,
+        "backend": backend_rows,
         "environment": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -766,6 +866,12 @@ def main() -> int:
           f"speedup {qb['speedup']:.2f}x  "
           f"bit_identical={qb['bit_identical']}  "
           f"labels_identical={qb['labels_identical']}")
+    print(f"backend  : guard vs numpy over {backend_rows['images']} images  "
+          f"bit_identical={backend_rows['bit_identical']}")
+    for engine in backend_rows["engines"]:
+        tr = backend_rows["transfers"][engine]
+        print(f"           {engine:<9} h2d {tr['h2d']:<5} d2h {tr['d2h']:<5} "
+              f"alloc {tr['allocations']:<5} violations {tr['violations']}")
 
     if args.check:
         return check_against_baseline(payload, args.baseline, args.strict_speed)

@@ -10,7 +10,7 @@ Commands:
 - ``evaluate`` — load a checkpoint and classify a test split;
 - ``presets`` — list the Table I learning options and their parameters;
 - ``engines`` — list registered presentation engines and capabilities;
-- ``lint`` — run the determinism/numerics static-analysis rules (R1–R5);
+- ``lint`` — run the determinism/numerics static-analysis rules (R1–R6);
 - ``fi-curve`` — print the Fig. 1a frequency-vs-current curve;
 - ``info`` — describe a checkpoint file.
 
@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.analysis.conductance_maps import ascii_map, map_contrast, neuron_maps
 from repro.analysis.report import format_table
+from repro.backend import KNOWN_BACKENDS, available_backends, backend_ops, use_backend
 from repro.config.parameters import RoundingMode, STDPKind
 from repro.config.presets import available_presets, get_preset, table_i_rows
 from repro.config.serialize import save_json
@@ -73,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="evaluation presentation engine (default: config's engine.eval)")
     run.add_argument("--batched-eval", action="store_true",
                      help="deprecated: alias for --eval-engine batched")
+    run.add_argument("--backend", choices=KNOWN_BACKENDS, default=None,
+                     help="array backend for the engine kernels (default: numpy; "
+                          "'cupy' needs a GPU, 'guard' checks device discipline)")
     run.add_argument("--quiet", action="store_true")
     run.add_argument("--autosave", metavar="PATH", default=None,
                      help="write a resumable v2 checkpoint here during training")
@@ -100,13 +104,15 @@ def _build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--seed", type=int, default=0)
     ev.add_argument("--engine", choices=available_engines(), default=None,
                     help="evaluation presentation engine (default: config's engine.eval)")
+    ev.add_argument("--backend", choices=KNOWN_BACKENDS, default=None,
+                    help="array backend for the evaluation kernels")
 
     sub.add_parser("presets", help="list Table I learning options")
 
     sub.add_parser("engines", help="list registered presentation engines")
 
     lint = sub.add_parser(
-        "lint", help="determinism/numerics static analysis (rules R1-R5)"
+        "lint", help="determinism/numerics static analysis (rules R1-R6)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -161,6 +167,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
         eval_engine = "batched"
+
+    if args.backend:
+        from dataclasses import replace
+
+        # Record the backend (and the effective engine names) in the config
+        # so EngineConfig validation checks the combination actually run and
+        # the trainer/evaluator pick the backend up from config.engine.
+        config = replace(
+            config,
+            engine=replace(
+                config.engine,
+                backend=args.backend,
+                train=args.engine or config.engine.train,
+                eval=eval_engine or config.engine.eval,
+            ),
+        )
 
     autosave = None
     if args.autosave:
@@ -306,16 +328,35 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
         return 2
     network.freeze()
+    if args.backend:
+        from repro.engine.registry import get_engine_spec
+
+        engine_name = args.engine or network.config.engine.eval
+        spec = get_engine_spec(engine_name)
+        if args.backend not in spec.backends:
+            print(
+                f"error: engine {engine_name!r} does not execute on the "
+                f"{args.backend!r} backend (declared: {', '.join(spec.backends)})",
+                file=sys.stderr,
+            )
+            return 2
     evaluator = Evaluator(network, n_classes=dataset.n_classes, engine=args.engine)
-    if labels is None:
-        label_x, label_y, test_x, test_y = dataset.labeling_split(args.n_labeling)
-        result = evaluator.evaluate(label_x, label_y, test_x, test_y)
-        accuracy, n_images = result.accuracy, len(test_y)
-    else:
-        responses = evaluator.collect_responses(dataset.test_images)
-        predictions = classify_batch(responses, labels, dataset.n_classes, network.rngs.misc)
-        accuracy = float(np.mean(predictions == dataset.test_labels))
-        n_images = dataset.test_labels.size
+    # The checkpoint's config is authoritative for everything *but* the
+    # backend, which is an execution detail of this process — an outer
+    # use_backend scope governs it (the evaluator's own scope is a no-op
+    # when the config leaves engine.backend unset).
+    with use_backend(args.backend):
+        if labels is None:
+            label_x, label_y, test_x, test_y = dataset.labeling_split(args.n_labeling)
+            result = evaluator.evaluate(label_x, label_y, test_x, test_y)
+            accuracy, n_images = result.accuracy, len(test_y)
+        else:
+            responses = evaluator.collect_responses(dataset.test_images)
+            predictions = classify_batch(
+                responses, labels, dataset.n_classes, network.rngs.misc
+            )
+            accuracy = float(np.mean(predictions == dataset.test_labels))
+            n_images = dataset.test_labels.size
     print(f"accuracy on {n_images} images: {accuracy:.1%}")
     return 0
 
@@ -345,6 +386,13 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
             title="Registered presentation engines",
         )
     )
+    usable = available_backends()
+    missing = [name for name in KNOWN_BACKENDS if name not in usable]
+    line = f"backends available here: {', '.join(usable)}"
+    if missing:
+        line += f" (not installed: {', '.join(missing)})"
+    print(line)
+    print(f"active backend: {backend_ops().name}")
     return 0
 
 

@@ -384,10 +384,20 @@ class EngineConfig:
     ``"reference"`` to run the oracle loop itself, ``"event"`` for the
     sparse/jumping training tier, or ``"batched"`` for image-parallel
     (statistically equivalent) evaluation.
+
+    ``backend`` names the array backend the engines execute on (``"numpy"``,
+    ``"guard"``, ``"cupy"``); ``None`` keeps the process-level selection
+    (:func:`repro.backend.set_backend` / ``REPRO_BACKEND``).  The name must
+    be one the backend layer knows *and* both selected engines declare —
+    cross-checked here so a GPU run fails at config time, not mid-epoch.
+    Results are backend-independent bit for bit (the kernels draw all
+    randomness host-side); availability of ``"cupy"`` itself is still
+    probed lazily at first array allocation.
     """
 
     train: str = "fused"
     eval: str = "fused"
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Function-level import: the registry is import-light (lazy engine
@@ -401,6 +411,23 @@ class EngineConfig:
             f"be the training engine",
         )
         get_engine_spec(self.eval)
+        if self.backend is not None:
+            from repro.backend import KNOWN_BACKENDS
+
+            _require(
+                self.backend in KNOWN_BACKENDS,
+                f"unknown array backend {self.backend!r}; choose from "
+                f"{KNOWN_BACKENDS}",
+            )
+            for phase in ("train", "eval"):
+                name = getattr(self, phase)
+                spec = get_engine_spec(name)
+                _require(
+                    self.backend in spec.backends,
+                    f"engine {name!r} ({phase}) does not execute on the "
+                    f"{self.backend!r} backend (declared: "
+                    f"{', '.join(spec.backends)})",
+                )
 
 
 @dataclass(frozen=True)

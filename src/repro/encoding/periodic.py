@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend.ops import Ops
 from repro.config.parameters import EncodingParameters
 from repro.encoding.rate import intensity_to_frequency
 from repro.errors import DatasetError, SimulationError
@@ -32,7 +33,7 @@ class PeriodicEncoder:
         self._freq_hz: Optional[np.ndarray] = None
         # Accumulated phase per channel, in cycles.  A spike fires whenever
         # the integer part advances.
-        self._phase = np.zeros(n_pixels, dtype=np.float64)
+        self._phase = np.zeros(n_pixels, dtype=np.float64)  # host state  # lint-ok: R6
 
     @property
     def frequencies_hz(self) -> Optional[np.ndarray]:
@@ -40,7 +41,7 @@ class PeriodicEncoder:
 
     def set_image(self, image: np.ndarray, rng: Optional[np.random.Generator] = None) -> None:
         """Load an image and reset phases (randomised when enabled)."""
-        flat = np.asarray(image).reshape(-1)
+        flat = np.asarray(image).reshape(-1)  # host API input  # lint-ok: R6
         if flat.shape != (self.n_pixels,):
             raise DatasetError(
                 f"image has {flat.size} pixels, encoder expects {self.n_pixels}"
@@ -49,7 +50,7 @@ class PeriodicEncoder:
         if self.random_phase and rng is not None:
             self._phase = rng.random(self.n_pixels)
         else:
-            self._phase = np.zeros(self.n_pixels, dtype=np.float64)
+            self._phase = np.zeros(self.n_pixels, dtype=np.float64)  # host state  # lint-ok: R6
 
     def clear(self) -> None:
         self._freq_hz = None
@@ -57,7 +58,7 @@ class PeriodicEncoder:
     def step(self, dt_ms: float, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Advance phases by one step; spike where a cycle boundary passed."""
         if self._freq_hz is None:
-            return np.zeros(self.n_pixels, dtype=bool)
+            return np.zeros(self.n_pixels, dtype=bool)  # host raster  # lint-ok: R6
         if dt_ms <= 0.0:
             raise SimulationError(f"dt_ms must be positive, got {dt_ms}")
         before = np.floor(self._phase)
@@ -65,7 +66,11 @@ class PeriodicEncoder:
         return np.floor(self._phase) > before
 
     def generate_train(
-        self, n_steps: int, dt_ms: float, rng: Optional[np.random.Generator] = None
+        self,
+        n_steps: int,
+        dt_ms: float,
+        rng: Optional[np.random.Generator] = None,
+        ops: Optional[Ops] = None,
     ) -> np.ndarray:
         """Pre-compute *n_steps* of spikes from the current phases at once.
 
@@ -76,20 +81,27 @@ class PeriodicEncoder:
         :meth:`generate_train` with :meth:`step` stays exact.  *rng* is
         accepted for signature parity with the Poisson encoder; periodic
         trains consume no randomness after :meth:`set_image`.
+
+        As with the Poisson encoder, the raster is computed on the host
+        (phase state is host-side) and uploaded through ``ops`` when given.
         """
         if n_steps < 0:
             raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
         if dt_ms <= 0.0:
             raise SimulationError(f"dt_ms must be positive, got {dt_ms}")
         if self._freq_hz is None or n_steps == 0:
-            return np.zeros((n_steps, self.n_pixels), dtype=bool)
-        increments = np.empty((n_steps + 1, self.n_pixels), dtype=np.float64)
-        increments[0] = self._phase
-        increments[1:] = self._freq_hz * (dt_ms / 1000.0)
-        phases = np.cumsum(increments, axis=0)
-        floors = np.floor(phases)
-        self._phase = phases[-1]
-        return floors[1:] > floors[:-1]
+            raster = np.zeros((n_steps, self.n_pixels), dtype=bool)  # host raster  # lint-ok: R6
+        else:
+            increments = np.empty((n_steps + 1, self.n_pixels), dtype=np.float64)  # host raster  # lint-ok: R6
+            increments[0] = self._phase
+            increments[1:] = self._freq_hz * (dt_ms / 1000.0)
+            phases = np.cumsum(increments, axis=0)
+            floors = np.floor(phases)
+            self._phase = phases[-1]
+            raster = floors[1:] > floors[:-1]
+        if ops is None:
+            return raster
+        return ops.to_device(raster)
 
     def generate(
         self,
@@ -101,7 +113,7 @@ class PeriodicEncoder:
         """A full raster ``(n_steps, n_pixels)`` for *image*."""
         self.set_image(image, rng)
         n_steps = int(round(duration_ms / dt_ms))
-        raster = np.empty((n_steps, self.n_pixels), dtype=bool)
+        raster = np.empty((n_steps, self.n_pixels), dtype=bool)  # host raster  # lint-ok: R6
         for i in range(n_steps):
             raster[i] = self.step(dt_ms)
         return raster

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend.ops import Ops
 from repro.config.parameters import EncodingParameters
 from repro.encoding.rate import intensity_to_frequency
 from repro.errors import DatasetError, SimulationError
@@ -36,7 +37,7 @@ class PoissonEncoder:
 
     def set_image(self, image: np.ndarray) -> None:
         """Load an image; its flattened pixels drive the trains."""
-        flat = np.asarray(image).reshape(-1)
+        flat = np.asarray(image).reshape(-1)  # host API input  # lint-ok: R6
         if flat.shape != (self.n_pixels,):
             raise DatasetError(
                 f"image has {flat.size} pixels, encoder expects {self.n_pixels}"
@@ -50,14 +51,18 @@ class PoissonEncoder:
     def step(self, dt_ms: float, rng: np.random.Generator) -> np.ndarray:
         """One time step of spikes as a boolean mask of shape ``(n_pixels,)``."""
         if self._freq_hz is None:
-            return np.zeros(self.n_pixels, dtype=bool)
+            return np.zeros(self.n_pixels, dtype=bool)  # host raster  # lint-ok: R6
         if dt_ms <= 0.0:
             raise SimulationError(f"dt_ms must be positive, got {dt_ms}")
         p = self._freq_hz * (dt_ms / 1000.0)
         return rng.random(self.n_pixels) < p
 
     def generate_train(
-        self, n_steps: int, dt_ms: float, rng: np.random.Generator
+        self,
+        n_steps: int,
+        dt_ms: float,
+        rng: np.random.Generator,
+        ops: Optional[Ops] = None,
     ) -> np.ndarray:
         """Pre-draw *n_steps* of spikes for the loaded image in one RNG call.
 
@@ -66,15 +71,25 @@ class PoissonEncoder:
         stream in C order), and the generator is left in the same state —
         which is what lets the fused training kernel swap per-step draws for
         one vectorised draw without perturbing reproducibility.
+
+        The raster is always *computed* on the host — randomness is
+        host-drawn on every backend so spike trains stay bit-identical —
+        and then uploaded through ``ops`` when one is given.  Uploading the
+        boolean raster (1 byte/step/pixel) instead of drawing on device
+        keeps the transfer 8x smaller than the float draw it replaces.
         """
         if n_steps < 0:
             raise SimulationError(f"n_steps must be >= 0, got {n_steps}")
         if dt_ms <= 0.0:
             raise SimulationError(f"dt_ms must be positive, got {dt_ms}")
         if self._freq_hz is None:
-            return np.zeros((n_steps, self.n_pixels), dtype=bool)
-        p = self._freq_hz * (dt_ms / 1000.0)
-        return rng.random((n_steps, self.n_pixels)) < p
+            raster = np.zeros((n_steps, self.n_pixels), dtype=bool)  # host raster  # lint-ok: R6
+        else:
+            p = self._freq_hz * (dt_ms / 1000.0)
+            raster = rng.random((n_steps, self.n_pixels)) < p
+        if ops is None:
+            return raster
+        return ops.to_device(raster)
 
     def generate(
         self, image: np.ndarray, duration_ms: float, dt_ms: float, rng: np.random.Generator
@@ -82,7 +97,7 @@ class PoissonEncoder:
         """A full raster ``(n_steps, n_pixels)`` for *image* (Fig. 6a data)."""
         self.set_image(image)
         n_steps = int(round(duration_ms / dt_ms))
-        raster = np.empty((n_steps, self.n_pixels), dtype=bool)
+        raster = np.empty((n_steps, self.n_pixels), dtype=bool)  # host raster  # lint-ok: R6
         for i in range(n_steps):
             raster[i] = self.step(dt_ms, rng)
         return raster

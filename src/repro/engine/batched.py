@@ -18,9 +18,12 @@ drawn from a batch-shaped stream, so results are statistically equivalent
 to — though not bit-identical with — the sequential evaluator; the test
 suite pins the agreement.
 
-Array operations route through :func:`repro.backend.get_array_module`, so
-selecting the CuPy backend moves the whole lock-step batch onto the GPU
+Array operations route through the :class:`~repro.backend.ops.Ops` layer,
+so selecting the CuPy backend moves the whole lock-step batch onto the GPU
 without code changes; results always come back as host numpy arrays.
+Randomness is **host-drawn and device-uploaded** (see
+:class:`~repro.engine.rng.DeviceRng`), so the response matrices are
+bit-identical across backends for the same seed.
 
 The learned state (conductances and thresholds) is re-read from the network
 at :meth:`BatchedInference.collect_responses` time.  An earlier revision
@@ -38,7 +41,7 @@ and the scale factor is a power-of-two multiple of the amplitude, so the
 response matrices — and hence the predicted labels — are **bit-identical**
 to the float path under the same draws, at a quarter (uint16) to an eighth
 (uint8) of the matmul's weight-matrix memory traffic.  The integer path
-requires a fixed-point quantization config and the numpy backend.
+requires a fixed-point quantization config.
 """
 
 from __future__ import annotations
@@ -47,7 +50,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.backend import asnumpy, backend_name, get_array_module
+from repro.backend import asnumpy, backend_ops
 from repro.config.parameters import ExperimentConfig
 from repro.encoding.rate import intensity_to_frequency
 from repro.errors import ConfigurationError, SimulationError
@@ -69,12 +72,6 @@ class BatchedInference:
             )
         self.codec: Optional[QCodec] = None
         if storage == "int":
-            if get_array_module() is not np:
-                raise ConfigurationError(
-                    f"the qbatched integer inference path requires the numpy "
-                    f"backend (the int64-accumulating matmul is a numpy "
-                    f"kernel); active backend is {backend_name()!r}."
-                )
             self.codec = require_codec(network.synapses.quantizer, "qbatched")
         self.network = network
         self.storage = storage
@@ -89,7 +86,7 @@ class BatchedInference:
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Per-image output spike counts, shape ``(n_images, n_neurons)``."""
-        batch = np.asarray(images, dtype=np.float64)
+        batch = np.asarray(images, dtype=np.float64)  # host API input  # lint-ok: R6
         if batch.ndim == 2:
             batch = batch[None]
         if batch.ndim != 3:
@@ -101,17 +98,18 @@ class BatchedInference:
             )
 
         cfg = self.config
-        xp = get_array_module()
+        ops = backend_ops()
+        xp = ops.xp
         # Default stream: the salted batched-evaluation stream, decorrelated
         # from the sequential streams and restarted per call (see
-        # RngStreams.batched_eval) — never an ad-hoc generator.
+        # RngStreams.batched_eval) — never an ad-hoc generator.  Draws are
+        # host-side on every backend and uploaded through the explicit seam,
+        # so responses are bit-identical across backends.
         rng = rng if rng is not None else self.network.rngs.batched_eval()
-        if xp is np:
-            def draw(shape: Tuple[int, ...]) -> np.ndarray:
-                return rng.random(shape)
-        else:  # pragma: no cover - exercised only with CuPy installed
-            def draw(shape: Tuple[int, ...]) -> np.ndarray:
-                return xp.random.random(shape)
+
+        def draw(shape: Tuple[int, ...]) -> np.ndarray:
+            return ops.to_device(rng.random(shape))
+
         dt = cfg.simulation.dt_ms
         duration = t_present_ms if t_present_ms is not None else cfg.simulation.t_learn_ms
         n_steps = int(round(duration / dt))
@@ -127,7 +125,7 @@ class BatchedInference:
         # per-step matmul reads uint8/uint16 instead of float64.
         codec = self.codec
         if codec is not None:
-            g_codes = codec.encode(self.network.conductances)
+            g_codes = codec.encode(self.network.conductances, xp=xp)
             inj_scale = codec.resolution * self.amplitude
         else:
             g = xp.asarray(self.network.conductances, dtype=xp.float64)
@@ -150,7 +148,7 @@ class BatchedInference:
         for _ in range(n_steps):
             input_spikes = draw(spike_prob.shape) < spike_prob
             if codec is not None:
-                injected = codec.batched_drive(input_spikes, g_codes, inj_scale)
+                injected = codec.batched_drive(input_spikes, g_codes, inj_scale, xp=xp)
             else:
                 injected = (input_spikes @ g) * self.amplitude
             if wta.synapse_model == "conductance":

@@ -69,7 +69,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from repro.backend import backend_name, get_array_module
+from repro.backend import backend_ops
 from repro.encoding.events import sparsify
 from repro.engine.plasticity import (
     deterministic_rule_columns,
@@ -157,12 +157,8 @@ class EventPresentation:
     """
 
     def __init__(self, network: WTANetwork) -> None:
-        if get_array_module() is not np:
-            raise ConfigurationError(
-                f"the event-accelerated training kernel requires the numpy "
-                f"backend (STDP rules and quantisers draw from numpy RNG "
-                f"streams); active backend is {backend_name()!r}."
-            )
+        self._ops = backend_ops()
+        xp = self._ops.xp
         if network.config.lif.b >= 0.0:
             raise ConfigurationError(
                 "event-accelerated stepping requires a leaky membrane (b < 0): "
@@ -191,22 +187,25 @@ class EventPresentation:
 
         self.stats = EventTrainStats()
 
-        # Preallocated work buffers.
-        self._inj = np.empty(n, dtype=np.float64)
-        self._scale = np.empty(n, dtype=np.float64)
-        self._eff = np.empty(n, dtype=np.float64)
-        self._dv = np.empty(n, dtype=np.float64)
-        self._tmp = np.empty(n, dtype=np.float64)
-        self._thr = np.empty(n, dtype=np.float64)
-        self._blocked = np.empty(n, dtype=bool)
-        self._inh_mask = np.empty(n, dtype=bool)
-        self._spikes = np.empty(n, dtype=bool)
-        self._danger = np.empty(n, dtype=bool)
-        self._losers = np.empty(n, dtype=bool)
-        self._pre_mask = np.empty(network.n_pixels, dtype=bool)
-        self._ref_end = np.zeros(n, dtype=np.int64)
-        self._inh_end = np.zeros(n, dtype=np.int64)
-        self._inh_scratch = np.empty(n, dtype=np.int64)
+        # Preallocated work buffers on the kernel's backend.  ``_pre_mask``
+        # stays host-resident: it is consumed only by the fallback reference
+        # rule, a host subsystem.
+        self._inj = xp.empty(n, dtype=np.float64)
+        self._scale = xp.empty(n, dtype=np.float64)
+        self._eff = xp.empty(n, dtype=np.float64)
+        self._dv = xp.empty(n, dtype=np.float64)
+        self._tmp = xp.empty(n, dtype=np.float64)
+        self._thr = xp.empty(n, dtype=np.float64)
+        self._blocked = xp.empty(n, dtype=bool)
+        self._inh_mask = xp.empty(n, dtype=bool)
+        self._spikes = xp.empty(n, dtype=bool)
+        self._danger = xp.empty(n, dtype=bool)
+        self._losers = xp.empty(n, dtype=bool)
+        # Host-side: consumed by the host STDP scatter.
+        self._pre_mask = np.empty(network.n_pixels, dtype=bool)  # lint-ok: R6
+        self._ref_end = xp.zeros(n, dtype=np.int64)
+        self._inh_end = xp.zeros(n, dtype=np.int64)
+        self._inh_scratch = xp.empty(n, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # kernel
@@ -256,7 +255,7 @@ class EventPresentation:
         sparse = sparsify(raster)
         # The spike-time grid: the same float accumulation as the dense
         # loops, precomputed so jumps can land mid-presentation exactly.
-        t_grid = np.empty(n_steps + 1, dtype=np.float64)
+        t_grid = np.empty(n_steps + 1, dtype=np.float64)  # host clock  # lint-ok: R6
         t_acc = t_ms
         for i in range(n_steps + 1):
             t_grid[i] = t_acc
@@ -283,11 +282,18 @@ class EventPresentation:
         v_reset, v_threshold = lif.v_reset, lif.v_threshold
         neg_b_inv = 1.0 / (-b)
 
-        # Live state arrays, mutated in place.
-        current = net._current
-        v = neurons._v
-        theta = neurons._theta
-        g = net.synapses.g
+        # State arrays: the network's live arrays on the host backend
+        # (identity transfers), uploaded mirrors on a device backend with a
+        # download at the end of the presentation.  The host conductance
+        # matrix stays authoritative (STDP is a host subsystem); its device
+        # copy is read-only between column resyncs.
+        ops = self._ops
+        on_host = ops.is_host
+        g_host = net.synapses.g
+        current = ops.to_device(net._current)
+        v = ops.to_device(neurons._v)
+        theta = ops.to_device(neurons._theta)
+        g = ops.to_device(g_host)
         rule = net.rule
         rng_learning = net.rngs.learning
         fast_rule = self._fast_rule
@@ -308,12 +314,22 @@ class EventPresentation:
 
         # Import the float timers into integer expiry steps (step indices
         # relative to this presentation; ``end > j``  <=>  flagged at j).
-        np.ceil(neurons._refractory_left / dt_ms - 1e-12, out=tmp)
-        np.maximum(tmp, 0.0, out=tmp)
-        ref_end[:] = tmp.astype(np.int64)
-        np.ceil(neurons._inhibited_left / dt_ms - 1e-12, out=tmp)
-        np.maximum(tmp, 0.0, out=tmp)
-        inh_end[:] = tmp.astype(np.int64)
+        if on_host:
+            np.ceil(neurons._refractory_left / dt_ms - 1e-12, out=tmp)
+            np.maximum(tmp, 0.0, out=tmp)
+            ref_end[:] = tmp.astype(np.int64)
+            np.ceil(neurons._inhibited_left / dt_ms - 1e-12, out=tmp)
+            np.maximum(tmp, 0.0, out=tmp)
+            inh_end[:] = tmp.astype(np.int64)
+        else:
+            # The float timers are host state: convert on the host (same
+            # arithmetic) and upload the integer result once.
+            imported = np.ceil(neurons._refractory_left / dt_ms - 1e-12)
+            np.maximum(imported, 0.0, out=imported)
+            ref_end[:] = ops.to_device(imported.astype(np.int64))
+            imported = np.ceil(neurons._inhibited_left / dt_ms - 1e-12)
+            np.maximum(imported, 0.0, out=imported)
+            inh_end[:] = ops.to_device(imported.astype(np.int64))
 
         big = n_steps + 1  # sentinel expiry beyond the presentation
         subtractive = self._subtractive
@@ -493,6 +509,10 @@ class EventPresentation:
                 _t2 = clock()
                 profiler.add("wta", _t2 - _t1, calls=0)
 
+            # STDP runs on the host (rules/quantisers are host subsystems):
+            # on a device backend the spike mask is downloaded at the steps
+            # that need it and the updated conductance columns re-uploaded.
+            spikes_h = spikes if on_host else None
             if learning:
                 if fast_rule is None:
                     # Fallback configs (stochastic rounding, pair-LTD): the
@@ -504,22 +524,34 @@ class EventPresentation:
                         pre_mask.fill(False)
                         if k:
                             pre_mask[rows] = True
+                        if spikes_h is None:
+                            spikes_h = ops.to_host(spikes)
                         rule.step(
-                            net.synapses, timers, pre_mask, spikes, t_now, rng_learning
+                            net.synapses, timers, pre_mask, spikes_h, t_now, rng_learning
                         )
+                        if not on_host:
+                            # The reference path may touch the whole matrix.
+                            g = ops.to_device(g_host)
                 elif n_fired:
+                    if spikes_h is None:
+                        spikes_h = ops.to_host(spikes)
                     if fast_rule == "stochastic":
                         stochastic_rule_columns(
-                            rule, net.synapses, timers, spikes, t_now, rng_learning
+                            rule, net.synapses, timers, spikes_h, t_now, rng_learning
                         )
                     else:
                         deterministic_rule_columns(
-                            rule, net.synapses, timers, spikes, t_now, rng_learning
+                            rule, net.synapses, timers, spikes_h, t_now, rng_learning
                         )
+                    if not on_host:
+                        cols = np.flatnonzero(spikes_h)
+                        g[:, cols] = ops.to_device(g_host[:, cols])
             if n_fired:
-                timers._last_post[spikes] = t_now
+                if spikes_h is None:
+                    spikes_h = ops.to_host(spikes)
+                timers._last_post[spikes_h] = t_now
                 if out_counts is not None:
-                    out_counts[spikes] += 1
+                    out_counts[spikes_h] += 1
             if profiler is not None:
                 _t3 = clock()
                 profiler.add("stdp", _t3 - _t2)
@@ -542,12 +574,22 @@ class EventPresentation:
 
         # Export the integer timers back into the float state so the dense
         # engines (and `rest()`) see exactly what per-step decrements would
-        # have left behind.
-        np.subtract(ref_end, n_steps, out=ref_end)
-        np.maximum(ref_end, 0, out=ref_end)
-        np.multiply(ref_end, dt_ms, out=neurons._refractory_left, casting="unsafe")
-        np.subtract(inh_end, n_steps, out=inh_end)
-        np.maximum(inh_end, 0, out=inh_end)
-        np.multiply(inh_end, dt_ms, out=neurons._inhibited_left, casting="unsafe")
+        # have left behind.  The float timers are host state, so a device
+        # backend downloads the expiry steps first (same arithmetic after).
+        ref_export = ref_end if on_host else ops.to_host(ref_end)
+        inh_export = inh_end if on_host else ops.to_host(inh_end)
+        np.subtract(ref_export, n_steps, out=ref_export)
+        np.maximum(ref_export, 0, out=ref_export)
+        np.multiply(ref_export, dt_ms, out=neurons._refractory_left, casting="unsafe")
+        np.subtract(inh_export, n_steps, out=inh_export)
+        np.maximum(inh_export, 0, out=inh_export)
+        np.multiply(inh_export, dt_ms, out=neurons._inhibited_left, casting="unsafe")
+
+        if not on_host:
+            # Download the stepped state into the live host arrays so every
+            # boundary consumer keeps seeing plain host floats.
+            np.copyto(net._current, ops.to_host(current))
+            np.copyto(neurons._v, ops.to_host(v))
+            np.copyto(neurons._theta, ops.to_host(theta))
 
         return total_spikes, t_grid[n_steps]

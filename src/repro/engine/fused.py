@@ -32,10 +32,18 @@ conductances, thetas and spike counts for float and Q1.7 storage), at a
 multiple of its throughput — the factor ``scripts/bench_training.py``
 records in ``BENCH_train.json``.
 
-The kernel checks :func:`repro.backend.get_array_module` at construction:
-training is currently numpy-only (the STDP rules and quantisers draw from
-numpy RNG streams); the CuPy backend accelerates the image-parallel
-:class:`~repro.engine.batched.BatchedInference` engine instead.
+The kernel is backend-generic: it binds an :class:`~repro.backend.ops.Ops`
+handle at construction and expresses all per-step math against its array
+module ``xp``.  On the ``numpy`` backend the transfers are identity
+functions and the kernel binds the network's live state arrays directly —
+bit-identical to the pre-backend kernel by construction.  On a device
+backend (``guard``, ``cupy``) the state is mirrored: uploaded once at
+:meth:`run` entry, stepped on device, downloaded back into the live host
+arrays at exit — so every host-facing seam (checkpointing, sentinel,
+normaliser, ``TrainingLog``) keeps seeing plain host float arrays.  STDP
+stays a host subsystem (rules and quantisers draw host RNG streams): the
+spike mask is downloaded at fired steps, the update lands on the host
+conductance matrix, and the touched columns are re-uploaded.
 """
 
 from __future__ import annotations
@@ -45,13 +53,13 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from repro.backend import backend_name, get_array_module
+from repro.backend import backend_ops
 from repro.engine.plasticity import (
     deterministic_rule_columns,
     resolve_fast_rule,
     stochastic_rule_columns,
 )
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import SimulationError
 from repro.network.wta import WTANetwork
 
 if TYPE_CHECKING:
@@ -69,13 +77,8 @@ class FusedPresentation:
     """
 
     def __init__(self, network: WTANetwork) -> None:
-        if get_array_module() is not np:
-            raise ConfigurationError(
-                f"the fused training kernel requires the numpy backend (STDP "
-                f"rules and quantisers draw from numpy RNG streams); active "
-                f"backend is {backend_name()!r}.  Use BatchedInference for "
-                f"GPU-backed evaluation."
-            )
+        self._ops = backend_ops()
+        xp = self._ops.xp
         self.net = network
         cfg = network.config
         self._wta = cfg.wta
@@ -93,17 +96,18 @@ class FusedPresentation:
         # restriction cannot serve fall back to the reference rule object.
         self._fast_rule = resolve_fast_rule(network)
 
-        # Preallocated per-step work buffers.
-        self._scale = np.empty(n, dtype=np.float64)
-        self._eff = np.empty(n, dtype=np.float64)
-        self._dv = np.empty(n, dtype=np.float64)
-        self._tmp = np.empty(n, dtype=np.float64)
-        self._thr = np.empty(n, dtype=np.float64)
-        self._blocked = np.empty(n, dtype=bool)
-        self._inhibited = np.empty(n, dtype=bool)
-        self._not_blocked = np.empty(n, dtype=bool)
-        self._spikes = np.empty(n, dtype=bool)
-        self._losers = np.empty(n, dtype=bool)
+        # Preallocated per-step work buffers, resident on the backend the
+        # kernel steps on (device allocations happen once, here).
+        self._scale = xp.empty(n, dtype=np.float64)
+        self._eff = xp.empty(n, dtype=np.float64)
+        self._dv = xp.empty(n, dtype=np.float64)
+        self._tmp = xp.empty(n, dtype=np.float64)
+        self._thr = xp.empty(n, dtype=np.float64)
+        self._blocked = xp.empty(n, dtype=bool)
+        self._inhibited = xp.empty(n, dtype=bool)
+        self._not_blocked = xp.empty(n, dtype=bool)
+        self._spikes = xp.empty(n, dtype=bool)
+        self._losers = xp.empty(n, dtype=bool)
 
     # ------------------------------------------------------------------
     # kernel
@@ -148,11 +152,16 @@ class FusedPresentation:
 
         # One vectorised draw for the whole presentation (same stream order
         # as per-step draws), cast to float once for the per-step matmuls.
+        ops = self._ops
+        on_host = ops.is_host
         if profiler is not None:
             _t0 = clock()
         net.present_image(image)
+        # The raster is drawn (and kept) on the host — the STDP timers and
+        # the fallback rule path index it — while the float cast used by the
+        # per-step matmuls lives on the kernel's backend.
         raster = net.encoder.generate_train(n_steps, dt_ms, net.rngs.encoding)
-        raster_f = raster.astype(np.float64)
+        raster_f = ops.to_device(raster.astype(np.float64))
         if profiler is not None:
             profiler.add("encode", clock() - _t0)
         # Steps with no input spikes inject exactly 0.0 (conductances and the
@@ -169,15 +178,21 @@ class FusedPresentation:
         t_inh = wta.t_inh_ms
         single_winner = wta.single_winner
 
-        # Live state arrays, mutated in place (never rebound) so the
-        # network object stays authoritative throughout.
-        current = net._current
-        v = neurons._v
-        theta = neurons._theta
-        refractory = neurons._refractory_left
-        inhibited_left = neurons._inhibited_left
-        g = net.synapses.g  # buffer-stable: updates run through
-        #                     ConductanceMatrix.apply_delta_inplace
+        # State arrays.  On the host backend these are the network's live
+        # arrays, mutated in place (never rebound) so the network object
+        # stays authoritative throughout.  On a device backend they are
+        # mirrors uploaded here and downloaded back at exit; the host
+        # conductance matrix stays authoritative throughout (STDP is a host
+        # subsystem) and its device copy is read-only between column
+        # resyncs.
+        g_host = net.synapses.g  # buffer-stable: updates run through
+        #                          ConductanceMatrix.apply_delta_inplace
+        current = ops.to_device(net._current)
+        v = ops.to_device(neurons._v)
+        theta = ops.to_device(neurons._theta)
+        refractory = ops.to_device(neurons._refractory_left)
+        inhibited_left = ops.to_device(neurons._inhibited_left)
+        g = ops.to_device(g_host)
 
         scale = self._scale
         eff = self._eff
@@ -281,35 +296,72 @@ class FusedPresentation:
             # The column-restricted rule paths reproduce the reference
             # rules' values and RNG draws exactly (see __init__); configs
             # they cannot serve keep calling the reference rule object.
+            # STDP runs on the host against the live conductance matrix
+            # (rules/quantisers are host subsystems): on a device backend
+            # the spike mask is downloaded first and the updated columns
+            # re-uploaded after.
+            spikes_h = spikes if on_host else None
             if learning:
                 if fast_rule is None:
+                    if spikes_h is None:
+                        spikes_h = ops.to_host(spikes)
                     rule.step(
-                        net.synapses, timers, input_spikes, spikes, t_ms, rng_learning
+                        net.synapses, timers, input_spikes, spikes_h, t_ms, rng_learning
                     )
+                    if not on_host:
+                        # The reference path may touch the whole matrix;
+                        # resync the device copy wholesale.
+                        g = ops.to_device(g_host)
                 elif n_fired:
+                    if spikes_h is None:
+                        spikes_h = ops.to_host(spikes)
                     if fast_rule == "stochastic":
                         stochastic_rule_columns(
-                            rule, net.synapses, timers, spikes, t_ms, rng_learning
+                            rule, net.synapses, timers, spikes_h, t_ms, rng_learning
                         )
                     else:
                         deterministic_rule_columns(
-                            rule, net.synapses, timers, spikes, t_ms, rng_learning
+                            rule, net.synapses, timers, spikes_h, t_ms, rng_learning
                         )
+                    if not on_host:
+                        cols = np.flatnonzero(spikes_h)
+                        g[:, cols] = ops.to_device(g_host[:, cols])
             if n_fired:
-                timers._last_post[spikes] = t_ms
+                if spikes_h is None:
+                    spikes_h = ops.to_host(spikes)
+                timers._last_post[spikes_h] = t_ms
                 if out_counts is not None:
-                    out_counts[spikes] += 1
+                    out_counts[spikes_h] += 1
             if profiler is not None:
                 _t3 = clock()
                 profiler.add("stdp", _t3 - _t2)
 
             if n_fired and t_inh > 0.0:
                 np.logical_not(spikes, out=losers)
-                neurons.inhibit(losers, t_inh)
+                if on_host:
+                    neurons.inhibit(losers, t_inh)
+                else:
+                    # Device image of AdaptiveLIFPopulation.inhibit: extend,
+                    # never shorten (the host array syncs at exit).
+                    np.maximum(
+                        inhibited_left,
+                        np.where(losers, t_inh, 0.0),
+                        out=inhibited_left,
+                    )
             if profiler is not None:
                 profiler.add("wta", clock() - _t3)
 
             total_spikes += n_fired
             t_ms += dt_ms
+
+        if not on_host:
+            # Download the stepped state into the live host arrays so every
+            # boundary consumer (checkpoint, sentinel, normaliser, logs)
+            # keeps seeing plain host floats.
+            np.copyto(net._current, ops.to_host(current))
+            np.copyto(neurons._v, ops.to_host(v))
+            np.copyto(neurons._theta, ops.to_host(theta))
+            np.copyto(neurons._refractory_left, ops.to_host(refractory))
+            np.copyto(neurons._inhibited_left, ops.to_host(inhibited_left))
 
         return total_spikes, t_ms

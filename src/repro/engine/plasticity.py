@@ -24,11 +24,13 @@ stream position is part of the fused kernel's contract and covered by
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
+from repro.backend.ops import Ops
 from repro.config.parameters import RoundingMode
+from repro.engine.rng import DeviceRng
 from repro.errors import ConfigurationError
 from repro.learning.deterministic import DeterministicSTDP
 from repro.learning.stochastic import LTDMode, StochasticSTDP
@@ -160,6 +162,21 @@ def resolve_quantized_rule(network: WTANetwork) -> str:
 # float-simulated path burns inside ``Quantizer.quantize`` — while the
 # Bernoulli LTP/LTD draws consume the ``learning`` stream with exactly the
 # reference shapes, keeping that stream's position bit-identical.
+#
+# Backend generality: *codes* may be device-resident (the quantized engines
+# keep them on device for the whole run).  Timer state and the Bernoulli
+# draws are host subsystems, so probabilities and masks are computed on the
+# host — identical draw order on every backend — and uploaded through the
+# explicit ``ops.to_device`` seam before they meet the device codes.  The
+# rounding stream arrives pre-adapted (a ``DeviceRng`` on device backends),
+# so ``QCodec.delta_codes`` draws host-identically too.
+
+
+def _device_uploader(ops: Optional[Ops]):
+    """The mask-upload seam: identity on the host, ``to_device`` elsewhere."""
+    if ops is None or ops.is_host:
+        return lambda array: array
+    return ops.to_device
 
 
 def quantized_stochastic_columns(
@@ -170,10 +187,13 @@ def quantized_stochastic_columns(
     post: np.ndarray,
     t_ms: float,
     rng: np.random.Generator,
-    rng_rounding: np.random.Generator,
+    rng_rounding: Union[np.random.Generator, DeviceRng],
     conn_mask: Optional[np.ndarray] = None,
+    ops: Optional[Ops] = None,
 ) -> None:
     """:func:`stochastic_rule_columns` operating on Q-format codes."""
+    upload = _device_uploader(ops)
+    xp = np if ops is None else ops.xp
     elapsed = timers.elapsed_pre(t_ms)
     p_pot = potentiation_probability(elapsed, rule.params)
     cols = np.flatnonzero(post)
@@ -189,11 +209,13 @@ def quantized_stochastic_columns(
     g_cols = codec.decode(codes[:, cols])
     dg_pot = potentiation_magnitude(g_cols, rule.magnitudes)
     dg_dep = depression_magnitude(g_cols, rule.magnitudes)
-    delta_cols = np.where(pot_mask, dg_pot, 0.0) - np.where(dep_mask, dg_dep, 0.0)
-    delta_codes = np.where(
-        delta_cols != 0.0, codec.delta_codes(delta_cols, rng_rounding), 0.0
+    delta_cols = np.where(upload(pot_mask), dg_pot, 0.0) - np.where(
+        upload(dep_mask), dg_dep, 0.0
     )
-    mask_cols = None if conn_mask is None else conn_mask[:, cols]
+    delta_codes = np.where(
+        delta_cols != 0.0, codec.delta_codes(delta_cols, rng_rounding, xp=xp), 0.0
+    )
+    mask_cols = None if conn_mask is None else upload(conn_mask[:, cols])
     codec.apply_delta_codes(codes, cols, delta_codes, mask_cols)
 
 
@@ -204,19 +226,22 @@ def quantized_deterministic_columns(
     timers: SpikeTimers,
     post: np.ndarray,
     t_ms: float,
-    rng_rounding: np.random.Generator,
+    rng_rounding: Union[np.random.Generator, DeviceRng],
     conn_mask: Optional[np.ndarray] = None,
+    ops: Optional[Ops] = None,
 ) -> None:
     """:func:`deterministic_rule_columns` operating on Q-format codes."""
+    upload = _device_uploader(ops)
+    xp = np if ops is None else ops.xp
     elapsed = timers.elapsed_pre(t_ms)
     recent = elapsed <= rule.params.window_ms
     cols = np.flatnonzero(post)
     g_cols = codec.decode(codes[:, cols])
     dg_pot = potentiation_magnitude(g_cols, rule.params)
     dg_dep = depression_magnitude(g_cols, rule.params)
-    delta_cols = np.where(recent[:, None], dg_pot, -dg_dep)
+    delta_cols = np.where(upload(recent[:, None]), dg_pot, -dg_dep)
     delta_codes = np.where(
-        delta_cols != 0.0, codec.delta_codes(delta_cols, rng_rounding), 0.0
+        delta_cols != 0.0, codec.delta_codes(delta_cols, rng_rounding, xp=xp), 0.0
     )
-    mask_cols = None if conn_mask is None else conn_mask[:, cols]
+    mask_cols = None if conn_mask is None else upload(conn_mask[:, cols])
     codec.apply_delta_codes(codes, cols, delta_codes, mask_cols)

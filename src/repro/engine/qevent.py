@@ -43,6 +43,14 @@ format width and rounding mode.  The declared registry tier is
 spike-equivalence (membranes deviate at the float-rearrangement level, as
 for the float event kernel); the code matrix is checked at
 ``conductance_atol=0.0``.
+
+Backend discipline follows the other kernels: codes, neuron-state mirrors
+and work buffers live on the :class:`~repro.backend.ops.Ops` backend bound
+at construction; the raster, event lists, spike timers and every RNG draw
+stay host-side (the ``qrounding`` stream arrives as a
+:class:`~repro.engine.rng.DeviceRng` on device backends, so draws remain
+host-ordered), and the float view of ``synapses.g`` plus the float timers
+are re-synchronised on the host at :meth:`run` exit.
 """
 
 from __future__ import annotations
@@ -54,7 +62,7 @@ from typing import TYPE_CHECKING, Deque, Optional, Tuple
 
 import numpy as np
 
-from repro.backend import backend_name, get_array_module
+from repro.backend import backend_ops
 from repro.encoding.events import sparsify
 from repro.engine.event_train import (
     CROSSING_MARGIN,
@@ -99,12 +107,8 @@ class QEventPresentation:
     """
 
     def __init__(self, network: WTANetwork, storage: str = "int") -> None:
-        if get_array_module() is not np:
-            raise ConfigurationError(
-                f"the qevent training kernel requires the numpy backend "
-                f"(STDP rules and eq.-8 rounding draw from numpy RNG "
-                f"streams); active backend is {backend_name()!r}."
-            )
+        self._ops = backend_ops()
+        xp = self._ops.xp
         if storage not in STORAGE_MODES:
             raise ConfigurationError(
                 f"qevent storage must be one of {STORAGE_MODES}, got {storage!r}"
@@ -132,34 +136,40 @@ class QEventPresentation:
         self._scale_denom = cfg.wta.e_excitatory - cfg.lif.v_reset
         self._subtractive = network.neurons.inhibition_strength > 0.0
 
-        # The live code matrix (uint8/uint16, or float64 for the twin).
+        # The live code matrix (uint8/uint16, or float64 for the twin),
+        # resident on the kernel's backend for the whole run.
         g_shape = network.synapses.g.shape
         code_dtype = self.codec.dtype if storage == "int" else np.dtype(np.float64)
-        self._codes = np.zeros(g_shape, dtype=code_dtype)
+        self._codes = xp.zeros(g_shape, dtype=code_dtype)
         self._acc_dtype = np.dtype(np.int64) if storage == "int" else np.dtype(np.float64)
 
         self.stats = EventTrainStats()
 
-        # Preallocated work buffers (the event kernel's set).
-        self._inj = np.empty(n, dtype=np.float64)
-        self._scale = np.empty(n, dtype=np.float64)
-        self._eff = np.empty(n, dtype=np.float64)
-        self._dv = np.empty(n, dtype=np.float64)
-        self._tmp = np.empty(n, dtype=np.float64)
-        self._thr = np.empty(n, dtype=np.float64)
-        self._blocked = np.empty(n, dtype=bool)
-        self._inh_mask = np.empty(n, dtype=bool)
-        self._spikes = np.empty(n, dtype=bool)
-        self._danger = np.empty(n, dtype=bool)
-        self._losers = np.empty(n, dtype=bool)
-        self._ref_end = np.zeros(n, dtype=np.int64)
-        self._inh_end = np.zeros(n, dtype=np.int64)
-        self._inh_scratch = np.empty(n, dtype=np.int64)
-        self._inh_vec = np.empty(n, dtype=np.float64)
+        # Preallocated work buffers (the event kernel's set), resident on
+        # the backend the kernel steps on.
+        self._inj = xp.empty(n, dtype=np.float64)
+        self._scale = xp.empty(n, dtype=np.float64)
+        self._eff = xp.empty(n, dtype=np.float64)
+        self._dv = xp.empty(n, dtype=np.float64)
+        self._tmp = xp.empty(n, dtype=np.float64)
+        self._thr = xp.empty(n, dtype=np.float64)
+        self._blocked = xp.empty(n, dtype=bool)
+        self._inh_mask = xp.empty(n, dtype=bool)
+        self._spikes = xp.empty(n, dtype=bool)
+        self._danger = xp.empty(n, dtype=bool)
+        self._losers = xp.empty(n, dtype=bool)
+        self._ref_end = xp.zeros(n, dtype=np.int64)
+        self._inh_end = xp.zeros(n, dtype=np.int64)
+        self._inh_scratch = xp.empty(n, dtype=np.int64)
+        self._inh_vec = xp.empty(n, dtype=np.float64)
 
     @property
     def codes(self) -> np.ndarray:
-        """The Q-format code matrix (live during a presentation)."""
+        """The Q-format code matrix (live during a presentation).
+
+        Resident on the kernel's backend; download with
+        :func:`repro.backend.asnumpy` before host-side use.
+        """
         return self._codes
 
     # ------------------------------------------------------------------
@@ -203,9 +213,12 @@ class QEventPresentation:
             )
 
         # Boundary sync in: live float values are on the storage grid, so
-        # the encode is an exact rescaling (qfused kernel contract).
+        # the encode is an exact rescaling (qfused kernel contract), routed
+        # through the backend's own conversion so the codes land device-side.
+        ops = self._ops
+        on_host = ops.is_host
         g = net.synapses.g
-        np.copyto(codes, codec.encode(g, dtype=codes.dtype))
+        np.copyto(codes, codec.encode(g, dtype=codes.dtype, xp=ops.xp))
 
         if profiler is not None:
             _t0 = clock()
@@ -234,7 +247,9 @@ class QEventPresentation:
         single_winner = wta.single_winner
         stochastic_rule = self._stochastic_rule
         rng_learning = net.rngs.learning
-        rng_rounding = net.rngs.qrounding
+        # Eq.-8 rounding draws stay host-ordered on every backend; on a
+        # device backend the stream arrives wrapped so draws upload.
+        rng_rounding = net.rngs.device_stream("qrounding", ops)
         ref_steps = _expiry_steps(lif.refractory_ms, dt_ms)
         # Inhibition is applied after the dense loop's timer decrement, so
         # it survives one step longer than its raw duration.
@@ -243,10 +258,12 @@ class QEventPresentation:
         v_reset, v_threshold = lif.v_reset, lif.v_threshold
         neg_b_inv = 1.0 / (-b)
 
-        # Live state arrays, mutated in place.
-        current = net._current
-        v = neurons._v
-        theta = neurons._theta
+        # State arrays: the network's live arrays on the host backend
+        # (identity transfers, mutated in place), uploaded mirrors on a
+        # device backend with a download at the end of the presentation.
+        current = ops.to_device(net._current)
+        v = ops.to_device(neurons._v)
+        theta = ops.to_device(neurons._theta)
         rule = net.rule
 
         inj = self._inj
@@ -275,12 +292,22 @@ class QEventPresentation:
 
         # Import the float timers into integer expiry steps (step indices
         # relative to this presentation; ``end > j``  <=>  flagged at j).
-        np.ceil(neurons._refractory_left / dt_ms - 1e-12, out=tmp)
-        np.maximum(tmp, 0.0, out=tmp)
-        ref_end[:] = tmp.astype(np.int64)
-        np.ceil(neurons._inhibited_left / dt_ms - 1e-12, out=tmp)
-        np.maximum(tmp, 0.0, out=tmp)
-        inh_end[:] = tmp.astype(np.int64)
+        if on_host:
+            np.ceil(neurons._refractory_left / dt_ms - 1e-12, out=tmp)
+            np.maximum(tmp, 0.0, out=tmp)
+            ref_end[:] = tmp.astype(np.int64)
+            np.ceil(neurons._inhibited_left / dt_ms - 1e-12, out=tmp)
+            np.maximum(tmp, 0.0, out=tmp)
+            inh_end[:] = tmp.astype(np.int64)
+        else:
+            # The float timers are host state: convert on the host (same
+            # arithmetic) and upload the integer result once.
+            imported = np.ceil(neurons._refractory_left / dt_ms - 1e-12)
+            np.maximum(imported, 0.0, out=imported)
+            ref_end[:] = ops.to_device(imported.astype(np.int64))
+            imported = np.ceil(neurons._inhibited_left / dt_ms - 1e-12)
+            np.maximum(imported, 0.0, out=imported)
+            inh_end[:] = ops.to_device(imported.astype(np.int64))
 
         # Sentinel expiry beyond every reachable timer end (late spikes set
         # ends past ``n_steps``), so a masked minimum equal to ``big``
@@ -310,7 +337,7 @@ class QEventPresentation:
         for s in sparse.event_steps.tolist():
             rows_at[s] = channels[offsets[s] : offsets[s + 1]]
         next_event_at = np.append(sparse.event_steps, n_steps)[
-            np.searchsorted(sparse.event_steps, np.arange(n_steps))
+            np.searchsorted(sparse.event_steps, np.arange(n_steps))  # host index  # lint-ok: R6
         ].tolist()
 
         total_spikes = 0
@@ -564,22 +591,26 @@ class QEventPresentation:
             # The column-restricted scatter touches only the spiking
             # columns, rounding each changed synapse with one qrounding
             # draw — the same draws, in the same order, as the dense
-            # qfused kernel on the same spike trajectory.
-            if learning and n_fired:
-                if stochastic_rule:
-                    quantized_stochastic_columns(
-                        rule, codes, codec, timers, spikes, t_now,
-                        rng_learning, rng_rounding, conn_mask,
-                    )
-                else:
-                    quantized_deterministic_columns(
-                        rule, codes, codec, timers, spikes, t_now,
-                        rng_rounding, conn_mask,
-                    )
+            # qfused kernel on the same spike trajectory.  Timers and the
+            # Bernoulli draws are host subsystems, so the spike mask is
+            # downloaded at fired steps and the helpers upload the
+            # host-computed masks through the explicit ops seam.
             if n_fired:
-                last_post[spikes] = t_now
+                spikes_h = spikes if on_host else ops.to_host(spikes)
+                if learning:
+                    if stochastic_rule:
+                        quantized_stochastic_columns(
+                            rule, codes, codec, timers, spikes_h, t_now,
+                            rng_learning, rng_rounding, conn_mask, ops=ops,
+                        )
+                    else:
+                        quantized_deterministic_columns(
+                            rule, codes, codec, timers, spikes_h, t_now,
+                            rng_rounding, conn_mask, ops=ops,
+                        )
+                last_post[spikes_h] = t_now
                 if out_counts is not None:
-                    out_counts[spikes] += 1
+                    out_counts[spikes_h] += 1
             if profiler is not None:
                 _t3 = clock()
                 profiler.add("stdp", _t3 - _t2)
@@ -618,15 +649,25 @@ class QEventPresentation:
 
         # Export the integer timers back into the float state so the dense
         # engines (and `rest()`) see exactly what per-step decrements would
-        # have left behind.
-        np.subtract(ref_end, n_steps, out=ref_end)
-        np.maximum(ref_end, 0, out=ref_end)
-        np.multiply(ref_end, dt_ms, out=neurons._refractory_left, casting="unsafe")
-        np.subtract(inh_end, n_steps, out=inh_end)
-        np.maximum(inh_end, 0, out=inh_end)
-        np.multiply(inh_end, dt_ms, out=neurons._inhibited_left, casting="unsafe")
+        # have left behind.  The float timers are host state, so a device
+        # backend downloads the expiry steps first (same arithmetic after).
+        ref_export = ref_end if on_host else ops.to_host(ref_end)
+        inh_export = inh_end if on_host else ops.to_host(inh_end)
+        np.subtract(ref_export, n_steps, out=ref_export)
+        np.maximum(ref_export, 0, out=ref_export)
+        np.multiply(ref_export, dt_ms, out=neurons._refractory_left, casting="unsafe")
+        np.subtract(inh_export, n_steps, out=inh_export)
+        np.maximum(inh_export, 0, out=inh_export)
+        np.multiply(inh_export, dt_ms, out=neurons._inhibited_left, casting="unsafe")
 
         # Boundary sync out: the decoded float view becomes authoritative
-        # again for everything that runs between presentations.
-        codec.decode_into(codes, g)
+        # again for everything that runs between presentations; device
+        # backends download the neuron-state mirrors too.
+        if on_host:
+            codec.decode_into(codes, g)
+        else:
+            codec.decode_into(ops.to_host(codes), g)
+            np.copyto(net._current, ops.to_host(current))
+            np.copyto(neurons._v, ops.to_host(v))
+            np.copyto(neurons._theta, ops.to_host(theta))
         return total_spikes, t_grid[n_steps]

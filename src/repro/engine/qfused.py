@@ -41,6 +41,16 @@ Equivalence contract (enforced by ``tests/test_qfused.py`` and the
   identical algorithm with the codes held in float64.  Spike counts and
   decoded conductances match the twin bit for bit at matched draws,
   verifying the integer arithmetic itself is exact.
+
+Like the fused tier, the kernel is backend-generic: it binds an
+:class:`~repro.backend.ops.Ops` handle at construction and keeps the code
+matrix, neuron state mirrors and work buffers resident on that backend.
+The spike raster stays on the host (the code-domain drive is a row gather
+indexed from it, not a matmul), all RNG draws are host-ordered (the
+``qrounding`` stream arrives as a :class:`~repro.engine.rng.DeviceRng` on
+device backends), and at :meth:`run` exit the codes are decoded back into
+the live host ``synapses.g`` — so results are bit-identical across
+backends and every boundary consumer keeps seeing host floats.
 """
 
 from __future__ import annotations
@@ -50,7 +60,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
-from repro.backend import backend_name, get_array_module
+from repro.backend import backend_ops
 from repro.engine.plasticity import (
     quantized_deterministic_columns,
     quantized_stochastic_columns,
@@ -78,12 +88,8 @@ class QFusedPresentation:
     """
 
     def __init__(self, network: WTANetwork, storage: str = "int") -> None:
-        if get_array_module() is not np:
-            raise ConfigurationError(
-                f"the qfused training kernel requires the numpy backend "
-                f"(STDP rules and eq.-8 rounding draw from numpy RNG "
-                f"streams); active backend is {backend_name()!r}."
-            )
+        self._ops = backend_ops()
+        xp = self._ops.xp
         if storage not in STORAGE_MODES:
             raise ConfigurationError(
                 f"qfused storage must be one of {STORAGE_MODES}, got {storage!r}"
@@ -107,28 +113,34 @@ class QFusedPresentation:
         self._scale_denom = cfg.wta.e_excitatory - cfg.lif.v_reset
         self._subtractive = network.neurons.inhibition_strength > 0.0
 
-        # The live code matrix (uint8/uint16, or float64 for the twin).
+        # The live code matrix (uint8/uint16, or float64 for the twin),
+        # resident on the kernel's backend for the whole run.
         g_shape = network.synapses.g.shape
         code_dtype = self.codec.dtype if storage == "int" else np.dtype(np.float64)
-        self._codes = np.zeros(g_shape, dtype=code_dtype)
+        self._codes = xp.zeros(g_shape, dtype=code_dtype)
         self._acc_dtype = np.dtype(np.int64) if storage == "int" else np.dtype(np.float64)
 
-        # Preallocated per-step work buffers.
-        self._injected = np.empty(g_shape[1], dtype=np.float64)
-        self._scale = np.empty(n, dtype=np.float64)
-        self._eff = np.empty(n, dtype=np.float64)
-        self._dv = np.empty(n, dtype=np.float64)
-        self._tmp = np.empty(n, dtype=np.float64)
-        self._thr = np.empty(n, dtype=np.float64)
-        self._blocked = np.empty(n, dtype=bool)
-        self._inhibited = np.empty(n, dtype=bool)
-        self._not_blocked = np.empty(n, dtype=bool)
-        self._spikes = np.empty(n, dtype=bool)
-        self._losers = np.empty(n, dtype=bool)
+        # Preallocated per-step work buffers, resident on the backend the
+        # kernel steps on (device allocations happen once, here).
+        self._injected = xp.empty(g_shape[1], dtype=np.float64)
+        self._scale = xp.empty(n, dtype=np.float64)
+        self._eff = xp.empty(n, dtype=np.float64)
+        self._dv = xp.empty(n, dtype=np.float64)
+        self._tmp = xp.empty(n, dtype=np.float64)
+        self._thr = xp.empty(n, dtype=np.float64)
+        self._blocked = xp.empty(n, dtype=bool)
+        self._inhibited = xp.empty(n, dtype=bool)
+        self._not_blocked = xp.empty(n, dtype=bool)
+        self._spikes = xp.empty(n, dtype=bool)
+        self._losers = xp.empty(n, dtype=bool)
 
     @property
     def codes(self) -> np.ndarray:
-        """The Q-format code matrix (live during a presentation)."""
+        """The Q-format code matrix (live during a presentation).
+
+        Resident on the kernel's backend; download with
+        :func:`repro.backend.asnumpy` before host-side use.
+        """
         return self._codes
 
     # ------------------------------------------------------------------
@@ -161,18 +173,23 @@ class QFusedPresentation:
         timers = net.timers
         rule = net.rule
         rng_learning = net.rngs.learning
-        rng_rounding = net.rngs.qrounding
         lif = self._lif
         wta = self._wta
         codec = self.codec
         codes = self._codes
         conn_mask = net.synapses.connectivity
+        ops = self._ops
+        on_host = ops.is_host
+        # Eq.-8 rounding draws stay host-ordered on every backend; on a
+        # device backend the stream arrives wrapped so draws upload.
+        rng_rounding = net.rngs.device_stream("qrounding", ops)
 
         # Boundary sync in: the float matrix is authoritative between
         # presentations; its live values are on the storage grid, so the
-        # encode is an exact rescaling.
+        # encode is an exact rescaling (routed through the backend's own
+        # conversion so the encoded codes land device-side).
         g = net.synapses.g
-        np.copyto(codes, codec.encode(g, dtype=codes.dtype))
+        np.copyto(codes, codec.encode(g, dtype=codes.dtype, xp=ops.xp))
 
         if profiler is not None:
             _t0 = clock()
@@ -194,11 +211,14 @@ class QFusedPresentation:
         stochastic_rule = self._stochastic_rule
         acc_dtype = self._acc_dtype
 
-        current = net._current
-        v = neurons._v
-        theta = neurons._theta
-        refractory = neurons._refractory_left
-        inhibited_left = neurons._inhibited_left
+        # State arrays: live host arrays on the numpy backend, mirrors on a
+        # device backend (uploaded here, downloaded back at exit — same
+        # discipline as the fused kernel).
+        current = ops.to_device(net._current)
+        v = ops.to_device(neurons._v)
+        theta = ops.to_device(neurons._theta)
+        refractory = ops.to_device(neurons._refractory_left)
+        inhibited_left = ops.to_device(neurons._inhibited_left)
 
         injected = self._injected
         scale = self._scale
@@ -295,28 +315,44 @@ class QFusedPresentation:
                 profiler.add("wta", _t2 - _t1, calls=0)
 
             # --- plasticity on codes, timers -----------------------------
+            # Timers and the Bernoulli draws are host subsystems, so the
+            # spike mask is downloaded at fired steps; the code-domain
+            # helpers upload the host-computed masks through the explicit
+            # ops seam before they meet the device codes.
+            spikes_h = spikes if on_host else None
+            if n_fired and not on_host:
+                spikes_h = ops.to_host(spikes)
             if learning and n_fired:
                 if stochastic_rule:
                     quantized_stochastic_columns(
-                        rule, codes, codec, timers, spikes, t_ms,
-                        rng_learning, rng_rounding, conn_mask,
+                        rule, codes, codec, timers, spikes_h, t_ms,
+                        rng_learning, rng_rounding, conn_mask, ops=ops,
                     )
                 else:
                     quantized_deterministic_columns(
-                        rule, codes, codec, timers, spikes, t_ms,
-                        rng_rounding, conn_mask,
+                        rule, codes, codec, timers, spikes_h, t_ms,
+                        rng_rounding, conn_mask, ops=ops,
                     )
             if n_fired:
-                timers._last_post[spikes] = t_ms
+                timers._last_post[spikes_h] = t_ms
                 if out_counts is not None:
-                    out_counts[spikes] += 1
+                    out_counts[spikes_h] += 1
             if profiler is not None:
                 _t3 = clock()
                 profiler.add("stdp", _t3 - _t2)
 
             if n_fired and t_inh > 0.0:
                 np.logical_not(spikes, out=losers)
-                neurons.inhibit(losers, t_inh)
+                if on_host:
+                    neurons.inhibit(losers, t_inh)
+                else:
+                    # Device image of AdaptiveLIFPopulation.inhibit: extend,
+                    # never shorten (the host array syncs at exit).
+                    np.maximum(
+                        inhibited_left,
+                        np.where(losers, t_inh, 0.0),
+                        out=inhibited_left,
+                    )
             if profiler is not None:
                 profiler.add("wta", clock() - _t3)
 
@@ -324,6 +360,16 @@ class QFusedPresentation:
             t_ms += dt_ms
 
         # Boundary sync out: the decoded float view becomes authoritative
-        # again for everything that runs between presentations.
-        codec.decode_into(codes, g)
+        # again for everything that runs between presentations.  On a device
+        # backend the neuron-state mirrors download into the live host
+        # arrays too.
+        if on_host:
+            codec.decode_into(codes, g)
+        else:
+            codec.decode_into(ops.to_host(codes), g)
+            np.copyto(net._current, ops.to_host(current))
+            np.copyto(neurons._v, ops.to_host(v))
+            np.copyto(neurons._theta, ops.to_host(theta))
+            np.copyto(neurons._refractory_left, ops.to_host(refractory))
+            np.copyto(neurons._inhibited_left, ops.to_host(inhibited_left))
         return total_spikes, t_ms

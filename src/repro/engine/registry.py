@@ -25,6 +25,11 @@ asks for.
 :func:`check_equivalence` turns each declared tier into concrete
 assertions; ``scripts/bench_training.py --check`` and the test suite use it
 to verify any engine pair's contract instead of hand-rolled comparisons.
+:func:`check_backend_equivalence` pins the orthogonal axis: the *same*
+engine on two declared backends must agree **bit for bit** regardless of
+its declared tier, because every kernel draws its randomness host-side
+(see :class:`repro.engine.rng.DeviceRng`) and device arithmetic follows
+IEEE float64 — backend selection is an execution detail, never a result.
 """
 
 from __future__ import annotations
@@ -227,6 +232,46 @@ def check_equivalence(
     return failures
 
 
+def check_backend_equivalence(
+    spec: EngineSpec,
+    backend: str,
+    oracle: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+) -> List[str]:
+    """Violations of the cross-backend contract, as messages.
+
+    *oracle* holds artefacts from a run on the ``numpy`` backend,
+    *candidate* the same artefacts from *backend* (same config, same
+    seeds); the mappings use :func:`check_equivalence`'s keys.  Unlike the
+    per-engine tier, the cross-backend contract is unconditional: every
+    engine must be **bit-identical** across its declared backends — the
+    kernels draw all randomness host-side and mirror state through explicit
+    transfer seams, so a deviation is a device-discipline bug, not a
+    tolerance question.  An engine that does not declare *backend* fails
+    outright (run it on a declared backend instead).
+    """
+    import numpy as np
+
+    if backend not in spec.backends:
+        return [
+            f"engine {spec.name!r} does not declare backend {backend!r} "
+            f"(declared: {', '.join(spec.backends)})"
+        ]
+    failures: List[str] = []
+    for key in sorted(set(oracle) & set(candidate)):
+        a, b = oracle[key], candidate[key]
+        if key == "spikes_per_image":
+            ok = list(a) == list(b)
+        else:
+            ok = np.array_equal(np.asarray(a), np.asarray(b))
+        if not ok:
+            failures.append(
+                f"engine {spec.name!r}: {key} on backend {backend!r} are "
+                f"not bit-identical to the numpy backend"
+            )
+    return failures
+
+
 # ----------------------------------------------------------------------
 # built-in engines
 # ----------------------------------------------------------------------
@@ -237,7 +282,7 @@ register_engine(EngineSpec(
     supports_learning=True,
     supports_batch=False,
     equivalence=Equivalence.BIT_EXACT,
-    backends=("numpy",),
+    backends=("numpy", "guard"),
     summary="per-step oracle loop (WTANetwork.advance)",
 ))
 register_engine(EngineSpec(
@@ -246,7 +291,7 @@ register_engine(EngineSpec(
     supports_learning=True,
     supports_batch=False,
     equivalence=Equivalence.BIT_EXACT,
-    backends=("numpy",),
+    backends=("numpy", "guard", "cupy"),
     summary="dense fused kernel: pre-generated rasters, in-place stepping",
 ))
 register_engine(EngineSpec(
@@ -255,7 +300,7 @@ register_engine(EngineSpec(
     supports_learning=True,
     supports_batch=False,
     equivalence=Equivalence.SPIKE_EQUIVALENT,
-    backends=("numpy",),
+    backends=("numpy", "guard"),
     summary="sparse events + closed-form jumps across quiescent spans",
 ))
 register_engine(EngineSpec(
@@ -264,7 +309,7 @@ register_engine(EngineSpec(
     supports_learning=False,
     supports_batch=True,
     equivalence=Equivalence.STATISTICAL,
-    backends=("numpy", "cupy"),
+    backends=("numpy", "guard", "cupy"),
     summary="image-parallel frozen inference (GPU batch-mode substitute)",
 ))
 register_engine(EngineSpec(
@@ -273,7 +318,7 @@ register_engine(EngineSpec(
     supports_learning=True,
     supports_batch=False,
     equivalence=Equivalence.SPIKE_EQUIVALENT,
-    backends=("numpy",),
+    backends=("numpy", "guard", "cupy"),
     summary="integer-native fused kernel: uint8/uint16 Q-format codes, fused eq.-8 rounding",
     precisions=("uint8", "uint16"),
 ))
@@ -283,7 +328,7 @@ register_engine(EngineSpec(
     supports_learning=True,
     supports_batch=False,
     equivalence=Equivalence.SPIKE_EQUIVALENT,
-    backends=("numpy",),
+    backends=("numpy", "guard"),
     summary="event-driven integer kernel: sparse gathers + closed-form jumps on Q-format codes",
     precisions=("uint8", "uint16"),
 ))
@@ -293,7 +338,7 @@ register_engine(EngineSpec(
     supports_learning=False,
     supports_batch=True,
     equivalence=Equivalence.STATISTICAL,
-    backends=("numpy",),
+    backends=("numpy", "guard", "cupy"),
     summary="image-parallel inference on integer codes (bit-identical to 'batched')",
     precisions=("uint8", "uint16"),
 ))

@@ -12,10 +12,11 @@ rely on.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend.ops import Ops
 from repro.errors import SimulationError
 
 #: Stream names handed out in a fixed order so seeding is reproducible.
@@ -37,6 +38,35 @@ OPTIONAL_STREAMS = frozenset({"qrounding"})
 #: arbitrary ("BATC4") but load-bearing for reproducibility, so it lives
 #: here as a named constant rather than at a call site.
 BATCHED_EVAL_SALT = 0xBA7C4
+
+
+class DeviceRng:
+    """A host stream whose draws are uploaded to a device backend.
+
+    The multi-backend RNG strategy: **all randomness is drawn on the host**
+    from the owning :class:`numpy.random.Generator` (so every backend
+    consumes exactly the same sequence — spike trajectories stay
+    bit-identical across numpy/guard/cupy), then the resulting array is
+    uploaded through the backend's explicit ``to_device`` seam.  The
+    bit-generator state also stays host-side, so checkpoint capture/resume
+    is backend-agnostic.
+    """
+
+    def __init__(self, rng: np.random.Generator, ops: Ops) -> None:
+        self.rng = rng
+        self.ops = ops
+
+    def random(
+        self, size: Optional[Union[int, Tuple[int, ...]]] = None
+    ) -> Any:
+        """Uniform [0, 1) draws: host-drawn, device-uploaded.
+
+        A ``size=None`` call returns the plain Python float the underlying
+        generator yields — scalars need no device residency.
+        """
+        if size is None:
+            return self.rng.random()
+        return self.ops.to_device(self.rng.random(size))
 
 
 class RngStreams:
@@ -70,7 +100,24 @@ class RngStreams:
             )
         return self._streams[name]
 
-    def batched_eval(self) -> np.random.Generator:
+    def device_stream(
+        self, name: str, ops: Optional[Ops] = None
+    ) -> Union[np.random.Generator, DeviceRng]:
+        """Stream *name* adapted to *ops*' backend.
+
+        On the host backend (or with no ops) this is exactly :meth:`get` —
+        the raw generator, zero overhead.  On a device backend the stream
+        is wrapped in :class:`DeviceRng` so draws are host-identical but
+        land in device memory.
+        """
+        rng = self.get(name)
+        if ops is None or ops.is_host:
+            return rng
+        return DeviceRng(rng, ops)
+
+    def batched_eval(
+        self, ops: Optional[Ops] = None
+    ) -> Union[np.random.Generator, DeviceRng]:
         """A fresh stream for the image-parallel batched evaluation engine.
 
         Seeding contract: the generator is derived from ``(seed,
@@ -83,10 +130,17 @@ class RngStreams:
         evaluations (or how much training) ran before, unlike the
         sequential engines, whose draws continue the shared ``encoding``
         stream.
+
+        With a non-host *ops*, the generator is wrapped in
+        :class:`DeviceRng` (host-drawn, device-uploaded) so batched
+        responses stay bit-identical across backends.
         """
-        return np.random.default_rng(
+        rng = np.random.default_rng(
             np.random.SeedSequence((self.seed, BATCHED_EVAL_SALT))
         )
+        if ops is None or ops.is_host:
+            return rng
+        return DeviceRng(rng, ops)
 
     def reseed(self, seed: int) -> None:
         """Replace every stream with fresh ones derived from *seed*."""

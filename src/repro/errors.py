@@ -19,6 +19,18 @@ class ConfigurationError(ReproError):
     """A parameter object or preset is invalid or inconsistent."""
 
 
+class BackendError(ReproError):
+    """An array-backend discipline contract was violated.
+
+    Raised by the ``guard`` backend (:mod:`repro.backend.guard`) when a
+    kernel mixes a device-resident array with a plain host array in one
+    operation — the class of bug that works silently on NumPy, crashes on
+    CuPy, and is otherwise only caught with a GPU in CI.  The message names
+    the operation and the fix (an explicit ``Ops.to_device`` /
+    ``Ops.to_host`` seam).
+    """
+
+
 class QuantizationError(ReproError):
     """A fixed-point format or rounding request cannot be honoured."""
 

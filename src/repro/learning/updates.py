@@ -21,6 +21,22 @@ from repro.config.parameters import DeterministicSTDPParameters, StochasticSTDPP
 ArrayLike = "np.typing.ArrayLike"
 
 
+def _as_float64(values: np.ndarray) -> np.ndarray:
+    """Coerce to float64 without discarding array subclasses.
+
+    ``np.asarray`` does not dispatch ``__array_function__`` and silently
+    strips ndarray subclasses, which would drop a device-resident operand
+    (the guard backend's residency marker) onto the host; ``astype``
+    preserves the subclass.  The magnitude kernels receive device arrays
+    from the integer engines' code-domain plasticity helpers.
+    """
+    if isinstance(values, np.ndarray):
+        if values.dtype == np.float64:
+            return values
+        return values.astype(np.float64)
+    return np.asarray(values, dtype=np.float64)
+
+
 def potentiation_magnitude(
     g: np.ndarray, params: DeterministicSTDPParameters
 ) -> np.ndarray:
@@ -30,7 +46,7 @@ def potentiation_magnitude(
     increment — the soft-bound behaviour of memristive synapses the rule
     models.
     """
-    g = np.asarray(g, dtype=np.float64)
+    g = _as_float64(g)
     normalized = (g - params.g_min) / params.g_range
     return params.alpha_p * np.exp(-params.beta_p * normalized)
 
@@ -43,7 +59,7 @@ def depression_magnitude(
     Returned as a positive magnitude; callers subtract it.  Conductances
     near ``G_min`` barely depress further (soft lower bound).
     """
-    g = np.asarray(g, dtype=np.float64)
+    g = _as_float64(g)
     normalized = (params.g_max - g) / params.g_range
     return params.alpha_d * np.exp(-params.beta_d * normalized)
 

@@ -38,6 +38,12 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
         "resilience package: catch specific error types; broad catches are "
         "reserved for sanctioned fault-isolation boundaries"
     ),
+    "R6": (
+        "backend discipline in backend-generic kernels: array creation and "
+        "conversion must go through the xp module / Ops converters of "
+        "repro.backend, not numpy directly — np.asarray and friends do not "
+        "dispatch to the active backend and silently strip device residency"
+    ),
 }
 
 

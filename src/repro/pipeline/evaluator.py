@@ -27,6 +27,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.analysis.accuracy import accuracy_score, confusion_matrix
+from repro.backend import use_backend
 from repro.engine.registry import create_engine
 from repro.errors import LabelingError
 from repro.network.inference import classify_batch
@@ -100,10 +101,14 @@ class Evaluator:
         for the shared loop and each engine's equivalence tier.
         """
         engine_name = self.engine or self.network.config.engine.eval
-        kernel = create_engine(engine_name, self.network)
-        return kernel.collect_responses(
-            images, self.t_present_ms, progress=self.progress, label=label
-        )
+        # Sequential kernels bind their array backend at construction, but
+        # the batched engine resolves it per collect_responses call — keep
+        # both inside the scope so ``engine.backend`` governs either path.
+        with use_backend(self.network.config.engine.backend):
+            kernel = create_engine(engine_name, self.network)
+            return kernel.collect_responses(
+                images, self.t_present_ms, progress=self.progress, label=label
+            )
 
     def label_neurons(self, images: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Assign a class to every neuron from its labeling-set responses."""

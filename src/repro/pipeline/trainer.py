@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Any, Callable, List, Optional, Union
 
 import numpy as np
 
+from repro.backend import use_backend
 from repro.engine.registry import create_training_engine
 from repro.errors import NumericHealthError, SimulationError
 from repro.learning.homeostasis import WeightNormalizer
@@ -203,10 +204,15 @@ class UnsupervisedTrainer:
         if batch.ndim != 3:
             raise SimulationError(f"images must be 2-D or 3-D, got shape {batch.shape}")
 
+        # The config's backend selection scopes engine *construction*: every
+        # kernel binds its Ops handle (array module + transfer seams) in
+        # __init__, so no further backend state is consulted mid-run.
+        backend = self.network.config.engine.backend
         engine_choice = engine or self.engine or self.network.config.engine.train
         if isinstance(engine_choice, str):
             engine_name = engine_choice
-            kernel = create_training_engine(engine_name, self.network)
+            with use_backend(backend):
+                kernel = create_training_engine(engine_name, self.network)
         else:
             # A pre-built engine instance (anything implementing run());
             # used by the bench harness and equivalence tests to drive
@@ -293,7 +299,8 @@ class UnsupervisedTrainer:
                 cells_base = log.raster_cells
                 active_base = log.raster_active_cells
                 engine_name = fallback
-                kernel = create_training_engine(engine_name, self.network)
+                with use_backend(backend):
+                    kernel = create_training_engine(engine_name, self.network)
                 kernel_stats = getattr(kernel, "stats", None)
                 continue
             self.network.rest()

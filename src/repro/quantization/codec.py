@@ -105,16 +105,22 @@ class QCodec:
     # ------------------------------------------------------------------
 
     def encode(
-        self, values: np.ndarray, dtype: Optional["np.dtype[Any]"] = None
+        self,
+        values: np.ndarray,
+        dtype: Optional["np.dtype[Any]"] = None,
+        xp: Any = np,
     ) -> np.ndarray:
         """Float conductances -> integer codes, clipped to ``[0, max_code]``.
 
         Exact (pure rescaling, no rounding error) for values already on the
         storage grid; off-grid values snap to the nearest code.  *dtype*
         overrides the storage dtype — the float shadow twin passes
-        ``float64`` to keep integer-valued codes in float storage.
+        ``float64`` to keep integer-valued codes in float storage.  *xp* is
+        the backend array module: conversion must go through the owning
+        backend (plain ``numpy.asarray`` silently strips device residency),
+        while the arithmetic dispatches on the operands by itself.
         """
-        arr = np.asarray(values, dtype=np.float64)
+        arr = xp.asarray(values, dtype=np.float64)
         codes = np.rint(arr * self.inv_resolution)
         np.clip(codes, 0.0, float(self.max_code), out=codes)
         return codes.astype(self.dtype if dtype is None else dtype)
@@ -157,7 +163,7 @@ class QCodec:
         return np.multiply(acc, scale, out=out)
 
     def batched_drive(
-        self, spikes: np.ndarray, codes: np.ndarray, scale: float
+        self, spikes: np.ndarray, codes: np.ndarray, scale: float, xp: Any = np
     ) -> np.ndarray:
         """Image-parallel drive: ``(spikes @ codes) * scale`` on integer codes.
 
@@ -169,8 +175,16 @@ class QCodec:
         is bit-identical to the float path's ``(spikes @ g) * amplitude``
         while moving a quarter (uint16) to an eighth (uint8) of the memory
         traffic through the matmul.
+
+        On numpy-semantics backends (numpy, guard) the accumulation dtype
+        rides on the matmul itself; CuPy's ``matmul`` has no ``dtype``
+        keyword, so that branch widens the operands to ``int64`` first —
+        same exact integer arithmetic, one extra temporary.
         """
-        acc = np.matmul(spikes.astype(np.uint8), codes, dtype=np.int64)
+        if getattr(xp, "__name__", "numpy").startswith("cupy"):  # pragma: no cover
+            acc = spikes.astype(np.int64) @ codes.astype(np.int64)
+        else:
+            acc = np.matmul(spikes.astype(np.uint8), codes, dtype=np.int64)
         return np.multiply(acc, scale, dtype=np.float64)
 
     # ------------------------------------------------------------------
@@ -180,7 +194,8 @@ class QCodec:
     def delta_codes(
         self,
         delta: np.ndarray,
-        rng: Optional[np.random.Generator] = None,
+        rng: Optional[Any] = None,
+        xp: Any = np,
     ) -> np.ndarray:
         """Code-domain image of ``Quantizer.quantize_delta`` for *delta*.
 
@@ -191,9 +206,11 @@ class QCodec:
         nearest are deterministic; stochastic rounding is eq. (8) as an
         integer compare-against-random, drawing **one uniform per changed
         entry** (``delta != 0``) from *rng* in C order — the quantity the
-        float-simulated path spends a full-matrix draw on.
+        float-simulated path spends a full-matrix draw on.  On a device
+        backend, pass *xp* plus a :class:`~repro.engine.rng.DeviceRng` so
+        draws stay host-ordered while the compare runs on device.
         """
-        arr = np.asarray(delta, dtype=np.float64)
+        arr = xp.asarray(delta, dtype=np.float64)
         if self.fixed_lsb:
             return np.sign(arr)
         scaled = arr * self.inv_resolution

@@ -1,0 +1,20 @@
+"""R6 fixture: the same kernel written against ``xp`` and the Ops seams.
+
+Creation goes through the backend's array module, conversion through the
+``Ops`` converters; ufuncs and ``*_like`` constructors dispatch through
+the array protocols and are backend-safe as numpy spellings; deliberate
+host-side arrays carry the pragma.
+"""
+
+import numpy as np
+
+
+def run(xp, ops, device_array, n):
+    state = xp.zeros(n, dtype=np.float64)
+    scratch = xp.empty((n, n), dtype=np.float64)
+    host = ops.to_host(device_array)
+    mirror = ops.to_device(host)
+    total = np.add.reduce(device_array)
+    like = np.zeros_like(device_array)
+    raster = np.empty(n, dtype=bool)  # host raster  # lint-ok: R6
+    return state, scratch, mirror, total, like, raster

@@ -98,9 +98,9 @@ class TestCupyProbeCache:
     def test_negative_probe_runs_once(self, monkeypatch):
         calls = []
         self._install_failing_cupy(monkeypatch, calls)
-        assert backend.available_backends() == ("numpy",)
-        assert backend.available_backends() == ("numpy",)
-        assert backend.available_backends() == ("numpy",)
+        assert backend.available_backends() == ("numpy", "guard")
+        assert backend.available_backends() == ("numpy", "guard")
+        assert backend.available_backends() == ("numpy", "guard")
         assert len(calls) == 1
 
     def test_cached_failure_message_is_reraised(self, monkeypatch):
@@ -120,8 +120,24 @@ class TestCupyProbeCache:
         monkeypatch.setitem(sys.modules, "cupy", fake)
         monkeypatch.setattr(backend, "_modules", dict(backend._modules))
         monkeypatch.setattr(backend, "_cupy_unavailable", None)
-        assert backend.available_backends() == ("numpy", "cupy")
+        assert backend.available_backends() == ("numpy", "guard", "cupy")
         assert backend._cupy_unavailable is None
+
+    def test_reset_backend_cache_forces_reprobe(self, monkeypatch):
+        """A cached negative probe is not forever: resetting re-probes."""
+        calls = []
+        self._install_failing_cupy(monkeypatch, calls)
+        assert "cupy" not in backend.available_backends()
+        assert "cupy" not in backend.available_backends()
+        assert len(calls) == 1
+        backend.reset_backend_cache()
+        assert "cupy" not in backend.available_backends()
+        assert len(calls) == 2
+
+    def test_reset_backend_cache_keeps_numpy(self):
+        backend.reset_backend_cache()
+        assert backend.get_array_module() is np
+        assert "numpy" in backend._modules
 
 
 class TestHelpers:
@@ -138,3 +154,60 @@ class TestHelpers:
         out = backend.asnumpy([1.0, 2.0])
         assert isinstance(out, np.ndarray)
         assert np.array_equal(out, np.array([1.0, 2.0]))
+
+    def test_asnumpy_dispatches_via_guard_converter(self):
+        """Guard arrays download through the guard backend's own converter
+        (a detached host copy), not module-name string matching."""
+        from repro.backend import guard
+
+        dev = backend.backend_ops("guard").to_device(np.arange(4.0))
+        out = backend.asnumpy(dev)
+        assert type(out) is np.ndarray
+        assert not isinstance(out, guard.GuardArray)
+        out[0] = 99.0
+        assert float(guard.asnumpy(dev)[0]) == 0.0
+
+    def test_use_backend_scopes_selection(self):
+        with backend.use_backend("guard"):
+            assert backend.backend_name() == "guard"
+        assert backend.backend_name() == "numpy"
+
+    def test_use_backend_none_is_a_noop_scope(self):
+        backend.set_backend("guard")
+        with backend.use_backend(None):
+            assert backend.backend_name() == "guard"
+        assert backend.backend_name() == "guard"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with backend.use_backend("guard"):
+                raise RuntimeError("boom")
+        assert backend.backend_name() == "numpy"
+
+
+class TestOps:
+    def test_numpy_ops_are_identity(self):
+        ops = backend.backend_ops("numpy")
+        arr = np.arange(3.0)
+        assert ops.is_host
+        assert ops.xp is np
+        assert ops.to_device(arr) is arr
+        assert ops.to_host(arr) is arr
+
+    def test_default_resolves_active_backend(self):
+        assert backend.backend_ops().name == "numpy"
+        backend.set_backend("guard")
+        assert backend.backend_ops().name == "guard"
+
+    def test_env_selection_resolves_ops(self, monkeypatch):
+        monkeypatch.setenv(backend.ENV_VAR, "guard")
+        assert backend.backend_ops().name == "guard"
+
+    def test_unknown_ops_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            backend.backend_ops("metal")
+
+    def test_ops_handles_are_cached(self):
+        assert backend.backend_ops("guard") is backend.backend_ops("guard")
+        backend.reset_backend_cache()
+        assert backend.backend_ops("guard").name == "guard"

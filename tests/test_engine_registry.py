@@ -102,7 +102,7 @@ class TestRegistry:
         assert spec.supports_batch
         assert spec.equivalence is Equivalence.STATISTICAL
         assert spec.precisions == ("uint8", "uint16")
-        assert spec.backends == ("numpy",)
+        assert spec.backends == ("numpy", "guard", "cupy")
 
     def test_duplicate_registration_rejected(self):
         spec = get_engine_spec("fused")

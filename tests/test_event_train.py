@@ -226,13 +226,36 @@ class TestSparsify:
 
 
 class TestKernelGuards:
-    def test_rejects_non_numpy_backend(self, tiny_config, monkeypatch):
-        net = WTANetwork(tiny_config, n_pixels=64)
-        monkeypatch.setattr(
-            "repro.engine.event_train.get_array_module", lambda: object()
+    def test_runs_on_guard_backend_bit_identically(self, tiny_config, small_images):
+        """The event kernel is backend-generic: the guard backend must
+        reproduce the numpy trajectory bit for bit, with zero device-
+        discipline violations."""
+        import repro.backend as backend
+        from repro.backend import guard
+
+        host_net = WTANetwork(tiny_config, n_pixels=64)
+        host_kernel = EventPresentation(host_net)
+        t = 0.0
+        for image in small_images[:2]:
+            _, t = host_kernel.run(image, t, 40, 1.0)
+
+        dev_net = WTANetwork(tiny_config, n_pixels=64)
+        guard.reset_counters()
+        try:
+            backend.set_backend("guard")
+            dev_kernel = EventPresentation(dev_net)
+            t = 0.0
+            for image in small_images[:2]:
+                _, t = dev_kernel.run(image, t, 40, 1.0)
+        finally:
+            backend.set_backend(None)
+        assert guard.transfer_stats().violations == 0
+        assert np.array_equal(host_net.synapses.g, dev_net.synapses.g)
+        assert np.array_equal(host_net.neurons.theta, dev_net.neurons.theta)
+        assert np.array_equal(host_net.neurons.v, dev_net.neurons.v)
+        assert np.array_equal(
+            host_net.neurons._inhibited_left, dev_net.neurons._inhibited_left
         )
-        with pytest.raises(ConfigurationError):
-            EventPresentation(net)
 
     def test_rejects_non_leaky_membrane(self, tiny_config):
         # ExperimentConfig validation already forbids b >= 0, so smuggle the

@@ -187,11 +187,33 @@ class TestConductanceDeltaPaths:
 
 
 class TestKernelGuards:
-    def test_rejects_non_numpy_backend(self, tiny_config, monkeypatch):
-        net = WTANetwork(tiny_config, n_pixels=64)
-        monkeypatch.setattr("repro.engine.fused.get_array_module", lambda: object())
-        with pytest.raises(ConfigurationError):
-            FusedPresentation(net)
+    def test_runs_on_guard_backend_bit_identically(self, tiny_config, small_images):
+        """The kernel is backend-generic now: the guard backend (device
+        semantics, mixing enforced) must reproduce the numpy backend's
+        trajectory bit for bit with zero discipline violations."""
+        import repro.backend as backend
+        from repro.backend import guard
+
+        host_net = WTANetwork(tiny_config, n_pixels=64)
+        host_kernel = FusedPresentation(host_net)
+        t = 0.0
+        for image in small_images[:2]:
+            _, t = host_kernel.run(image, t, 40, 1.0)
+
+        dev_net = WTANetwork(tiny_config, n_pixels=64)
+        guard.reset_counters()
+        try:
+            backend.set_backend("guard")
+            dev_kernel = FusedPresentation(dev_net)
+            t = 0.0
+            for image in small_images[:2]:
+                _, t = dev_kernel.run(image, t, 40, 1.0)
+        finally:
+            backend.set_backend(None)
+        assert guard.transfer_stats().violations == 0
+        assert np.array_equal(host_net.synapses.g, dev_net.synapses.g)
+        assert np.array_equal(host_net.neurons.theta, dev_net.neurons.theta)
+        assert np.array_equal(host_net.neurons.v, dev_net.neurons.v)
 
     def test_rejects_negative_steps(self, tiny_config, small_images):
         net = WTANetwork(tiny_config, n_pixels=64)

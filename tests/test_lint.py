@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` static-analysis package (rules R1-R5).
+"""Tests for the ``repro lint`` static-analysis package (rules R1-R6).
 
 Each rule is proven both ways against the fixture corpus in
 ``tests/lint_fixtures/``: the bad fixture must produce findings, the good
@@ -114,9 +114,11 @@ def test_r2_int_native_flags_silent_upcasts():
 def test_r2_int_native_applies_to_the_qfused_kernel():
     source = "import numpy as np\n\n\ndef f(codes):\n    return np.asarray(codes)\n"
     findings = lint_source(source, "src/repro/engine/qfused.py")
-    assert [f.rule for f in findings] == ["R2"]
-    # The same conversion outside the integer-native scope is fine.
-    assert lint_source(source, "src/repro/engine/fused.py") == []
+    assert [f.rule for f in findings if f.rule == "R2"] == ["R2"]
+    # The same conversion outside the integer-native scope draws no R2
+    # finding (it still trips R6's backend discipline in any kernel).
+    fused = lint_source(source, "src/repro/engine/fused.py")
+    assert [f for f in fused if f.rule == "R2"] == []
 
 
 def test_r2_int_native_applies_to_the_qevent_and_qbatched_kernels():
@@ -125,12 +127,13 @@ def test_r2_int_native_applies_to_the_qevent_and_qbatched_kernels():
     qfused: the full bad-upcast fixture must fire at both paths."""
     source = FIXTURES.joinpath("quantization/bad_upcast.py").read_text()
     for path in ("src/repro/engine/qevent.py", "src/repro/engine/batched.py"):
-        findings = lint_source(source, path)
+        findings = [f for f in lint_source(source, path) if f.rule == "R2"]
         assert {f.rule for f in findings} == {"R2"}, path
         assert len(findings) == 4, path
     # A float-only engine in the same directory sees plain R2 scoping, where
     # dtype-less asarray/astype(float) upcasts are not policed.
-    assert lint_source(source, "src/repro/engine/event_train.py") == []
+    event = lint_source(source, "src/repro/engine/event_train.py")
+    assert [f for f in event if f.rule == "R2"] == []
 
 
 # ---------------------------------------------------------------------------
@@ -259,6 +262,64 @@ def test_r5_pragma_suppresses():
 
 
 # ---------------------------------------------------------------------------
+# R6: backend discipline in backend-generic kernels
+# ---------------------------------------------------------------------------
+
+
+def test_r6_bad_fixture_is_flagged():
+    source = FIXTURES.joinpath("engine/bad_backend.py").read_text()
+    findings = lint_source(source, "src/repro/engine/fused.py")
+    assert findings, "the R6 fixture must produce findings"
+    assert {f.rule for f in findings} == {"R6"}
+    messages = "\n".join(f.message for f in findings)
+    assert "backend-generic" in messages
+    assert "xp module" in messages
+    assert len(findings) == 4
+
+
+def test_r6_good_fixture_is_clean():
+    source = FIXTURES.joinpath("engine/good_backend.py").read_text()
+    assert lint_source(source, "src/repro/engine/fused.py") == []
+
+
+def test_r6_scoped_to_backend_generic_modules():
+    """The same source outside the backend-generic kernels is not policed:
+    host-only modules may create numpy arrays freely."""
+    source = FIXTURES.joinpath("engine/bad_backend.py").read_text()
+    assert lint_source(source, "src/repro/engine/presentation.py") == []
+    assert lint_source(source, "src/repro/pipeline/trainer.py") == []
+
+
+def test_r6_applies_across_all_kernel_layers():
+    """One un-dispatched conversion must fire in every backend-generic
+    module tier: dense/event kernels, plasticity, codec and encoders."""
+    source = "import numpy as np\n\n\ndef f(x):\n    return np.asarray(x)\n"
+    for path in (
+        "src/repro/engine/event_train.py",
+        "src/repro/engine/plasticity.py",
+        "src/repro/quantization/codec.py",
+        "src/repro/encoding/poisson.py",
+    ):
+        findings = lint_source(source, path)
+        assert [f.rule for f in findings if f.rule == "R6"] == ["R6"], path
+
+
+def test_r6_resolves_numpy_import_alias():
+    source = "import numpy as xnp\n\n\ndef f(x):\n    return xnp.asarray(x)\n"
+    findings = lint_source(source, "src/repro/engine/fused.py")
+    assert [f.rule for f in findings] == ["R6"]
+
+
+def test_r6_pragma_suppresses():
+    source = (
+        "import numpy as np\n\n\n"
+        "def f(n):\n"
+        "    return np.empty(n, dtype=bool)  # lint-ok: R6\n"
+    )
+    assert lint_source(source, "src/repro/engine/fused.py") == []
+
+
+# ---------------------------------------------------------------------------
 # pragma suppression
 # ---------------------------------------------------------------------------
 
@@ -302,11 +363,11 @@ def test_json_schema_is_stable():
         "findings",
     }
     assert set(payload["rules"]) == set(RULE_DESCRIPTIONS) == {
-        "R1", "R2", "R3", "R4", "R5",
+        "R1", "R2", "R3", "R4", "R5", "R6",
     }
     assert payload["summary"]["total"] == len(payload["findings"]) > 0
     by_rule = payload["summary"]["by_rule"]
-    assert set(by_rule) >= {"R1", "R2", "R3", "R4", "R5"}  # zeros included
+    assert set(by_rule) >= {"R1", "R2", "R3", "R4", "R5", "R6"}  # zeros included
     assert by_rule["R3"] == 0
     for finding in payload["findings"]:
         assert set(finding) == {"rule", "path", "line", "col", "message"}

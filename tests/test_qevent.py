@@ -25,6 +25,8 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
+from repro.backend import asnumpy
+
 from repro.config.parameters import (
     QuantizationConfig,
     RoundingMode,
@@ -149,7 +151,8 @@ class TestCodesStorage:
         net = WTANetwork(config, small_images[0].size)
         kernel = QEventPresentation(net)
         UnsupervisedTrainer(net).train(small_images, engine=kernel)
-        assert np.array_equal(kernel.codec.decode(kernel.codes), net.conductances)
+        decoded = kernel.codec.decode(asnumpy(kernel.codes))
+        assert np.array_equal(decoded, net.conductances)
         fmt = net.synapses.quantizer.fmt
         assert bool(np.all(fmt.is_representable(net.conductances)))
 

@@ -22,6 +22,8 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
+from repro.backend import asnumpy
+
 from repro.config.parameters import (
     QuantizationConfig,
     RoundingMode,
@@ -120,7 +122,8 @@ class TestCodesStorage:
         net = WTANetwork(config, small_images[0].size)
         kernel = QFusedPresentation(net)
         UnsupervisedTrainer(net).train(small_images, engine=kernel)
-        assert np.array_equal(kernel.codec.decode(kernel.codes), net.conductances)
+        decoded = kernel.codec.decode(asnumpy(kernel.codes))
+        assert np.array_equal(decoded, net.conductances)
 
 
 class TestEvaluation:
