@@ -50,6 +50,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "available_backends",
     "asnumpy",
+    "coerce_float64",
     "backend_name",
     "backend_ops",
     "get_array_module",
@@ -241,4 +242,25 @@ def asnumpy(array):
     cupy = _modules.get("cupy")
     if cupy is not None and isinstance(array, cupy.ndarray):  # pragma: no cover
         return cupy.asnumpy(array)
-    return numpy.asarray(array)
+    # Only plain host arrays reach this line: every device-owning backend
+    # was dispatched above, so there is no residency left to strip.
+    return numpy.asarray(array)  # lint-ok: R8
+
+
+def coerce_float64(values):
+    """Coerce to float64 without discarding array subclasses.
+
+    ``np.asarray`` does not dispatch ``__array_function__`` and silently
+    strips ndarray subclasses — it would drop a device-resident operand
+    (the guard backend's residency marker) onto the host as plain data.
+    ``astype`` preserves the subclass, so a device array that illegally
+    reaches host-only code fails loudly at the next host/device mix
+    instead of corrupting silently.  Host-contract layers (quantizer,
+    conductance storage, LIF state) coerce their inputs through this.
+    """
+    if isinstance(values, numpy.ndarray):
+        if values.dtype == numpy.float64:
+            return values
+        return values.astype(numpy.float64)
+    # Non-array input (list/tuple/scalar) carries no residency to strip.
+    return numpy.asarray(values, dtype=numpy.float64)  # lint-ok: R8

@@ -10,7 +10,8 @@ Commands:
 - ``evaluate`` — load a checkpoint and classify a test split;
 - ``presets`` — list the Table I learning options and their parameters;
 - ``engines`` — list registered presentation engines and capabilities;
-- ``lint`` — run the determinism/numerics static-analysis rules (R1–R6);
+- ``lint`` — run the determinism/numerics static-analysis rules (R1–R6,
+  plus the interprocedural R7–R9 flow passes and W0 under ``--flow``);
 - ``fi-curve`` — print the Fig. 1a frequency-vs-current curve;
 - ``info`` — describe a checkpoint file.
 
@@ -39,7 +40,7 @@ from repro.config.presets import available_presets, get_preset, table_i_rows
 from repro.config.serialize import save_json
 from repro.datasets.dataset import load_dataset
 from repro.engine.registry import available_engines, capability_rows
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.neurons.analysis import fi_curve
 from repro.neurons.lif import LIFPopulation
@@ -112,7 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("engines", help="list registered presentation engines")
 
     lint = sub.add_parser(
-        "lint", help="determinism/numerics static analysis (rules R1-R6)"
+        "lint", help="determinism/numerics static analysis (rules R1-R9, W0)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -126,6 +127,30 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--no-contracts", action="store_true",
         help="skip the R3 engine-registry conformance checks",
+    )
+    lint.add_argument(
+        "--flow", action="store_true",
+        help="add the interprocedural R7/R8/R9 dataflow passes and the "
+        "W0 stale-pragma check",
+    )
+    lint.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in files changed vs git HEAD "
+        "(analysis still covers the full corpus)",
+    )
+    lint.add_argument(
+        "--sarif", metavar="PATH", default=None,
+        help="also write a SARIF 2.1.0 report to PATH (code scanning)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="suppress findings listed in this baseline JSON file; "
+        "stale entries are reported as W0",
+    )
+    lint.add_argument(
+        "--cache", metavar="PATH", default=None,
+        help="flow summary cache file (per-file content-hash incremental "
+        "re-extraction); no cache is written unless given",
     )
 
     fi = sub.add_parser("fi-curve", help="Fig. 1a frequency-vs-current curve")
@@ -396,18 +421,56 @@ def _cmd_engines(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _git_changed_files() -> List[str]:
+    """Display paths of .py files changed vs HEAD (staged, unstaged, new)."""
+    import subprocess
+
+    changed: List[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as err:
+            raise ConfigurationError(
+                f"--changed needs a git checkout: {' '.join(cmd)} failed ({err})"
+            )
+        changed.extend(line.strip() for line in proc.stdout.splitlines())
+    return sorted({path for path in changed if path.endswith(".py")})
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.lint import lint_paths
 
-    report = lint_paths(args.paths, include_contracts=not args.no_contracts)
+    restrict = None
+    if args.changed:
+        restrict = _git_changed_files()
+        if not restrict:
+            print("no changed .py files vs HEAD: nothing to lint")
+            return 0
+    report = lint_paths(
+        args.paths,
+        include_contracts=not args.no_contracts,
+        flow=args.flow,
+        cache_path=args.cache,
+        baseline_path=args.baseline,
+        restrict_paths=restrict,
+    )
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.format_text())
     if args.out:
         Path(args.out).write_text(report.to_json() + "\n")
+    if args.sarif:
+        from repro.lint.flow.sarif import sarif_json
+
+        Path(args.sarif).write_text(sarif_json(report) + "\n")
     return report.exit_code
 
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import asnumpy
 from repro.errors import SimulationError
 
 
@@ -81,7 +82,10 @@ def sparsify(raster: np.ndarray) -> SparseRaster:
     channel indices come out already grouped by step and sorted within each
     step; the offsets are a ``searchsorted`` over the step indices.
     """
-    raster = np.asarray(raster)
+    # Event lists are host index structures by contract; cross explicitly
+    # through the backend's converter (a raster generated with an ``ops``
+    # upload may arrive device-resident).
+    raster = asnumpy(raster)
     if raster.ndim != 2:
         raise SimulationError(f"raster must be 2-D (steps, channels), got shape {raster.shape}")
     n_steps, n_channels = raster.shape

@@ -39,6 +39,59 @@ OPTIONAL_STREAMS = frozenset({"qrounding"})
 #: here as a named constant rather than at a call site.
 BATCHED_EVAL_SALT = 0xBA7C4
 
+#: The RNG-provenance manifest (lint rule R9).  Ground truth for *who may
+#: draw which stream*: ``repro.lint.flow`` parses these literals from this
+#: module's AST and checks every ``rngs.<stream>`` /
+#: ``rngs.device_stream(...)`` site in the tree against them.  Adding a
+#: consumer module without listing it here is a lint error — deliberately,
+#: because an undocumented draw changes draw counts and silently breaks
+#: bit-identity between runs that should be comparable.
+STREAM_CONSUMERS = {
+    "init": ("network/builder.py", "network/wta.py"),
+    "encoding": (
+        "engine/event_train.py",
+        "engine/fused.py",
+        "engine/profiler.py",
+        "engine/qevent.py",
+        "engine/qfused.py",
+        "network/builder.py",
+        "network/wta.py",
+    ),
+    "learning": (
+        "engine/event_train.py",
+        "engine/fused.py",
+        "engine/profiler.py",
+        "engine/qevent.py",
+        "engine/qfused.py",
+        "network/builder.py",
+        "network/wta.py",
+    ),
+    "rounding": ("cli.py", "io/checkpoint.py", "pipeline/trainer.py"),
+    "misc": ("cli.py", "pipeline/evaluator.py", "pipeline/experiment.py"),
+    "qrounding": ("engine/qevent.py", "engine/qfused.py"),
+    "batched_eval": ("engine/batched.py", "engine/presentation.py"),
+}
+
+#: Engine tiers asserted bit-identical (the equivalence suites) must
+#: consume the same streams with the same conditionality, or draw-count
+#: parity — and with it bit-identity — dies.  R9 enforces each group.
+PARITY_GROUPS = (
+    ("engine/fused.py", "engine/event_train.py"),
+    ("engine/qfused.py", "engine/qevent.py"),
+)
+
+#: Streams intentionally without consumers, with the reason.  Removing a
+#: name from ``STREAM_NAMES`` would shift every later spawn child and
+#: re-seed unrelated streams, so retired streams are reserved, not
+#: deleted.
+RESERVED_STREAMS = {
+    "dataset": (
+        "reserved for synthetic dataset generation; currently datasets "
+        "are deterministic files, but the spawn slot must keep its "
+        "position for seed stability"
+    ),
+}
+
 
 class DeviceRng:
     """A host stream whose draws are uploaded to a device backend.

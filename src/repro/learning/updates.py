@@ -16,25 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import coerce_float64 as _as_float64
 from repro.config.parameters import DeterministicSTDPParameters, StochasticSTDPParameters
 
 ArrayLike = "np.typing.ArrayLike"
-
-
-def _as_float64(values: np.ndarray) -> np.ndarray:
-    """Coerce to float64 without discarding array subclasses.
-
-    ``np.asarray`` does not dispatch ``__array_function__`` and silently
-    strips ndarray subclasses, which would drop a device-resident operand
-    (the guard backend's residency marker) onto the host; ``astype``
-    preserves the subclass.  The magnitude kernels receive device arrays
-    from the integer engines' code-domain plasticity helpers.
-    """
-    if isinstance(values, np.ndarray):
-        if values.dtype == np.float64:
-            return values
-        return values.astype(np.float64)
-    return np.asarray(values, dtype=np.float64)
 
 
 def potentiation_magnitude(

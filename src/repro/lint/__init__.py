@@ -19,6 +19,13 @@ AST walk can prove for the whole tree.  Four rules:
   no simulation).
 - **R4** — no mutable default arguments; parameters defaulting to ``None``
   must be annotated ``Optional``.
+- **R5/R6** — exception hygiene and backend discipline (syntactic).
+
+``python -m repro lint --flow`` adds the interprocedural dataflow passes
+of :mod:`repro.lint.flow` — **R7** (integer-width flow for Q-format
+codes), **R8** (device-residency flow to host-only sinks), **R9**
+(RNG-stream provenance against the ``engine/rng.py`` manifest) — plus
+**W0**, which reports suppressions that no longer suppress anything.
 
 A finding can be suppressed in place with a ``# lint-ok`` comment (all
 rules) or ``# lint-ok: R1`` (specific rules) on the offending line.

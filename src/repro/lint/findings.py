@@ -13,7 +13,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
 #: Bump on any incompatible change to :meth:`LintReport.as_dict`.
-REPORT_SCHEMA_VERSION = 1
+#: v2: findings carry ``severity``; the report gains ``flow`` and
+#: ``baseline`` sections and a ``by_severity`` summary; rules R7-R9 and
+#: the W0 warning join the rule table.
+REPORT_SCHEMA_VERSION = 2
 
 #: Rule identifiers and the convention each one enforces.
 RULE_DESCRIPTIONS: Dict[str, str] = {
@@ -44,6 +47,28 @@ RULE_DESCRIPTIONS: Dict[str, str] = {
         "repro.backend, not numpy directly — np.asarray and friends do not "
         "dispatch to the active backend and silently strip device residency"
     ),
+    "R7": (
+        "integer width flow: a uint8/uint16 Q-format code value that is "
+        "widened (cast, sum, arithmetic) must pass through a saturating "
+        "clip before it is narrowed or stored back into code storage"
+    ),
+    "R8": (
+        "device-residency flow: an Ops-owned array (xp-created or "
+        "to_device-uploaded) must never reach the host-only np.asarray "
+        "conversion family, directly or through any analyzed call chain; "
+        "cross with ops.to_host at the boundary"
+    ),
+    "R9": (
+        "RNG-stream provenance: every named RngStreams draw site must be "
+        "declared in the STREAM_CONSUMERS manifest of engine/rng.py; "
+        "unknown streams, undeclared or silent consumers, unreserved dead "
+        "streams and draw-parity breaks between engine tiers are flagged"
+    ),
+    "W0": (
+        "stale suppression: a '# lint-ok' pragma that suppresses no "
+        "finding under the full rule set, or a baseline entry matching no "
+        "current finding, should be removed"
+    ),
 }
 
 
@@ -56,6 +81,7 @@ class Finding:
     line: int
     col: int
     message: str
+    severity: str = "error"  # "error" | "warning" (W0)
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
@@ -67,6 +93,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
     def format(self) -> str:
@@ -80,6 +107,21 @@ class LintReport:
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     contracts_checked: int = 0
+    #: Flow-analysis coverage: enabled flag, modules/functions analyzed
+    #: and summary-cache hit/miss counters.
+    flow: Dict[str, Any] = field(
+        default_factory=lambda: {
+            "enabled": False,
+            "modules": 0,
+            "functions": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+    )
+    #: Baseline suppression: file used (or None) and match counters.
+    baseline: Dict[str, Any] = field(
+        default_factory=lambda: {"path": None, "suppressed": 0, "stale": 0}
+    )
 
     @property
     def exit_code(self) -> int:
@@ -92,6 +134,12 @@ class LintReport:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
         return counts
 
+    def counts_by_severity(self) -> Dict[str, int]:
+        counts = {"error": 0, "warning": 0}
+        for finding in self.findings:
+            counts[finding.severity] = counts.get(finding.severity, 0) + 1
+        return counts
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "schema_version": REPORT_SCHEMA_VERSION,
@@ -99,9 +147,12 @@ class LintReport:
             "rules": dict(RULE_DESCRIPTIONS),
             "files_checked": self.files_checked,
             "contracts_checked": self.contracts_checked,
+            "flow": dict(self.flow),
+            "baseline": dict(self.baseline),
             "summary": {
                 "total": len(self.findings),
                 "by_rule": self.counts_by_rule(),
+                "by_severity": self.counts_by_severity(),
             },
             "findings": [f.as_dict() for f in sorted(self.findings, key=Finding.sort_key)],
         }
@@ -115,6 +166,13 @@ class LintReport:
             f"{self.files_checked} files, "
             f"{self.contracts_checked} registered engine specs"
         )
+        if self.flow.get("enabled"):
+            scope += (
+                f", flow over {self.flow['modules']} modules"
+                f"/{self.flow['functions']} functions"
+            )
+        if self.baseline.get("suppressed"):
+            scope += f", {self.baseline['suppressed']} baselined"
         if not self.findings:
             lines.append(f"checked {scope}: clean")
         else:

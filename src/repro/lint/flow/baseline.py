@@ -1,0 +1,114 @@
+"""Baseline suppression for flow findings.
+
+A baseline file lets a pre-existing finding ride while the underlying
+code is being fixed, without turning the lint job off.  Entries match on
+``(rule, path, message)`` — deliberately *not* on line numbers, which
+shift under unrelated edits — and every entry must carry a one-line
+``justification``.  Entries that match no current finding are reported as
+W0 (stale suppression), so the baseline can only shrink.
+
+File format (JSON)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "R8", "path": "src/repro/...", "message": "...",
+         "justification": "why this is temporarily acceptable"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding
+
+BASELINE_FORMAT_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file: entry keys plus their justifications."""
+
+    path: str
+    entries: Dict[_Key, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        return Baseline(path=path)
+    except ValueError as err:
+        raise ConfigurationError(f"baseline file {path!r} is not valid JSON: {err}")
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"baseline file {path!r} must declare version {BASELINE_FORMAT_VERSION}"
+        )
+    baseline = Baseline(path=path)
+    for i, entry in enumerate(payload.get("entries", [])):
+        try:
+            key = (entry["rule"], entry["path"], entry["message"])
+            justification = entry["justification"]
+        except (KeyError, TypeError):
+            raise ConfigurationError(
+                f"baseline file {path!r} entry {i} needs rule/path/message/"
+                "justification"
+            )
+        if not str(justification).strip():
+            raise ConfigurationError(
+                f"baseline file {path!r} entry {i} has an empty justification"
+            )
+        baseline.entries[key] = str(justification)
+    return baseline
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Baseline
+) -> Tuple[List[Finding], int, List[Finding]]:
+    """Split findings by the baseline.
+
+    Returns ``(kept, suppressed_count, stale_w0_findings)``: findings not
+    covered by an entry, the number that were, and one W0 warning per
+    entry that matched nothing (anchored on the baseline file itself).
+    """
+    kept: List[Finding] = []
+    suppressed = 0
+    used: set = set()
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.message)
+        if key in baseline.entries:
+            suppressed += 1
+            used.add(key)
+        else:
+            kept.append(finding)
+    stale: List[Finding] = []
+    for key in sorted(baseline.entries):
+        if key not in used:
+            rule, path, message = key
+            stale.append(
+                Finding(
+                    rule="W0",
+                    path=baseline.path,
+                    line=1,
+                    col=1,
+                    message=(
+                        f"stale baseline entry: no current {rule} finding in "
+                        f"{path} matches {message!r}"
+                    ),
+                    severity="warning",
+                )
+            )
+    return kept, suppressed, stale

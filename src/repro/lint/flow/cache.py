@@ -1,0 +1,176 @@
+"""Per-file content-hash cache for lint facts.
+
+Everything the runner derives from one file's bytes alone — its parse,
+the syntactic R1-R6 findings, the pragma maps, and the flow-IR
+:class:`~repro.lint.flow.summary.ModuleSummary` — is memoised per file as
+one :class:`FileFacts` record keyed by the SHA-256 of the source text, so
+a warm run touches only files that actually changed.  The remaining
+whole-program half — propagation — always re-runs, which is what makes
+per-file caching *sound* for an interprocedural analysis: a change to one
+file re-derives that file only, but its new summary still flows through
+every caller on the next propagation.  Propagation itself is additionally
+memoised under a whole-corpus key (:func:`corpus_key`): it is a pure
+function of the summary corpus, so an unchanged corpus skips it outright.
+
+Entries also record :data:`SUMMARY_FORMAT_VERSION`; bumping the IR format
+invalidates the whole cache rather than misreading old entries.  The
+on-disk form is a single JSON document with sorted keys, so the CI cache
+key (hash of the analyzed sources) maps 1:1 onto its content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.flow.summary import SUMMARY_FORMAT_VERSION, ModuleSummary
+
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class FileFacts:
+    """Everything one lint run needs from one file, derived or cached."""
+
+    display: str
+    #: Syntactic findings before pragma suppression (includes PARSE).
+    raw: List[Finding]
+    #: Line -> ``None`` (suppress all rules) or the suppressed rule set.
+    suppress: Dict[int, Optional[FrozenSet[str]]]
+    #: Lines carrying a real (tokenizer-confirmed) pragma comment, for W0.
+    pragma_lines: List[int]
+    #: Flow IR; ``None`` in non-flow runs (never cached without it).
+    summary: Optional[ModuleSummary] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        assert self.summary is not None, "only flow facts are cached"
+        return {
+            "raw": [f.as_dict() for f in self.raw],
+            "suppress": {
+                str(line): (None if rules is None else sorted(rules))
+                for line, rules in self.suppress.items()
+            },
+            "pragma_lines": list(self.pragma_lines),
+            "summary": self.summary.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, display: str, data: Dict[str, object]) -> "FileFacts":
+        return cls(
+            display=display,
+            raw=[Finding(**entry) for entry in data["raw"]],  # type: ignore[union-attr]
+            suppress={
+                int(line): (None if rules is None else frozenset(rules))
+                for line, rules in data["suppress"].items()  # type: ignore[union-attr]
+            },
+            pragma_lines=[int(line) for line in data["pragma_lines"]],  # type: ignore[union-attr]
+            summary=ModuleSummary.from_dict(data["summary"]),  # type: ignore[arg-type]
+        )
+
+
+def content_hash(source: str) -> str:
+    """SHA-256 of the file's source text (the cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def corpus_key(path_hashes: Dict[str, str]) -> str:
+    """One key for the whole analyzed corpus (propagation-result cache).
+
+    Propagation is a pure function of the summary corpus, so its findings
+    can be memoised under the hash of every (path, content-hash) pair: any
+    file edit, addition or removal changes the key and forces a re-run.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(path_hashes):
+        digest.update(path.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path_hashes[path].encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class SummaryCache:
+    """Load/store per-file facts keyed by display path + content hash."""
+
+    def __init__(self, cache_path: Optional[str] = None) -> None:
+        self.cache_path = cache_path
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._result: Optional[Dict[str, object]] = None
+        self.hits = 0
+        self.misses = 0
+        if cache_path and os.path.exists(cache_path):
+            self._load(cache_path)
+
+    def _load(self, cache_path: str) -> None:
+        try:
+            with open(cache_path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return  # unreadable/corrupt cache: start cold
+        if not isinstance(payload, dict):
+            return
+        if payload.get("cache_format") != CACHE_FORMAT_VERSION:
+            return
+        if payload.get("summary_format") != SUMMARY_FORMAT_VERSION:
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+        result = payload.get("result")
+        if isinstance(result, dict):
+            self._result = result
+
+    def get_facts(self, path: str, source_hash: str) -> Optional[FileFacts]:
+        entry = self._entries.get(path)
+        if entry and entry.get("hash") == source_hash:
+            try:
+                facts = FileFacts.from_dict(path, entry["facts"])  # type: ignore[arg-type]
+            except (KeyError, TypeError, ValueError):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return facts
+        self.misses += 1
+        return None
+
+    def put_facts(self, path: str, source_hash: str, facts: FileFacts) -> None:
+        self._entries[path] = {"hash": source_hash, "facts": facts.as_dict()}
+
+    def get_result(self, key: str) -> Optional[list]:
+        """Cached propagation findings for an identical corpus, if any."""
+        if self._result and self._result.get("key") == key:
+            findings = self._result.get("findings")
+            if isinstance(findings, list):
+                return findings
+        return None
+
+    def set_result(self, key: str, findings: list) -> None:
+        self._result = {"key": key, "findings": findings}
+
+    def prune(self, live_paths: Iterable[str]) -> None:
+        """Drop entries for files no longer part of the analyzed set."""
+        live = set(live_paths)
+        for path in list(self._entries):
+            if path not in live:
+                del self._entries[path]
+
+    def save(self) -> None:
+        if not self.cache_path:
+            return
+        payload = {
+            "cache_format": CACHE_FORMAT_VERSION,
+            "summary_format": SUMMARY_FORMAT_VERSION,
+            "entries": self._entries,
+            "result": self._result,
+        }
+        directory = os.path.dirname(self.cache_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = self.cache_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp_path, self.cache_path)

@@ -1,0 +1,379 @@
+"""Shared abstract-interpretation machinery for the flow passes.
+
+Abstract values are frozensets of **atom** strings; join is set union and
+bottom is the empty set (may-analysis: an atom is present when the
+property holds on *some* path).  :class:`Interp` drives a whole-program
+fixpoint over :class:`~repro.lint.flow.summary.ModuleSummary` IR:
+
+- each function body is interpreted in source order, twice, so
+  loop-carried values reach their join;
+- calls resolved against the analyzed corpus bind argument values into
+  the callee's parameter environment and yield the join of the callee's
+  return values — both accumulate monotonically, so iterating the whole
+  corpus until quiescence is a textbook Kleene fixpoint;
+- ``self.<attr>`` reads and writes go through a per-class attribute
+  environment, which is how allocation facts established in ``__init__``
+  reach the hot loops.
+
+Method calls that cannot be pinned to a class resolve by *name* against
+the corpus, capped at :data:`MAX_METHOD_CANDIDATES` candidates — beyond
+that the call is treated as opaque (documented unsoundness; precision is
+traded for zero false positives on the live tree).
+
+Subclasses implement the rule-specific transfer functions by overriding
+the ``hook_*`` methods and emit findings through :meth:`report` (only
+honoured during the final collection pass, so warm-up iterations never
+duplicate diagnostics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.flow.summary import FunctionSummary, ModuleSummary
+
+Value = FrozenSet[str]
+
+BOT: Value = frozenset()
+
+#: Method-name resolution gives up past this many same-named candidates.
+MAX_METHOD_CANDIDATES = 3
+
+#: Corpus-wide fixpoint rounds; join-only state converges far earlier.
+MAX_ITERATIONS = 12
+
+
+def join(*values: Value) -> Value:
+    out: FrozenSet[str] = frozenset()
+    for value in values:
+        out = out | value
+    return out
+
+
+class _Ctx:
+    """Per-function interpretation context."""
+
+    __slots__ = ("path", "fn", "env", "class_name", "collect")
+
+    def __init__(
+        self,
+        path: str,
+        fn: FunctionSummary,
+        env: Dict[str, Value],
+        class_name: Optional[str],
+        collect: bool,
+    ) -> None:
+        self.path = path
+        self.fn = fn
+        self.env = env
+        self.class_name = class_name
+        self.collect = collect
+
+
+class Interp:
+    """Whole-program fixpoint interpreter over a summary corpus."""
+
+    #: Rule id used by :meth:`report` (subclasses set "R7"/"R8").
+    rule = "R?"
+
+    def __init__(self, corpus: Dict[str, ModuleSummary]) -> None:
+        self.corpus = corpus
+        # key = "path::qualname"
+        self.functions: Dict[str, Tuple[str, FunctionSummary]] = {}
+        self.module_funcs: Dict[str, Dict[str, str]] = {}
+        self.methods_by_name: Dict[str, List[str]] = {}
+        self.classes: Dict[str, List[str]] = {}  # class name -> paths defining it
+        for path in sorted(corpus):
+            summary = corpus[path]
+            self.module_funcs[path] = {}
+            for qualname in sorted(summary.functions):
+                fn = summary.functions[qualname]
+                key = f"{path}::{qualname}"
+                self.functions[key] = (path, fn)
+                if "." in qualname:
+                    cls, method = qualname.split(".", 1)
+                    self.methods_by_name.setdefault(method, []).append(key)
+                    paths = self.classes.setdefault(cls, [])
+                    if path not in paths:
+                        paths.append(path)
+                else:
+                    self.module_funcs[path][qualname] = key
+        self.param_env: Dict[str, Dict[str, Value]] = {
+            key: {} for key in self.functions
+        }
+        self.returns: Dict[str, Value] = {key: BOT for key in self.functions}
+        self.class_env: Dict[str, Dict[str, Value]] = {}
+        self._changed = False
+        self._findings: Dict[Tuple[str, int, int, str], Finding] = {}
+
+    # -- public entry --------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        for _ in range(MAX_ITERATIONS):
+            self._changed = False
+            for key in sorted(self.functions):
+                self._exec_function(key, collect=False)
+            if not self._changed:
+                break
+        for key in sorted(self.functions):
+            self._exec_function(key, collect=True)
+        return sorted(self._findings.values(), key=Finding.sort_key)
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self, ctx: _Ctx, line: int, col: int, message: str) -> None:
+        if not ctx.collect:
+            return
+        dedup = (ctx.path, line, col, message)
+        if dedup not in self._findings:
+            self._findings[dedup] = Finding(
+                rule=self.rule, path=ctx.path, line=line, col=col, message=message
+            )
+
+    # -- fixpoint plumbing ---------------------------------------------
+
+    def _exec_function(self, key: str, collect: bool) -> None:
+        path, fn = self.functions[key]
+        env: Dict[str, Value] = {}
+        params = self.param_env[key]
+        for name in fn.params:
+            env[name] = params.get(name, BOT)
+        class_name = fn.qualname.split(".", 1)[0] if fn.is_method else None
+        ctx = _Ctx(path, fn, env, class_name, collect)
+        # Two passes: loop-carried joins land on the second traversal.
+        for _ in range(2):
+            for stmt in fn.stmts:
+                self._exec_stmt(stmt, ctx, key)
+
+    def _exec_stmt(self, stmt: List[Any], ctx: _Ctx, key: str) -> None:
+        tag = stmt[0]
+        if tag == "assign":
+            _, targets, value_desc, line, col, weak = stmt
+            value = self.eval(value_desc, ctx)
+            for target in targets:
+                self._store(target, value, value_desc, line, col, ctx, weak)
+        elif tag == "ret":
+            value = self.eval(stmt[1], ctx)
+            merged = self.returns[key] | value
+            if merged != self.returns[key]:
+                self.returns[key] = merged
+                self._changed = True
+        elif tag == "expr":
+            self.eval(stmt[1], ctx)
+
+    def _store(
+        self,
+        target: List[Any],
+        value: Value,
+        value_desc: List[Any],
+        line: int,
+        col: int,
+        ctx: _Ctx,
+        weak: bool = True,
+    ) -> None:
+        kind = target[0]
+        if kind == "name":
+            name = target[1]
+            if weak:
+                ctx.env[name] = ctx.env.get(name, BOT) | value
+            else:
+                # Unconditional rebind: last write wins, so e.g.
+                # ``x = ops.to_host(x)`` genuinely clears residency.
+                ctx.env[name] = value
+        elif kind == "selfattr":
+            if ctx.class_name is None:
+                return
+            self._join_class_attr(ctx.path, ctx.class_name, target[1], value)
+        elif kind == "substore":
+            base_value = self.eval(target[1], ctx)
+            self.hook_substore(target[1], base_value, value, line, col, ctx)
+        # attrstore on non-self bases is opaque.
+
+    def _join_class_attr(self, path: str, cls: str, attr: str, value: Value) -> None:
+        env = self.class_env.setdefault(f"{path}::{cls}", {})
+        merged = env.get(attr, BOT) | value
+        if merged != env.get(attr, BOT):
+            env[attr] = merged
+            self._changed = True
+
+    def _class_attr(self, path: str, cls: str, attr: str) -> Value:
+        return self.class_env.get(f"{path}::{cls}", {}).get(attr, BOT)
+
+    # -- expression evaluation -----------------------------------------
+
+    def eval(self, desc: List[Any], ctx: _Ctx) -> Value:
+        tag = desc[0]
+        if tag == "name":
+            return ctx.env.get(desc[1], BOT)
+        if tag == "selfattr":
+            if ctx.class_name is None:
+                return BOT
+            return self._class_attr(ctx.path, ctx.class_name, desc[1])
+        if tag == "attr":
+            return self.hook_attr(self.eval(desc[1], ctx), desc[2], ctx)
+        if tag == "sub":
+            # Views and element reads keep the array's atoms.
+            return self.eval(desc[1], ctx)
+        if tag == "bin":
+            return self.hook_bin([self.eval(d, ctx) for d in desc[1]], ctx)
+        if tag in ("ifexp", "coll"):
+            return join(*[self.eval(d, ctx) for d in desc[1]])
+        if tag == "dtype":
+            return self.hook_dtype_literal(desc[1])
+        if tag == "dtypeof":
+            return self.hook_dtypeof(self.eval(desc[1], ctx), ctx)
+        if tag == "call":
+            return self._eval_call(desc, ctx)
+        return BOT  # const / unknown
+
+    def _eval_call(self, desc: List[Any], ctx: _Ctx) -> Value:
+        _, callee, arg_descs, kwarg_descs, line, col = desc
+        args = [self.eval(d, ctx) for d in arg_descs]
+        kwargs = {k: self.eval(d, ctx) for k, d in sorted(kwarg_descs.items())}
+        hooked = self.hook_call(
+            callee, args, kwargs, arg_descs, kwarg_descs, line, col, ctx
+        )
+        if hooked is not None:
+            return hooked
+        targets = self._resolve(callee, ctx)
+        if not targets:
+            recv = (
+                self.eval(callee[1], ctx) if callee[0] == "method" else BOT
+            )
+            return self.hook_opaque_call(callee, recv, args, kwargs, ctx)
+        result = BOT
+        for target_key in targets:
+            self._bind(target_key, args, kwargs)
+            result = result | self.returns[target_key]
+        return result
+
+    def _bind(self, key: str, args: List[Value], kwargs: Dict[str, Value]) -> None:
+        _, fn = self.functions[key]
+        params = self.param_env[key]
+
+        def merge(name: str, value: Value) -> None:
+            merged = params.get(name, BOT) | value
+            if merged != params.get(name, BOT):
+                params[name] = merged
+                self._changed = True
+
+        for i, value in enumerate(args):
+            if i < len(fn.params):
+                merge(fn.params[i], value)
+        for name, value in kwargs.items():
+            if name in fn.params:
+                merge(name, value)
+
+    # -- callee resolution ---------------------------------------------
+
+    def _resolve(self, callee: List[Any], ctx: _Ctx) -> List[str]:
+        kind = callee[0]
+        if kind == "func":
+            return self._resolve_name(callee[1], ctx.path)
+        if kind == "method":
+            return self._resolve_method(callee[1], callee[2], ctx)
+        return []
+
+    def _resolve_name(self, name: str, path: str) -> List[str]:
+        local = self.module_funcs.get(path, {}).get(name)
+        if local:
+            return [local]
+        imported = self.corpus[path].from_imports.get(name) if path in self.corpus else None
+        if imported:
+            module, target = imported
+            target_path = self._module_to_path(module)
+            if target_path:
+                found = self.module_funcs.get(target_path, {}).get(target)
+                if found:
+                    return [found]
+                name = target  # imported class: fall through to ctor check
+        if name in self.classes:
+            ctors = []
+            for cls_path in self.classes[name]:
+                ctor = f"{cls_path}::{name}.__init__"
+                if ctor in self.functions:
+                    ctors.append(ctor)
+            return ctors[:MAX_METHOD_CANDIDATES]
+        return []
+
+    def _resolve_method(
+        self, recv: List[Any], name: str, ctx: _Ctx
+    ) -> List[str]:
+        # self.method(): own class wins outright.
+        if recv == ["name", "self"] and ctx.class_name is not None:
+            own = f"{ctx.path}::{ctx.class_name}.{name}"
+            if own in self.functions:
+                return [own]
+        # ClassName.method() (classmethod / explicit class call).
+        if recv[0] == "name" and recv[1] in self.classes:
+            keys = [
+                f"{p}::{recv[1]}.{name}"
+                for p in self.classes[recv[1]]
+                if f"{p}::{recv[1]}.{name}" in self.functions
+            ]
+            if keys:
+                return keys[:MAX_METHOD_CANDIDATES]
+        candidates = self.methods_by_name.get(name, [])
+        if 0 < len(candidates) <= MAX_METHOD_CANDIDATES:
+            return list(candidates)
+        return []
+
+    def _module_to_path(self, module: str) -> Optional[str]:
+        suffix = "/" + module.replace(".", "/") + ".py"
+        init_suffix = "/" + module.replace(".", "/") + "/__init__.py"
+        for path in sorted(self.corpus):
+            slashed = "/" + path
+            if slashed.endswith(suffix) or slashed.endswith(init_suffix):
+                return path
+        return None
+
+    # -- subclass hooks ------------------------------------------------
+
+    def hook_call(
+        self,
+        callee: List[Any],
+        args: List[Value],
+        kwargs: Dict[str, Value],
+        arg_descs: List[Any],
+        kwarg_descs: Dict[str, Any],
+        line: int,
+        col: int,
+        ctx: _Ctx,
+    ) -> Optional[Value]:
+        """Intercept a call before corpus resolution; None falls through."""
+        return None
+
+    def hook_opaque_call(
+        self,
+        callee: List[Any],
+        recv: Value,
+        args: List[Value],
+        kwargs: Dict[str, Value],
+        ctx: _Ctx,
+    ) -> Value:
+        """Result of a call the corpus cannot resolve."""
+        return BOT
+
+    def hook_bin(self, operands: List[Value], ctx: _Ctx) -> Value:
+        return join(*operands)
+
+    def hook_attr(self, base: Value, attr: str, ctx: _Ctx) -> Value:
+        return BOT
+
+    def hook_dtype_literal(self, tag: str) -> Value:
+        return BOT
+
+    def hook_dtypeof(self, base: Value, ctx: _Ctx) -> Value:
+        return BOT
+
+    def hook_substore(
+        self,
+        base_desc: List[Any],
+        base: Value,
+        value: Value,
+        line: int,
+        col: int,
+        ctx: _Ctx,
+    ) -> None:
+        """A ``base[...] = value`` store; rules check invariants here."""

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 emission for GitHub code scanning.
+
+Maps a :class:`~repro.lint.findings.LintReport` onto the minimal valid
+SARIF 2.1.0 document code scanning ingests: one run, one driver with the
+full rule table, one result per finding with a physical location relative
+to ``%SRCROOT%``.  Construction order is fixed and the JSON encoder is
+given already-ordered dicts, so two identical reports serialize to
+byte-identical SARIF (the determinism tests pin this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.lint.findings import RULE_DESCRIPTIONS, LintReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def report_to_sarif(report: LintReport) -> Dict[str, Any]:
+    """Build the SARIF document as plain ordered dicts."""
+    rule_ids = sorted(RULE_DESCRIPTIONS)
+    rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule,
+            "name": f"repro-lint-{rule}",
+            "shortDescription": {"text": RULE_DESCRIPTIONS[rule]},
+            "defaultConfiguration": {
+                "level": "warning" if rule == "W0" else "error"
+            },
+        }
+        for rule in rule_ids
+    ]
+    results = []
+    for finding in sorted(report.findings, key=lambda f: f.sort_key()):
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": f"{finding.rule}: {finding.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/repro#lint-rules"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(report: LintReport, indent: int = 2) -> str:
+    """Serialize to deterministic SARIF JSON text."""
+    return json.dumps(report_to_sarif(report), indent=indent, sort_keys=False)

@@ -1,0 +1,251 @@
+"""R7 — integer width/signedness flow for Q-format code arrays.
+
+Atoms:
+
+- ``NARROW``       array whose storage may be a uint8/uint16 code dtype
+- ``WIDENED``      value widened out of narrow storage (cast, sum, matmul,
+                   arithmetic) that has not been saturated since
+- ``SAT``          value that passed through a saturating ``clip``
+- ``CODEC``        a ``QCodec`` instance (its ``.dtype`` is narrow)
+- ``NARROW_DTYPE`` a dtype expression that may denote uint8/uint16
+
+The invariant (paper eq. 8: stochastic rounding is exact only inside the
+declared code width) is that a ``WIDENED`` value must re-acquire ``SAT``
+before it is narrowed or stored back into ``NARROW`` storage.  Widening
+itself is fine — accumulation deliberately runs in int64 — so R7 fires
+only at the narrow boundary:
+
+1. ``x.astype(<narrow dtype>)`` where ``x`` may be ``WIDENED`` and has no
+   ``SAT`` — an unsaturated wrap-around cast;
+2. ``codes[...] = x`` / ``np.copyto(codes, x)`` where ``codes`` may be
+   ``NARROW`` and ``x`` may be ``WIDENED`` without ``SAT``.
+
+Saturation is conservative in the right direction for a may-analysis: a
+value that is saturated on *any* path keeps ``SAT``, so mixed-branch
+idioms (the uint/float split in ``QCodec.apply_delta_codes``) stay clean,
+while a path with no ``clip`` at all can never synthesise the atom.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.lint.findings import Finding
+from repro.lint.flow.lattices import BOT, Interp, Value, _Ctx, join
+from repro.lint.flow.summary import ModuleSummary
+
+NARROW = "NARROW"
+WIDENED = "WIDENED"
+SAT = "SAT"
+CODEC = "CODEC"
+NARROW_DTYPE = "NARROW_DTYPE"
+
+#: Allocators whose result dtype comes from their ``dtype=`` kwarg.
+_ALLOC_FNS = frozenset(
+    {"zeros", "empty", "ones", "full", "arange", "asarray", "array",
+     "ascontiguousarray", "frombuffer", "fromiter"}
+)
+
+#: ``*_like`` allocators inherit the prototype's storage.
+_LIKE_FNS = frozenset({"zeros_like", "empty_like", "ones_like", "full_like"})
+
+#: Elementwise fns through which atoms pass unchanged.
+_PASSTHROUGH_FNS = frozenset(
+    {"where", "minimum", "maximum", "abs", "rint", "copy", "reshape",
+     "ravel", "transpose", "ascontiguousarray", "squeeze", "atleast_2d"}
+)
+
+#: Reductions/contractions that widen narrow integer inputs.
+_WIDENING_FNS = frozenset({"sum", "matmul", "dot", "tensordot", "einsum", "cumsum"})
+
+#: Corpus intrinsics producing codec / narrow-dtype values.
+_CODEC_FACTORY_FNS = frozenset({"require_codec", "codec_for"})
+
+
+class WidthInterp(Interp):
+    rule = "R7"
+
+    # -- atom sources --------------------------------------------------
+
+    def hook_dtype_literal(self, tag: str) -> Value:
+        return frozenset({NARROW_DTYPE}) if tag == "narrow" else BOT
+
+    def hook_dtypeof(self, base: Value, ctx: _Ctx) -> Value:
+        # codes.dtype / codec.dtype denote the narrow storage dtype.
+        if NARROW in base or CODEC in base:
+            return frozenset({NARROW_DTYPE})
+        return BOT
+
+    def hook_attr(self, base: Value, attr: str, ctx: _Ctx) -> Value:
+        # Attribute reads on tracked arrays (``.T``, ``.flat``) keep atoms;
+        # scalar-ish codec attributes (max_code, scale) do not.
+        if attr in ("T", "flat", "real"):
+            return base
+        return BOT
+
+    def hook_bin(self, operands: List[Value], ctx: _Ctx) -> Value:
+        merged = join(*operands)
+        if NARROW in merged or WIDENED in merged:
+            # Arithmetic escapes narrow storage and invalidates saturation.
+            return frozenset({WIDENED})
+        return merged
+
+    # -- calls ---------------------------------------------------------
+
+    def hook_call(
+        self,
+        callee: List[Any],
+        args: List[Value],
+        kwargs: Dict[str, Value],
+        arg_descs: List[Any],
+        kwarg_descs: Dict[str, Any],
+        line: int,
+        col: int,
+        ctx: _Ctx,
+    ) -> Optional[Value]:
+        kind = callee[0]
+        if kind in ("np", "xp"):
+            return self._array_fn(
+                callee[1], args, kwargs, arg_descs, kwarg_descs, line, col, ctx
+            )
+        if kind == "method":
+            name = callee[2]
+            recv = self.eval(callee[1], ctx)
+            if name == "astype":
+                return self._astype(recv, args, kwargs, line, col, ctx)
+            if name in _WIDENING_FNS and (NARROW in recv or WIDENED in recv):
+                return frozenset({WIDENED}) | (recv & {SAT})
+            if name == "clip":
+                return self._saturate(recv)
+            if name == "from_quantizer":
+                return frozenset({CODEC})
+            if name in ("copy", "view", "reshape", "ravel", "squeeze", "transpose"):
+                return recv
+            return None
+        if kind == "func":
+            name = callee[1]
+            if name in _CODEC_FACTORY_FNS:
+                return frozenset({CODEC})
+            if name == "code_dtype":
+                return frozenset({NARROW_DTYPE})
+            if name == "QCodec":
+                return frozenset({CODEC})
+        return None
+
+    def _array_fn(
+        self,
+        name: str,
+        args: List[Value],
+        kwargs: Dict[str, Value],
+        arg_descs: List[Any],
+        kwarg_descs: Dict[str, Any],
+        line: int,
+        col: int,
+        ctx: _Ctx,
+    ) -> Optional[Value]:
+        if name == "dtype":
+            # np.dtype(x) is the identity in the dtype sub-domain.
+            return args[0] & {NARROW_DTYPE} if args else BOT
+        if name == "clip":
+            result = self._saturate(args[0] if args else BOT)
+            out_desc = kwarg_descs.get("out")
+            if out_desc is not None and out_desc[0] == "name":
+                # In-place clip saturates the named operand itself.
+                target = out_desc[1]
+                ctx.env[target] = ctx.env.get(target, BOT) | frozenset({SAT})
+            return result
+        if name == "copyto":
+            if len(args) >= 2:
+                self._check_store(args[0], args[1], line, col, ctx, via="np.copyto")
+            return BOT
+        if name in _LIKE_FNS:
+            proto = args[0] if args else BOT
+            dtype = kwargs.get("dtype", BOT)
+            if NARROW_DTYPE in dtype:
+                return frozenset({NARROW})
+            if "dtype" in kwargs:
+                return self._rewiden(proto)
+            return proto & {NARROW}
+        if name in _ALLOC_FNS:
+            dtype = kwargs.get("dtype", BOT)
+            source = args[0] if args else BOT
+            if NARROW_DTYPE in dtype:
+                if WIDENED in source and SAT not in source:
+                    self.report(
+                        ctx, line, col,
+                        f"widened code value narrowed by {name}(dtype=<narrow>) "
+                        "without a saturating clip",
+                    )
+                return frozenset({NARROW})
+            if "dtype" in kwargs:
+                return self._rewiden(source)
+            return source  # dtype-preserving conversion keeps all atoms
+        if name in _WIDENING_FNS:
+            merged = join(*args)
+            if NARROW in merged or WIDENED in merged:
+                return frozenset({WIDENED}) | (merged & {SAT})
+            return BOT
+        if name in _PASSTHROUGH_FNS:
+            return join(*args)
+        return BOT
+
+    @staticmethod
+    def _rewiden(source: Value) -> Value:
+        if NARROW in source or WIDENED in source:
+            return frozenset({WIDENED}) | (source & {SAT})
+        return source
+
+    @staticmethod
+    def _saturate(value: Value) -> Value:
+        if NARROW in value or WIDENED in value:
+            return value | frozenset({SAT})
+        return value
+
+    def _astype(
+        self,
+        recv: Value,
+        args: List[Value],
+        kwargs: Dict[str, Value],
+        line: int,
+        col: int,
+        ctx: _Ctx,
+    ) -> Value:
+        dtype = args[0] if args else kwargs.get("dtype", BOT)
+        if NARROW_DTYPE in dtype:
+            if WIDENED in recv and SAT not in recv:
+                self.report(
+                    ctx, line, col,
+                    "widened code value narrowed with astype(<narrow dtype>) "
+                    "without a saturating clip",
+                )
+            return frozenset({NARROW})
+        # Cast to a wide (or unknown) dtype: a narrow value escapes.
+        return self._rewiden(recv)
+
+    # -- stores --------------------------------------------------------
+
+    def hook_substore(
+        self,
+        base_desc: List[Any],
+        base: Value,
+        value: Value,
+        line: int,
+        col: int,
+        ctx: _Ctx,
+    ) -> None:
+        self._check_store(base, value, line, col, ctx, via="subscript store")
+
+    def _check_store(
+        self, target: Value, value: Value, line: int, col: int, ctx: _Ctx, via: str
+    ) -> None:
+        if NARROW in target and WIDENED in value and SAT not in value:
+            self.report(
+                ctx, line, col,
+                f"widened code value stored into narrow code storage ({via}) "
+                "without a saturating clip",
+            )
+
+
+def check_width(corpus: Dict[str, ModuleSummary]) -> List[Finding]:
+    """Run R7 over one whole-program corpus."""
+    return WidthInterp(corpus).run()

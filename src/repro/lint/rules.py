@@ -18,7 +18,9 @@ for the rare sanctioned exception, never to mute a real hazard.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import PurePosixPath
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -63,6 +65,58 @@ def suppressed_rules(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
                 r.strip().upper() for r in rules.split(",") if r.strip()
             )
     return out
+
+
+def comment_pragmas(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Like :func:`suppressed_rules` but restricted to real ``#`` comments.
+
+    The suppression map is line-based and therefore also matches pragma
+    *text* quoted inside docstrings (this module's own rule docs, say);
+    those lines must never be reported as stale pragmas, so the W0 pass
+    re-detects pragmas from tokenizer COMMENT tokens only.
+    """
+    out: Dict[int, Optional[FrozenSet[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                out[token.start[0]] = None
+            else:
+                out[token.start[0]] = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip()
+                )
+    except tokenize.TokenError:
+        pass  # unterminated construct: fall back to reporting nothing
+    return out
+
+
+def apply_suppressions(
+    findings: List[Finding], pragmas: Dict[int, Optional[FrozenSet[str]]]
+) -> Tuple[List[Finding], FrozenSet[int]]:
+    """Filter *findings* through a pragma map; also return the used lines.
+
+    A pragma line is *used* when it suppressed at least one finding — the
+    complement (under the full rule set) is what W0 reports as stale.
+    """
+    kept: List[Finding] = []
+    used: set = set()
+    for finding in findings:
+        scope = pragmas.get(finding.line, _PRAGMA_MISS)
+        if scope is _PRAGMA_MISS or (scope is not None and finding.rule not in scope):
+            kept.append(finding)
+        else:
+            used.add(finding.line)
+    return kept, frozenset(used)
+
+
+#: Sentinel distinguishing "no pragma on this line" from "bare pragma".
+_PRAGMA_MISS: FrozenSet[str] = frozenset({"\x00no-pragma"})
 
 
 class _RuleVisitor(ast.NodeVisitor):
@@ -626,12 +680,14 @@ def _r6_applies(path: PurePosixPath) -> bool:
     return str(path).endswith(R6_BACKEND_GENERIC_SUFFIXES)
 
 
-def check_module(tree: ast.AST, source: str, path: str) -> List[Finding]:
-    """Run every syntactic rule over one parsed module.
+def check_module_raw(tree: ast.AST, path: str) -> List[Finding]:
+    """Run every syntactic rule over one parsed module, pragma-blind.
 
     *path* is the display path (posix separators); it decides rule
     applicability (R1 exemption for ``engine/rng.py``, R2 scoping to
     engine/quantization directories) and is stamped into the findings.
+    The runner applies pragma suppression afterwards so it can also track
+    which pragmas were actually used (the W0 stale-pragma check).
     """
     posix = PurePosixPath(path)
     visitors: List[_RuleVisitor] = [R4DefaultArguments(path)]
@@ -648,15 +704,12 @@ def check_module(tree: ast.AST, source: str, path: str) -> List[Finding]:
     for visitor in visitors:
         visitor.visit(tree)
         findings.extend(visitor.findings)
+    return sorted(findings, key=Finding.sort_key)
 
-    pragmas = suppressed_rules(source)
-    if pragmas:
-        findings = [
-            f
-            for f in findings
-            if not (
-                f.line in pragmas
-                and (pragmas[f.line] is None or f.rule in pragmas[f.line])
-            )
-        ]
+
+def check_module(tree: ast.AST, source: str, path: str) -> List[Finding]:
+    """Run every syntactic rule over one parsed module, pragmas applied."""
+    findings, _ = apply_suppressions(
+        check_module_raw(tree, path), suppressed_rules(source)
+    )
     return sorted(findings, key=Finding.sort_key)

@@ -70,7 +70,13 @@ class LIFPopulation(NeuronPopulation):
         """
         if duration_ms < 0.0:
             raise SimulationError(f"inhibition duration must be >= 0, got {duration_ms}")
-        mask = np.asarray(mask, dtype=bool)
+        if isinstance(mask, np.ndarray):
+            # astype keeps ndarray subclasses: a device mask illegally
+            # handed to this host-contract class fails loudly at the
+            # np.where mix below instead of being silently stripped.
+            mask = mask.astype(bool, copy=False)
+        else:
+            mask = np.asarray(mask, dtype=bool)  # lint-ok: R8
         if mask.shape != (self.n,):
             raise SimulationError(f"mask must have shape ({self.n},), got {mask.shape}")
         np.maximum(self._inhibited_left, np.where(mask, duration_ms, 0.0), out=self._inhibited_left)

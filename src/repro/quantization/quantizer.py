@@ -22,6 +22,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.backend import coerce_float64
 from repro.config.parameters import QuantizationConfig, RoundingMode
 from repro.errors import QuantizationError
 from repro.quantization.qformat import QFormat, parse_qformat
@@ -52,13 +53,13 @@ class FloatQuantizer:
 
     def quantize(self, values: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Clamp into [g_min, g_max]; no grid snapping in floating point."""
-        return np.clip(np.asarray(values, dtype=np.float64), self.g_min, self.g_max)
+        return np.clip(coerce_float64(values), self.g_min, self.g_max)
 
     def quantize_delta(
         self, delta: np.ndarray, rng: Optional[np.random.Generator] = None
     ) -> np.ndarray:
         """Floating-point deltas pass through unchanged."""
-        return np.asarray(delta, dtype=np.float64)
+        return coerce_float64(delta)
 
     def lsb_delta(self) -> float:
         raise QuantizationError("floating-point learning has no fixed LSB step")
@@ -112,7 +113,7 @@ class Quantizer:
 
     def quantize(self, values: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Snap *values* onto the storage grid and clamp into [g_min, g_max]."""
-        arr = np.asarray(values, dtype=np.float64)
+        arr = coerce_float64(values)
         return np.clip(self._round(arr, rng), self.g_min, self.g_max)
 
     def quantize_delta(
@@ -124,7 +125,7 @@ class Quantizer:
         original sign (Section III-C); for wider formats the computed change
         is rounded onto the grid with the configured rounding option.
         """
-        arr = np.asarray(delta, dtype=np.float64)
+        arr = coerce_float64(delta)
         if self.uses_fixed_lsb:
             return np.sign(arr) * self._fmt.resolution
         return self._round(arr, rng)

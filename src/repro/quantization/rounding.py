@@ -22,6 +22,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.backend import coerce_float64
 from repro.errors import QuantizationError
 
 ArrayLike = Union[float, np.ndarray]
@@ -35,14 +36,14 @@ def _check_resolution(resolution: float) -> None:
 def round_truncate(values: ArrayLike, resolution: float) -> np.ndarray:
     """Truncate *values* down onto the grid of multiples of *resolution*."""
     _check_resolution(resolution)
-    arr = np.asarray(values, dtype=np.float64)
+    arr = coerce_float64(values)
     return np.floor(arr / resolution) * resolution
 
 
 def round_nearest(values: ArrayLike, resolution: float) -> np.ndarray:
     """Round *values* to the nearest multiple of *resolution*, ties up."""
     _check_resolution(resolution)
-    arr = np.asarray(values, dtype=np.float64)
+    arr = coerce_float64(values)
     return np.floor(arr / resolution + 0.5) * resolution
 
 
@@ -54,7 +55,7 @@ def stochastic_round_up_probability(values: ArrayLike, resolution: float) -> np.
     points.  Values already on the grid have probability 0.
     """
     _check_resolution(resolution)
-    arr = np.asarray(values, dtype=np.float64)
+    arr = coerce_float64(values)
     scaled = arr / resolution
     return scaled - np.floor(scaled)
 
@@ -76,7 +77,7 @@ def round_stochastic(
             "'rounding' stream of RngStreams) or set rounding=nearest/"
             "truncate in QuantizationConfig"
         )
-    arr = np.asarray(values, dtype=np.float64)
+    arr = coerce_float64(values)
     down = np.floor(arr / resolution)
     p_up = arr / resolution - down
     draws = rng.random(size=arr.shape)

@@ -22,6 +22,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.backend import coerce_float64
 from repro.errors import TopologyError
 from repro.quantization.quantizer import FloatQuantizer, Quantizer
 from repro.synapses.base import SynapseGroup
@@ -161,8 +162,10 @@ class ConductanceMatrix(SynapseGroup):
         streams must not use this method then (the fused kernel falls back
         to :meth:`apply_delta` in that case).
         """
-        cols = np.asarray(cols)
-        delta_cols = np.asarray(delta_cols, dtype=np.float64)
+        if not isinstance(cols, np.ndarray):
+            # List/tuple input carries no residency to strip.
+            cols = np.asarray(cols)  # lint-ok: R8
+        delta_cols = coerce_float64(delta_cols)
         expected = (self.n_pre, cols.shape[0]) if cols.ndim else (self.n_pre,)
         if delta_cols.shape != expected:
             raise TopologyError(

@@ -1,0 +1,27 @@
+"""R7 bad fixture: widened code values re-narrowed without saturation.
+
+``driver`` allocates genuine uint8 code storage, so the narrow atom flows
+interprocedurally into both helpers; each helper then narrows a widened
+value without a saturating clip — one via ``astype``, one via a subscript
+store back into code storage.
+"""
+
+import numpy as np
+
+
+def accumulate_codes(codes):
+    acc = codes + codes
+    return acc.astype(np.uint8)
+
+
+def store_back(codes, delta):
+    total = codes + delta
+    codes[:] = total
+    return codes
+
+
+def driver():
+    codes = np.zeros(8, dtype=np.uint8)
+    acc = accumulate_codes(codes)
+    store_back(codes, 3)
+    return acc

@@ -1,0 +1,26 @@
+"""R7 good fixture: every narrow boundary passes through a saturating clip.
+
+Structurally identical to ``r7_bad.py``; the only difference is the
+``np.clip`` before each narrowing, which is exactly what R7 demands.
+"""
+
+import numpy as np
+
+
+def accumulate_codes(codes):
+    acc = codes + codes
+    acc = np.clip(acc, 0, 255)
+    return acc.astype(np.uint8)
+
+
+def store_back(codes, delta):
+    total = np.clip(codes + delta, 0, 255)
+    codes[:] = total
+    return codes
+
+
+def driver():
+    codes = np.zeros(8, dtype=np.uint8)
+    acc = accumulate_codes(codes)
+    store_back(codes, 3)
+    return acc

@@ -1,0 +1,7 @@
+"""Host-only helper: the sink of the r8_bad transitive flow."""
+
+import numpy as np
+
+
+def flatten_for_export(values):
+    return np.asarray(values).ravel()

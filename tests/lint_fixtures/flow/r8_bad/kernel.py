@@ -1,0 +1,20 @@
+"""R8 bad fixture: a device array escapes through two call hops.
+
+``run_kernel`` creates an xp-owned (device-resident) array and hands it
+to ``summarize``, which forwards it into ``export_helper`` — where it
+finally hits ``np.asarray``.  R6's per-statement check cannot see this;
+only the interprocedural pass can.
+"""
+
+from export_helper import flatten_for_export
+
+
+def run_kernel(ops, weights):
+    xp = ops.xp
+    acc = xp.zeros(weights.shape, dtype=xp.float64)
+    acc = acc + weights
+    return summarize(acc)
+
+
+def summarize(values):
+    return flatten_for_export(values)

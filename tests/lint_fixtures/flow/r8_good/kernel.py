@@ -1,0 +1,16 @@
+"""R8 good fixture: the device array crosses through ops.to_host first.
+
+Identical flow shape to ``r8_bad``, but the sanctioned crossing strips
+residency before the helper's host-only conversion, so the strong rebind
+of ``acc`` must genuinely clear the device atom.
+"""
+
+from host_export import export_rows
+
+
+def run_kernel(ops, weights):
+    xp = ops.xp
+    acc = xp.zeros(weights.shape, dtype=xp.float64)
+    acc = acc + weights
+    acc = ops.to_host(acc)
+    return export_rows(acc)

@@ -1,0 +1,6 @@
+"""Declared as an ``encoding`` consumer in the manifest but never draws:
+the manifest-rot check must flag it."""
+
+
+def encode(image):
+    return [float(px) for px in image]

@@ -1,0 +1,15 @@
+"""Event-tier fixture: conditional and unmapped draws.
+
+The conditional ``encoding`` draw breaks draw-count parity with the
+fused tier (which draws it unconditionally); ``retired`` is a known
+stream without any STREAM_CONSUMERS entry.
+"""
+
+
+def train(rngs, steps, active):
+    noise = None
+    if active:
+        noise = rngs.encoding.random(steps)
+    extra = rngs.learning.random(steps)
+    old = rngs.get("retired").random(steps)
+    return noise, extra, old

@@ -1,0 +1,12 @@
+"""Fused-tier fixture: one clean draw and two R9 violations.
+
+``rngs.learning`` is an undeclared consumer (the manifest only allows
+``engine/event.py``); ``rngs.tempo`` draws a stream that does not exist.
+"""
+
+
+def train(rngs, steps):
+    noise = rngs.encoding.random(steps)
+    jitter = rngs.learning.random(steps)
+    wobble = rngs.tempo.random(steps)
+    return noise, jitter, wobble

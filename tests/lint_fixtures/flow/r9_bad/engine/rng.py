@@ -1,0 +1,18 @@
+"""R9 bad-fixture manifest (parsed from the AST, never imported).
+
+The corpus around it is engineered so all six R9 check categories fire:
+an unknown stream, an undeclared consumer, an unmapped drawn stream, a
+silent declared consumer, an unreserved dead stream, and both kinds of
+parity break.
+"""
+
+STREAM_NAMES = ("encoding", "learning", "retired", "spare")
+
+STREAM_CONSUMERS = {
+    "encoding": ("engine/fused.py", "engine/event.py", "engine/encoder.py"),
+    "learning": ("engine/event.py",),
+}
+
+PARITY_GROUPS = (("engine/fused.py", "engine/event.py"),)
+
+RESERVED_STREAMS = {}

@@ -1,0 +1,8 @@
+"""Event-tier fixture: same streams as the fused tier, drawn through the
+``get``/``device_stream`` API forms, all unconditional."""
+
+
+def train(rngs, steps, ops):
+    noise = rngs.get("encoding").random(steps)
+    jitter = rngs.device_stream("learning", ops).random(steps)
+    return noise, jitter

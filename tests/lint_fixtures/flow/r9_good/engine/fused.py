@@ -1,0 +1,7 @@
+"""Fused-tier fixture: declared streams, unconditional draws only."""
+
+
+def train(rngs, steps):
+    noise = rngs.encoding.random(steps)
+    jitter = rngs.learning.random(steps)
+    return noise, jitter

@@ -1,5 +1,8 @@
 """Tests for the ``repro lint`` static-analysis package (rules R1-R6).
 
+The flow-analysis rules R7-R9 and the W0 stale-pragma warning have their
+own suite in ``tests/test_lint_flow.py``.
+
 Each rule is proven both ways against the fixture corpus in
 ``tests/lint_fixtures/``: the bad fixture must produce findings, the good
 fixture (or the same source outside the rule's scope) must not.  On top of
@@ -351,7 +354,7 @@ def test_live_src_tree_is_clean():
 def test_json_schema_is_stable():
     report = lint_paths(paths=(str(FIXTURES / "bad"),), include_contracts=False)
     payload = json.loads(report.to_json())
-    assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 1
+    assert payload["schema_version"] == REPORT_SCHEMA_VERSION == 2
     assert payload["tool"] == "repro-lint"
     assert set(payload) == {
         "schema_version",
@@ -359,18 +362,29 @@ def test_json_schema_is_stable():
         "rules",
         "files_checked",
         "contracts_checked",
+        "flow",
+        "baseline",
         "summary",
         "findings",
     }
     assert set(payload["rules"]) == set(RULE_DESCRIPTIONS) == {
-        "R1", "R2", "R3", "R4", "R5", "R6",
+        "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "W0",
     }
+    assert set(payload["flow"]) == {
+        "enabled", "modules", "functions", "cache_hits", "cache_misses",
+    }
+    assert payload["flow"]["enabled"] is False  # flow not requested here
+    assert set(payload["baseline"]) == {"path", "suppressed", "stale"}
     assert payload["summary"]["total"] == len(payload["findings"]) > 0
     by_rule = payload["summary"]["by_rule"]
-    assert set(by_rule) >= {"R1", "R2", "R3", "R4", "R5", "R6"}  # zeros included
+    assert set(by_rule) >= {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "W0"}
     assert by_rule["R3"] == 0
+    by_severity = payload["summary"]["by_severity"]
+    assert set(by_severity) == {"error", "warning"}
+    assert by_severity["error"] + by_severity["warning"] == payload["summary"]["total"]
     for finding in payload["findings"]:
-        assert set(finding) == {"rule", "path", "line", "col", "message"}
+        assert set(finding) == {"rule", "path", "line", "col", "message", "severity"}
+        assert finding["severity"] in ("error", "warning")
     # deterministic ordering: (path, line, col, rule)
     keys = [(f["path"], f["line"], f["col"], f["rule"]) for f in payload["findings"]]
     assert keys == sorted(keys)
