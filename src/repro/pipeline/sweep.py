@@ -113,7 +113,8 @@ class ParameterSweep:
     with identical results.
 
     Fault tolerance: each ``(variant, seed)`` cell gets ``1 + max_retries``
-    attempts with exponential backoff (``retry_backoff_s * 2**attempt``);
+    attempts with the shared deterministic exponential-backoff schedule
+    (:class:`repro.resilience.retry.RetryPolicy`; no wall-clock jitter);
     a cell that exhausts them is recorded in :meth:`failures` and the
     variant aggregates over the seeds that survived.  ``worker_timeout_s``
     detects hung workers in the parallel path.  ``manifest_path`` persists
@@ -138,12 +139,14 @@ class ParameterSweep:
         fault: Optional[Any] = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
+        from repro.resilience.retry import RetryPolicy
+
         if n_workers is not None and n_workers < 1:
             raise ReproError(f"n_workers must be >= 1, got {n_workers}")
-        if max_retries < 0:
-            raise ReproError(f"max_retries must be >= 0, got {max_retries}")
         if retry_backoff_s < 0.0:
             raise ReproError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        #: Shared deterministic retry schedule (validates max_retries too).
+        self.retry = RetryPolicy(max_retries=max_retries, backoff_s=retry_backoff_s)
         if worker_timeout_s is not None and worker_timeout_s <= 0.0:
             raise ReproError(
                 f"worker_timeout_s must be positive, got {worker_timeout_s}"
@@ -200,8 +203,9 @@ class ParameterSweep:
 
     def _backoff(self, failed_attempts: int) -> None:
         """Sleep before retry *failed_attempts* (1-based), exponentially."""
-        if self.retry_backoff_s > 0.0:
-            self._sleep(self.retry_backoff_s * (2.0 ** (failed_attempts - 1)))
+        delay = self.retry.backoff_for(failed_attempts)
+        if delay > 0.0:
+            self._sleep(delay)
 
     def _cell_done(self, name: str, seed: int, score: float, attempts: int) -> None:
         if self._manifest is not None:
@@ -232,21 +236,20 @@ class ParameterSweep:
     def _run_sequential(
         self, name: str, factory: ConfigFactory, epochs: int, seeds: List[int]
     ) -> Dict[int, float]:
+        from repro.resilience.retry import run_with_retry
+
         scores: Dict[int, float] = {}
         for seed in seeds:
             payload = self._payload(name, factory, seed, epochs)
-            attempts = 0
-            while True:
-                attempts += 1
-                try:
-                    scores[seed] = float(_run_one(payload))
-                    self._cell_done(name, seed, scores[seed], attempts)
-                    break
-                except Exception as exc:  # lint-ok: R5 — cell isolation boundary
-                    if attempts > self.max_retries:
-                        self._cell_failed(name, seed, exc, attempts)
-                        break
-                    self._backoff(attempts)
+            try:
+                score, attempts = run_with_retry(
+                    lambda: float(_run_one(payload)), self.retry, sleep=self._sleep
+                )
+            except Exception as exc:  # lint-ok: R5 — cell isolation boundary
+                self._cell_failed(name, seed, exc, self.retry.attempts())
+                continue
+            scores[seed] = score
+            self._cell_done(name, seed, score, attempts)
         return scores
 
     def _run_parallel(

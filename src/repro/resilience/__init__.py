@@ -1,6 +1,9 @@
 """Fault tolerance for long runs: checkpoint-resume, invariant monitoring,
-sweep recovery, graceful engine degradation, and the deterministic
-fault-injection harness that proves each mechanism works.
+sweep recovery, graceful engine degradation, the deterministic
+fault-injection harness that proves each mechanism works, and the
+resilience-analysis harness (:mod:`repro.resilience.explore` +
+:mod:`repro.resilience.tabulate`) that quantifies them across a sampled
+fault space.
 
 Layering: this package may import the network/engine/pipeline layers at
 module level; the reverse edges (``pipeline`` → resilience, ``io`` →
@@ -12,25 +15,54 @@ from repro.resilience.autosave import AutosavePolicy
 from repro.resilience.degrade import (
     DEGRADATION_CHAIN,
     EngineDegradedWarning,
+    degradation_path,
     next_tier,
 )
-from repro.resilience.manifest import SweepManifest, cell_key
+from repro.resilience.explore import (
+    FAULT_KINDS,
+    OUTCOMES,
+    FaultScenario,
+    FaultSpace,
+    ScenarioOutcome,
+    ScenarioRunner,
+    ScenarioWorkload,
+    default_space,
+    smoke_space,
+)
+from repro.resilience.manifest import MANIFEST_VERSION, SweepManifest, cell_key
+from repro.resilience.retry import RetryPolicy, run_with_retry
 from repro.resilience.run_state import (
     RUN_STATE_VERSION,
     TrainingRunState,
     load_run_state,
 )
 from repro.resilience.sentinel import NumericHealthSentinel
+from repro.resilience.tabulate import REPORT_VERSION, ResilienceReport
 
 __all__ = [
     "AutosavePolicy",
     "DEGRADATION_CHAIN",
     "EngineDegradedWarning",
+    "FAULT_KINDS",
+    "FaultScenario",
+    "FaultSpace",
+    "MANIFEST_VERSION",
     "NumericHealthSentinel",
+    "OUTCOMES",
+    "REPORT_VERSION",
     "RUN_STATE_VERSION",
+    "ResilienceReport",
+    "RetryPolicy",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioWorkload",
     "SweepManifest",
     "TrainingRunState",
     "cell_key",
+    "default_space",
+    "degradation_path",
     "load_run_state",
     "next_tier",
+    "run_with_retry",
+    "smoke_space",
 ]

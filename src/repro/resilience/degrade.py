@@ -19,7 +19,7 @@ published equivalence contract of the tier it lands on.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 #: Fallback order of the sequential training engines (most to least
 #: optimised).  ``reference`` has no fallback: a fault there is a real
@@ -51,3 +51,17 @@ def next_tier(engine_name: str, engine: Optional[object] = None) -> Optional[str
     if declared is not None:
         return str(declared)
     return DEGRADATION_CHAIN.get(engine_name)
+
+
+def degradation_path(engine_name: str) -> List[str]:
+    """The full fallback walk starting at *engine_name* (inclusive).
+
+    ``degradation_path("qevent") == ["qevent", "qfused", "fused",
+    "reference"]``; an engine outside the chain is its own single-element
+    path.  Used by the resilience-analysis harness to bound the number of
+    degradation hops a scenario may legitimately take.
+    """
+    path = [engine_name]
+    while path[-1] in DEGRADATION_CHAIN:
+        path.append(DEGRADATION_CHAIN[path[-1]])
+    return path

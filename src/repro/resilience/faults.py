@@ -25,11 +25,23 @@ pool workers) are additionally gated behind ``REPRO_FAULTS=1``
 
 from __future__ import annotations
 
+import itertools
 import os
+import re
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import FrozenSet, Iterable, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -48,10 +60,32 @@ from repro.resilience.degrade import DEGRADATION_CHAIN
 #: regular tier-1 suite regardless.
 FAULTS_ENV = "REPRO_FAULTS"
 
+#: Accepted spellings for the :data:`FAULTS_ENV` switch (case-insensitive,
+#: surrounding whitespace ignored).  Anything else is a configuration
+#: error — ``REPRO_FAULTS=off`` silently *enabling* the heavyweight suite
+#: is exactly the kind of surprise a fault harness must not have.
+FAULTS_ENV_TRUE = frozenset({"1", "true", "yes", "on"})
+FAULTS_ENV_FALSE = frozenset({"", "0", "false", "no", "off"})
+
 
 def faults_enabled() -> bool:
-    """Whether the heavyweight fault-injection suite is switched on."""
-    return os.environ.get(FAULTS_ENV, "") not in ("", "0", "false", "no")
+    """Whether the heavyweight fault-injection suite is switched on.
+
+    ``REPRO_FAULTS`` must be one of :data:`FAULTS_ENV_TRUE` (enables) or
+    :data:`FAULTS_ENV_FALSE` (disables, same as unset); other values raise
+    :class:`~repro.errors.ConfigurationError` instead of guessing.
+    """
+    raw = os.environ.get(FAULTS_ENV, "")
+    value = raw.strip().lower()
+    if value in FAULTS_ENV_TRUE:
+        return True
+    if value in FAULTS_ENV_FALSE:
+        return False
+    raise ConfigurationError(
+        f"{FAULTS_ENV}={raw!r} is not a recognised switch value; use one of "
+        f"{sorted(FAULTS_ENV_TRUE)} to enable or "
+        f"{sorted(v for v in FAULTS_ENV_FALSE if v)} (or unset) to disable"
+    )
 
 
 class InjectedFault(RuntimeError):
@@ -102,6 +136,47 @@ class CrashFault:
 # sweep-side: worker death
 # ----------------------------------------------------------------------
 
+#: Monotonic suffix for auto-generated marker run-ids (process-unique
+#: together with the pid; deliberately not wall-clock based).
+_RUN_ID_COUNTER = itertools.count()
+
+
+def _next_run_id() -> str:
+    """A fresh marker-ownership id: pid + in-process counter, no clocks."""
+    return f"{os.getpid()}-{next(_RUN_ID_COUNTER)}"
+
+
+def _claim_marker(marker: Path, run_id: str) -> bool:
+    """Atomically claim a once-only marker file, evicting stale ones.
+
+    The marker stores the owning *run_id*.  An existing marker whose
+    content differs from a non-empty *run_id* was left behind by a
+    previous (interrupted) run — it is removed and re-claimed, so a fresh
+    fault instance starts with its full once-only budget instead of
+    silently never firing.  With ``run_id == ""`` any existing marker
+    counts as already claimed (explicit shared-claim mode: several
+    instances given the same empty or matching id share one budget).
+    """
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    if run_id:
+        try:
+            stale = marker.read_text() != run_id
+        except FileNotFoundError:
+            stale = False
+        except OSError:
+            stale = True
+        if stale:
+            try:
+                marker.unlink()
+            except FileNotFoundError:
+                pass
+    try:
+        with open(marker, "x") as handle:
+            handle.write(run_id)
+        return True
+    except FileExistsError:
+        return False
+
 
 @dataclass(frozen=True)
 class WorkerDeathFault:
@@ -117,12 +192,18 @@ class WorkerDeathFault:
     *marker_dir* provides once-only semantics across retries and across
     processes: the first trigger atomically creates a marker file; later
     attempts on the same cell see it and pass, so a retried cell succeeds.
+    Markers store the instance's *run_id* (:func:`WorkerDeathFault.for_seeds`
+    generates one per instance); a marker left by a previous interrupted
+    run carries a different id, is treated as stale and is cleaned up on
+    the next claim.  Pass the same explicit ``run_id`` to several
+    instances to share one once-only budget.
     """
 
     seeds: FrozenSet[int]
     marker_dir: str
     mode: str = "exception"
     variant: Optional[str] = None
+    run_id: str = ""
 
     def __post_init__(self) -> None:
         if self.mode not in ("exception", "exit"):
@@ -138,23 +219,20 @@ class WorkerDeathFault:
         marker_dir: Union[str, Path],
         mode: str = "exception",
         variant: Optional[str] = None,
+        run_id: Optional[str] = None,
     ) -> "WorkerDeathFault":
         return cls(
             seeds=frozenset(int(s) for s in seeds),
             marker_dir=str(marker_dir),
             mode=mode,
             variant=variant,
+            run_id=_next_run_id() if run_id is None else str(run_id),
         )
 
     def _claim(self, variant: str, seed: int) -> bool:
         """Atomically claim the one allowed trigger for this cell."""
         marker = Path(self.marker_dir) / f"fault-{variant}-{seed}.marker"
-        try:
-            marker.parent.mkdir(parents=True, exist_ok=True)
-            with open(marker, "x"):
-                return True
-        except FileExistsError:
-            return False
+        return _claim_marker(marker, self.run_id)
 
     def maybe_trigger(self, variant: str, seed: int) -> None:
         """Called by the sweep worker before running a cell."""
@@ -183,14 +261,15 @@ class HangFault:
     Emulates a hung worker (deadlocked BLAS, stuck I/O) for the sweep's
     ``worker_timeout_s`` detection: the first attempt on a matching cell
     sleeps well past the timeout window, later attempts pass.  Picklable,
-    with the same atomic marker-file once-semantics as
-    :class:`WorkerDeathFault`.
+    with the same atomic marker-file once-semantics and stale-marker
+    cleanup as :class:`WorkerDeathFault`.
     """
 
     seeds: FrozenSet[int]
     marker_dir: str
     seconds: float = 5.0
     variant: Optional[str] = None
+    run_id: str = ""
 
     @classmethod
     def for_seeds(
@@ -199,12 +278,14 @@ class HangFault:
         marker_dir: Union[str, Path],
         seconds: float = 5.0,
         variant: Optional[str] = None,
+        run_id: Optional[str] = None,
     ) -> "HangFault":
         return cls(
             seeds=frozenset(int(s) for s in seeds),
             marker_dir=str(marker_dir),
             seconds=float(seconds),
             variant=variant,
+            run_id=_next_run_id() if run_id is None else str(run_id),
         )
 
     def maybe_trigger(self, variant: str, seed: int) -> None:
@@ -213,11 +294,7 @@ class HangFault:
         if self.variant is not None and variant != self.variant:
             return
         marker = Path(self.marker_dir) / f"hang-{variant}-{seed}.marker"
-        try:
-            marker.parent.mkdir(parents=True, exist_ok=True)
-            with open(marker, "x"):
-                pass
-        except FileExistsError:
+        if not _claim_marker(marker, self.run_id):
             return
         time.sleep(self.seconds)
 
@@ -226,10 +303,12 @@ class HangFault:
 # engine-side: step exceptions and state contamination
 # ----------------------------------------------------------------------
 
-#: Module-level parameter block read by :class:`FaultyEngine` at
-#: construction (the registry's ``module:Class`` factories take only the
-#: network, so the schedule travels out of band).
-_FAULTY_PARAMS: dict = {}
+#: Per-wrapper parameter blocks read by :class:`FaultyEngine` at
+#: construction, keyed by registered engine name (the registry's
+#: ``module:Class`` factories take only the network, so the schedule
+#: travels out of band).  Several wrappers may be installed at once —
+#: :func:`install_faulty_chain` registers one per tier.
+_FAULTY_PARAMS: Dict[str, Dict[str, Any]] = {}
 
 
 class FaultyEngine:
@@ -249,28 +328,41 @@ class FaultyEngine:
     ``fail_times`` bounds how many scheduled presentations fault (so a
     degrade-and-replay loop terminates); scheduling counts *this
     instance's* ``run`` calls, so a rebuilt engine starts fresh.
+
+    Each registered wrapper name has its own schedule in
+    :data:`_FAULTY_PARAMS` — :func:`install_faulty_engine` installs one,
+    :func:`install_faulty_chain` installs a whole ladder of them (the
+    ``name`` class attribute on the dynamic subclass selects the block).
     """
 
     name = "faulty"
 
     def __init__(self, network: object) -> None:
-        if not _FAULTY_PARAMS:
+        params = _FAULTY_PARAMS.get(self.name)
+        if params is None:
             raise ConfigurationError(
-                "FaultyEngine constructed without install_faulty_engine(); "
-                "the fault schedule is undefined"
+                f"FaultyEngine {self.name!r} constructed without "
+                f"install_faulty_engine(); the fault schedule is undefined"
             )
         from repro.engine.registry import create_engine
 
         self.network = network
-        self.inner_name: str = _FAULTY_PARAMS["inner"]
-        self.fail_at: int = _FAULTY_PARAMS["fail_at"]
-        self.fail_times: int = _FAULTY_PARAMS["fail_times"]
-        self.mode: str = _FAULTY_PARAMS["mode"]
+        self.inner_name: str = params["inner"]
+        self.fail_at: int = params["fail_at"]
+        self.fail_times: int = params["fail_times"]
+        self.mode: str = params["mode"]
         self._inner = create_engine(self.inner_name, network)
         self._runs = 0
         self._faults_fired = 0
-        #: Consumed by repro.resilience.degrade.next_tier.
-        self.degrade_to = DEGRADATION_CHAIN.get(self.inner_name)
+        #: Consumed by repro.resilience.degrade.next_tier.  An installed
+        #: override wins (chain wrappers point at the next wrapper);
+        #: otherwise fall back to the real chain below the wrapped engine.
+        declared = params.get("degrade_to")
+        self.degrade_to = (
+            str(declared)
+            if declared is not None
+            else DEGRADATION_CHAIN.get(self.inner_name)
+        )
         self.sentinel = None
 
     @property
@@ -329,18 +421,44 @@ class FaultyEngine:
         )
 
 
+def _faulty_class_attr(name: str) -> str:
+    """The module attribute holding the dynamic subclass for *name*."""
+    return "_FaultyEngine_" + re.sub(r"\W", "_", name)
+
+
+def _faulty_factory(name: str) -> str:
+    """A ``module:Class`` factory string for the wrapper named *name*.
+
+    The registry only accepts string factories, and the base class carries
+    ``name = "faulty"`` — so every other registered name gets a dynamic
+    :class:`FaultyEngine` subclass pinned to this module, whose sole
+    override is the ``name`` class attribute selecting its parameter
+    block in :data:`_FAULTY_PARAMS`.
+    """
+    if name == "faulty":
+        return "repro.resilience.faults:FaultyEngine"
+    attr = _faulty_class_attr(name)
+    cls = type(attr.lstrip("_"), (FaultyEngine,), {"name": name})
+    globals()[attr] = cls
+    return f"repro.resilience.faults:{attr}"
+
+
 def install_faulty_engine(
     inner: str = "event",
     fail_at: int = 1,
     fail_times: int = 1,
     mode: str = "raise",
     name: str = "faulty",
+    degrade_to: Optional[str] = None,
 ) -> EngineSpec:
     """Register a :class:`FaultyEngine` wrapping *inner* under *name*.
 
     Returns the spec; call :func:`uninstall_faulty_engine` (or
-    ``unregister_engine(name)``) to clean up.  Only one fault schedule is
-    active at a time — the harness is for focused tests, not concurrency.
+    ``unregister_engine(name)``) to clean up.  Each registered *name* has
+    its own independent fault schedule, so several wrappers can coexist
+    (:func:`install_faulty_chain` builds on that).  *degrade_to* overrides
+    the wrapper's fallback tier; by default it degrades into the real
+    chain entry below *inner*.
     """
     if mode not in ("raise", "nan", "g_range"):
         raise ConfigurationError(
@@ -352,13 +470,16 @@ def install_faulty_engine(
             f"got fail_at={fail_at}, fail_times={fail_times}"
         )
     inner_spec = get_engine_spec(inner)
-    _FAULTY_PARAMS.clear()
-    _FAULTY_PARAMS.update(
-        {"inner": inner, "fail_at": fail_at, "fail_times": fail_times, "mode": mode}
-    )
+    _FAULTY_PARAMS[name] = {
+        "inner": inner,
+        "fail_at": fail_at,
+        "fail_times": fail_times,
+        "mode": mode,
+        "degrade_to": degrade_to,
+    }
     spec = EngineSpec(
         name=name,
-        factory="repro.resilience.faults:FaultyEngine",
+        factory=_faulty_factory(name),
         supports_learning=inner_spec.supports_learning,
         supports_batch=inner_spec.supports_batch,
         equivalence=inner_spec.equivalence,
@@ -369,12 +490,61 @@ def install_faulty_engine(
 
 
 def uninstall_faulty_engine(name: str = "faulty") -> None:
-    """Remove the fault wrapper and clear its schedule."""
-    _FAULTY_PARAMS.clear()
+    """Remove the fault wrapper registered as *name*, and its schedule."""
+    _FAULTY_PARAMS.pop(name, None)
+    globals().pop(_faulty_class_attr(name), None)
     try:
         unregister_engine(name)
     except ConfigurationError:
         pass
+
+
+def install_faulty_chain(
+    engines: Sequence[str],
+    fail_at: int = 1,
+    mode: str = "raise",
+    prefix: str = "faulty-",
+) -> List[str]:
+    """Register one fault wrapper per tier so a run walks the whole chain.
+
+    ``install_faulty_chain(["qevent", "qfused", "fused"], fail_at=3)``
+    registers ``faulty-qevent`` → ``faulty-qfused`` → ``faulty-fused``,
+    where each wrapper degrades into the *next wrapper* and the last one
+    into the real tier below its engine (``reference`` here).  The entry
+    wrapper faults at presentation *fail_at*; every inner wrapper faults
+    on its first ``run`` call — which is exactly the re-presentation of
+    the same image after the boundary rollback — so one presentation
+    cascades through every tier in a single degrading run, emitting one
+    :class:`~repro.resilience.degrade.EngineDegradedWarning` per hop.
+
+    Returns the registered wrapper names (train with the first); clean up
+    with :func:`uninstall_faulty_chain`.
+    """
+    if not engines:
+        raise ConfigurationError("install_faulty_chain needs at least one engine")
+    names = [prefix + engine for engine in engines]
+    for index, engine in enumerate(engines):
+        if index + 1 < len(engines):
+            fallback: Optional[str] = names[index + 1]
+        else:
+            fallback = DEGRADATION_CHAIN.get(engine)
+        install_faulty_engine(
+            inner=engine,
+            fail_at=fail_at if index == 0 else 1,
+            fail_times=1,
+            mode=mode,
+            name=names[index],
+            degrade_to=fallback,
+        )
+    return names
+
+
+def uninstall_faulty_chain(
+    engines: Sequence[str], prefix: str = "faulty-"
+) -> None:
+    """Remove every wrapper registered by :func:`install_faulty_chain`."""
+    for engine in engines:
+        uninstall_faulty_engine(prefix + engine)
 
 
 # ----------------------------------------------------------------------

@@ -22,8 +22,13 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import CheckpointError
 
-#: Manifest file-format version.
-MANIFEST_VERSION = 1
+#: Manifest schema version written by this build.  v1 files carried the
+#: number under ``"version"``; v2 adds an explicit ``"schema_version"``
+#: field and the tolerant-loading contract: readers accept any version
+#: >= 1, ignore (but preserve) unknown top-level keys, and re-emit them on
+#: save — so manifests written by a newer build survive a round trip
+#: through an older one and vice versa.
+MANIFEST_VERSION = 2
 
 #: Cell states a manifest records.
 STATUS_DONE = "done"
@@ -47,6 +52,12 @@ class SweepManifest:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.cells: Dict[str, Dict[str, Any]] = {}
+        #: Schema version of the file that was loaded (this build's
+        #: :data:`MANIFEST_VERSION` for a fresh manifest).
+        self.loaded_version: int = MANIFEST_VERSION
+        #: Unknown top-level keys from the loaded file, preserved verbatim
+        #: and re-emitted on save (forward compatibility).
+        self.extra: Dict[str, Any] = {}
         if self.path.exists():
             self._load()
 
@@ -65,22 +76,34 @@ class SweepManifest:
             raise CheckpointError(
                 f"sweep manifest {self.path} is missing the 'cells' table"
             )
-        version = payload.get("version")
-        if version != MANIFEST_VERSION:
+        version = payload.get("schema_version", payload.get("version"))
+        if not isinstance(version, int) or version < 1:
             raise CheckpointError(
-                f"sweep manifest {self.path} has version {version!r}; "
-                f"this build reads version {MANIFEST_VERSION}"
+                f"sweep manifest {self.path} has no usable schema version "
+                f"(got {version!r}); this build writes version "
+                f"{MANIFEST_VERSION} and reads any version >= 1"
             )
         cells = payload["cells"]
         if not isinstance(cells, dict):
             raise CheckpointError(
                 f"sweep manifest {self.path}: 'cells' must be an object"
             )
+        self.loaded_version = version
         self.cells = {str(k): dict(v) for k, v in cells.items()}
+        self.extra = {
+            k: v
+            for k, v in payload.items()
+            if k not in ("version", "schema_version", "cells")
+        }
 
     def save(self) -> None:
         """Atomically write the ledger (temp file + fsync + replace)."""
-        payload = {"version": MANIFEST_VERSION, "cells": self.cells}
+        payload = {
+            **self.extra,
+            "version": MANIFEST_VERSION,
+            "schema_version": MANIFEST_VERSION,
+            "cells": self.cells,
+        }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(self.path.name + ".tmp")
         try:

@@ -1,0 +1,110 @@
+"""Deterministic retry with exponential backoff, shared across the harness.
+
+Both the fault-tolerant :class:`~repro.pipeline.sweep.ParameterSweep` and
+the resilience scenario runner (:mod:`repro.resilience.explore`) retry
+transiently-failing units of work.  The schedule lives here once, as a
+frozen :class:`RetryPolicy`, so both callers agree on the semantics:
+
+- attempt *k* (1-based) that fails sleeps ``backoff_s * multiplier**(k-1)``
+  before the next attempt — the classic exponential ladder, optionally
+  capped by ``max_backoff_s``;
+- **no jitter**: randomised backoff would make retried runs wall-clock
+  dependent and break the byte-identical-report contract.  The sweep and
+  the scenario runner are single-tenant on their own files, so the
+  thundering-herd argument for jitter does not apply;
+- the sleep function is injectable, so tests assert the exact schedule
+  without sleeping.
+
+:func:`run_with_retry` is the execution helper: call a thunk up to
+``policy.attempts()`` times, re-raising the last exception once the
+attempts are exhausted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failing unit of work, and how to wait.
+
+    ``max_retries=0`` (the default) means one attempt, no retries — the
+    policy is then a no-op wrapper.  ``backoff_s`` is the sleep before the
+    *first* retry; each further retry multiplies it by ``multiplier``.
+    ``max_backoff_s`` (when set) caps any single sleep.
+    """
+
+    max_retries: int = 0
+    backoff_s: float = 0.0
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_s < 0.0:
+            raise ConfigurationError(
+                f"backoff_s must be >= 0, got {self.backoff_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_backoff_s < 0.0:
+            raise ConfigurationError(
+                f"max_backoff_s must be >= 0 (0 disables the cap), "
+                f"got {self.max_backoff_s}"
+            )
+
+    def attempts(self) -> int:
+        """Total attempts a unit of work gets (first try + retries)."""
+        return 1 + self.max_retries
+
+    def backoff_for(self, failed_attempts: int) -> float:
+        """Seconds to sleep after the *failed_attempts*-th failure (1-based).
+
+        Deterministic — same inputs, same schedule, no jitter.
+        """
+        if failed_attempts < 1:
+            raise ConfigurationError(
+                f"failed_attempts is 1-based, got {failed_attempts}"
+            )
+        delay = self.backoff_s * (self.multiplier ** (failed_attempts - 1))
+        if self.max_backoff_s > 0.0:
+            delay = min(delay, self.max_backoff_s)
+        return delay
+
+    def schedule(self) -> Tuple[float, ...]:
+        """The full backoff ladder (one entry per allowed retry)."""
+        return tuple(self.backoff_for(k) for k in range(1, self.max_retries + 1))
+
+
+def run_with_retry(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Tuple[Any, int]:
+    """Call *fn* under *policy*; return ``(value, attempt_number)``.
+
+    On failure before the final attempt, sleeps ``policy.backoff_for(k)``
+    (skipping zero-length sleeps) and tries again; once the attempts are
+    exhausted the last exception propagates unchanged.
+    """
+    total = policy.attempts()
+    for attempt in range(1, total + 1):
+        try:
+            return fn(), attempt
+        except Exception:  # retry isolation boundary
+            if attempt >= total:
+                raise
+            delay = policy.backoff_for(attempt)
+            if delay > 0.0:
+                sleep(delay)
+    raise AssertionError("unreachable: retry loop exited without returning")

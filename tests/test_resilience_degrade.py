@@ -14,15 +14,20 @@ import pytest
 
 from repro.errors import NumericHealthError, SimulationError
 from repro.network.wta import WTANetwork
+from repro.pipeline.evaluator import Evaluator
 from repro.pipeline.trainer import UnsupervisedTrainer
 from repro.resilience import (
     DEGRADATION_CHAIN,
     EngineDegradedWarning,
     NumericHealthSentinel,
+    degradation_path,
     next_tier,
 )
+from repro.resilience.explore import ScenarioWorkload
 from repro.resilience.faults import (
     InjectedFault,
+    install_faulty_chain,
+    uninstall_faulty_chain,
     install_faulty_engine,
     uninstall_faulty_engine,
 )
@@ -54,6 +59,13 @@ class TestNextTier:
             pass
 
         assert next_tier("event", _Stub()) == "fused"
+
+    def test_degradation_path_walks_the_chain_inclusively(self):
+        assert degradation_path("qevent") == [
+            "qevent", "qfused", "fused", "reference",
+        ]
+        assert degradation_path("reference") == ["reference"]
+        assert degradation_path("nonexistent") == ["nonexistent"]
 
 
 def _train_plain(config, images, engine):
@@ -103,6 +115,51 @@ class TestDegradedRuns:
         baseline, _ = _train_plain(tiny_config, images, "fused")
         degraded, _ = _train_degraded(tiny_config, images, "fused", fail_at=1)
         assert np.array_equal(degraded.conductances, baseline.conductances)
+
+
+class TestFullChainWalk:
+    def test_qevent_cascades_to_reference_bit_identically(self):
+        """One run walks the entire ladder qevent → qfused → fused →
+        reference: each tier faults on the boundary replay, emitting one
+        :class:`EngineDegradedWarning` per hop, and the survivor run lands
+        on exactly the clean reference trajectory — weights, thresholds,
+        spike log and final inference responses all bit for bit.
+
+        Deterministic (``NEAREST``) rounding is what makes the quantized
+        tiers code-exact; under stochastic rounding each tier would consume
+        a different RNG stream and only statistical equivalence would hold.
+        """
+        workload = ScenarioWorkload()
+        images = workload.load_images()
+        config = workload.config_for("qevent")
+
+        clean = WTANetwork(config, images[0].size)
+        clean_log = UnsupervisedTrainer(clean).train(images, engine="reference")
+        clean_responses = Evaluator(
+            clean, engine="reference"
+        ).collect_responses(images)
+
+        chain = ["qevent", "qfused", "fused"]
+        names = install_faulty_chain(chain, fail_at=3)
+        try:
+            net = WTANetwork(config, images[0].size)
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                log = UnsupervisedTrainer(net).train(
+                    images, engine=names[0], on_engine_fault="degrade"
+                )
+        finally:
+            uninstall_faulty_chain(chain)
+
+        hops = [
+            w for w in caught if issubclass(w.category, EngineDegradedWarning)
+        ]
+        assert len(hops) == 3  # one warning per tier dropped
+        assert np.array_equal(net.conductances, clean.conductances)
+        assert np.array_equal(net.neurons.theta, clean.neurons.theta)
+        assert log.spikes_per_image == clean_log.spikes_per_image
+        responses = Evaluator(net, engine="reference").collect_responses(images)
+        assert np.array_equal(responses, clean_responses)
 
 
 class TestNoDegradationCases:

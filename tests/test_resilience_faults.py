@@ -16,8 +16,10 @@ from repro.resilience.faults import (
     WorkerDeathFault,
     corrupt_file,
     faults_enabled,
+    install_faulty_chain,
     install_faulty_engine,
     truncate_file,
+    uninstall_faulty_chain,
     uninstall_faulty_engine,
 )
 
@@ -30,9 +32,14 @@ class TestGate:
             ("0", False),
             ("false", False),
             ("no", False),
+            ("off", False),
+            ("OFF", False),
+            (" false ", False),
             ("1", True),
             ("yes", True),
             ("true", True),
+            ("on", True),
+            ("TRUE", True),
         ],
     )
     def test_env_parsing(self, monkeypatch, value, expected):
@@ -42,6 +49,16 @@ class TestGate:
     def test_unset_means_disabled(self, monkeypatch):
         monkeypatch.delenv(FAULTS_ENV, raising=False)
         assert faults_enabled() is False
+
+    @pytest.mark.parametrize("value", ["2", "banana", "enable", "y "])
+    def test_surprising_values_are_rejected_not_guessed(
+        self, monkeypatch, value
+    ):
+        """``REPRO_FAULTS=off`` silently *enabling* destructive injectors
+        would be the worst possible parse; unknown spellings must raise."""
+        monkeypatch.setenv(FAULTS_ENV, value)
+        with pytest.raises(ConfigurationError, match=FAULTS_ENV):
+            faults_enabled()
 
 
 class TestExceptionTaxonomy:
@@ -79,12 +96,41 @@ class TestWorkerDeathFault:
 
     def test_once_semantics_across_instances(self, tmp_path):
         """The marker file, not instance state, carries once-only-ness —
-        exactly what a retried cell in a fresh worker process sees."""
+        exactly what a retried cell in a fresh worker process sees.  The
+        instances share a ``run_id`` the way a pickled fault shipped to
+        several pool workers does."""
+        first = WorkerDeathFault.for_seeds([0], tmp_path, run_id="sweep-1")
+        with pytest.raises(InjectedFault):
+            first.maybe_trigger("float32", seed=0)
+        second = WorkerDeathFault.for_seeds([0], tmp_path, run_id="sweep-1")
+        second.maybe_trigger("float32", seed=0)  # already claimed: passes
+
+    def test_once_semantics_within_one_instance(self, tmp_path):
+        fault = WorkerDeathFault.for_seeds([0], tmp_path)
+        with pytest.raises(InjectedFault):
+            fault.maybe_trigger("float32", seed=0)
+        fault.maybe_trigger("float32", seed=0)  # marker claimed: passes
+
+    def test_stale_marker_from_a_previous_run_is_evicted(self, tmp_path):
+        """A marker left behind by an interrupted earlier run must not
+        exhaust a fresh fault's once-only budget — the fresh run would
+        otherwise silently test nothing."""
+        stale = WorkerDeathFault.for_seeds([0], tmp_path)
+        with pytest.raises(InjectedFault):
+            stale.maybe_trigger("float32", seed=0)
+        fresh = WorkerDeathFault.for_seeds([0], tmp_path)  # new auto run_id
+        with pytest.raises(InjectedFault):
+            fresh.maybe_trigger("float32", seed=0)
+        fresh.maybe_trigger("float32", seed=0)  # its own claim now holds
+
+    def test_empty_run_id_shares_any_existing_marker(self, tmp_path):
+        """``run_id=""`` is the legacy shared-claim mode: an existing
+        marker counts as claimed no matter who wrote it."""
         first = WorkerDeathFault.for_seeds([0], tmp_path)
         with pytest.raises(InjectedFault):
             first.maybe_trigger("float32", seed=0)
-        second = WorkerDeathFault.for_seeds([0], tmp_path)
-        second.maybe_trigger("float32", seed=0)  # already claimed: passes
+        legacy = WorkerDeathFault.for_seeds([0], tmp_path, run_id="")
+        legacy.maybe_trigger("float32", seed=0)  # passes: marker exists
 
     def test_exit_mode_requires_the_env_gate(self, tmp_path, monkeypatch):
         monkeypatch.delenv(FAULTS_ENV, raising=False)
@@ -149,6 +195,61 @@ class TestFaultyEngineInstall:
             assert t_ms == 5.0
         finally:
             uninstall_faulty_engine()
+
+
+class TestNamedWrappers:
+    def test_wrappers_coexist_with_independent_schedules(self, tiny_config):
+        from repro.engine.registry import create_engine
+
+        install_faulty_engine(inner="fused", fail_at=1, name="faulty-a")
+        install_faulty_engine(inner="event", fail_at=3, name="faulty-b")
+        try:
+            net = WTANetwork(tiny_config, 64)
+            a = create_engine("faulty-a", net)
+            b = create_engine("faulty-b", net)
+            assert (a.inner_name, a.fail_at) == ("fused", 1)
+            assert (b.inner_name, b.fail_at) == ("event", 3)
+        finally:
+            uninstall_faulty_engine("faulty-a")
+            uninstall_faulty_engine("faulty-b")
+        for name in ("faulty-a", "faulty-b"):
+            with pytest.raises(ConfigurationError):
+                get_engine_spec(name)
+
+    def test_degrade_to_override(self, tiny_config):
+        from repro.engine.registry import create_engine
+
+        install_faulty_engine(
+            inner="event", fail_at=1, name="faulty-x", degrade_to="reference"
+        )
+        try:
+            engine = create_engine("faulty-x", WTANetwork(tiny_config, 64))
+            assert engine.degrade_to == "reference"
+        finally:
+            uninstall_faulty_engine("faulty-x")
+
+    def test_chain_install_wires_each_tier_to_the_next_wrapper(self, tiny_config):
+        from repro.engine.registry import create_engine
+
+        names = install_faulty_chain(["event", "fused"], fail_at=2)
+        try:
+            assert names == ["faulty-event", "faulty-fused"]
+            net = WTANetwork(tiny_config, 64)
+            entry = create_engine("faulty-event", net)
+            inner = create_engine("faulty-fused", net)
+            assert entry.degrade_to == "faulty-fused"
+            assert entry.fail_at == 2
+            # Inner tiers fault on their first call — the boundary replay.
+            assert inner.fail_at == 1
+            assert inner.degrade_to == "reference"
+        finally:
+            uninstall_faulty_chain(["event", "fused"])
+        with pytest.raises(ConfigurationError):
+            get_engine_spec("faulty-event")
+
+    def test_chain_rejects_empty_ladder(self):
+        with pytest.raises(ConfigurationError, match="at least one engine"):
+            install_faulty_chain([])
 
 
 class TestFileDamage:

@@ -6,6 +6,7 @@ spawned pool workers) are gated behind ``REPRO_FAULTS=1`` and exercised
 by the dedicated CI fault-injection job.
 """
 
+import json
 from dataclasses import replace
 
 import pytest
@@ -13,7 +14,7 @@ import pytest
 from repro.analysis.statistics import SeedStudy
 from repro.config.parameters import SimulationParameters
 from repro.config.presets import get_preset
-from repro.errors import ReproError
+from repro.errors import CheckpointError, ReproError
 from repro.pipeline.sweep import ParameterSweep, SweepCellTimeout
 from repro.resilience.faults import (
     HangFault,
@@ -21,6 +22,7 @@ from repro.resilience.faults import (
     WorkerDeathFault,
     faults_enabled,
 )
+from repro.resilience.manifest import MANIFEST_VERSION, SweepManifest
 
 
 def tiny_factory():
@@ -168,6 +170,65 @@ class TestManifestResume:
         summary = second.add("v", exploding_factory)
         assert summary.n == 2
         assert second.scores("v") == first.scores("v")
+
+
+class TestManifestSchema:
+    def test_fresh_manifest_writes_both_version_fields(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = SweepManifest(path)
+        manifest.record_done("v", 0, 0.5)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == MANIFEST_VERSION
+        assert payload["version"] == MANIFEST_VERSION
+
+    def test_v1_manifest_round_trips(self, tmp_path):
+        """A ledger written before the schema_version field existed loads,
+        keeps its cells, and re-saves in the current schema."""
+        path = tmp_path / "manifest.json"
+        cell = {"status": "done", "variant": "v", "seed": 0,
+                "score": 0.5, "attempts": 1}
+        path.write_text(json.dumps({"version": 1, "cells": {"v::0": cell}}))
+        manifest = SweepManifest(path)
+        assert manifest.loaded_version == 1
+        assert manifest.is_done("v", 0)
+        assert manifest.score("v", 0) == 0.5
+        manifest.save()
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == MANIFEST_VERSION
+        assert payload["cells"]["v::0"] == cell
+
+    def test_future_manifest_loads_and_preserves_unknown_keys(self, tmp_path):
+        """A newer build's ledger (higher version, extra sections) survives
+        a round trip through this build untouched."""
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({
+            "schema_version": MANIFEST_VERSION + 3,
+            "cells": {},
+            "host_fingerprint": {"os": "future"},
+        }))
+        manifest = SweepManifest(path)
+        assert manifest.loaded_version == MANIFEST_VERSION + 3
+        assert manifest.extra == {"host_fingerprint": {"os": "future"}}
+        manifest.record_done("v", 0, 1.0)
+        payload = json.loads(path.read_text())
+        assert payload["host_fingerprint"] == {"os": "future"}
+        assert payload["cells"]["v::0"]["score"] == 1.0
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"cells": {}},
+            {"schema_version": "two", "cells": {}},
+            {"schema_version": 0, "cells": {}},
+            {"schema_version": 2},
+            {"schema_version": 2, "cells": []},
+        ],
+    )
+    def test_unusable_manifests_are_rejected(self, tmp_path, payload):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError):
+            SweepManifest(path)
 
 
 class TestRecordPartial:
